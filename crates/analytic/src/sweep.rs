@@ -1,0 +1,174 @@
+//! Parameter sweeps behind Figures 3 and 4.
+
+use crate::models::{maintenance_bps, Architecture};
+use crate::params::{ModelParams, PIER_REFRESH_1H, PIER_REFRESH_5MIN};
+
+/// Which Table 1 parameter a sweep varies (Figure 3's four panels).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepAxis {
+    /// (a) network size N.
+    NetworkSize,
+    /// (b) data update rate u.
+    UpdateRate,
+    /// (c) database size d.
+    DatabaseSize,
+    /// (d) churn rate c.
+    ChurnRate,
+}
+
+impl SweepAxis {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepAxis::NetworkSize => "N (endsystems)",
+            SweepAxis::UpdateRate => "u (bytes/s)",
+            SweepAxis::DatabaseSize => "d (bytes)",
+            SweepAxis::ChurnRate => "c (1/s)",
+        }
+    }
+
+    /// The paper's log-scaled x-range for each panel.
+    #[must_use]
+    pub fn default_range(self) -> (f64, f64) {
+        match self {
+            SweepAxis::NetworkSize => (1e3, 1e9),
+            SweepAxis::UpdateRate => (1e0, 1e6),
+            SweepAxis::DatabaseSize => (1e6, 1e12),
+            SweepAxis::ChurnRate => (1e-8, 1e-2),
+        }
+    }
+
+    fn apply(self, base: &ModelParams, value: f64) -> ModelParams {
+        let mut p = *base;
+        match self {
+            SweepAxis::NetworkSize => p.n = value,
+            SweepAxis::UpdateRate => p.u = value,
+            SweepAxis::DatabaseSize => p.d = value,
+            SweepAxis::ChurnRate => p.c = value,
+        }
+        p
+    }
+}
+
+/// One sweep sample: the x value plus each architecture's bandwidth
+/// (PIER at both refresh periods, as plotted in the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    pub x: f64,
+    pub centralized: f64,
+    pub seaweed: f64,
+    pub dht_replicated: f64,
+    pub pier_5min: f64,
+    pub pier_1h: f64,
+}
+
+/// Sweeps `axis` log-uniformly over `(lo, hi)` with `points` samples,
+/// holding the other parameters at `base`.
+#[must_use]
+pub fn sweep(
+    base: &ModelParams,
+    axis: SweepAxis,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Vec<SweepPoint> {
+    assert!(points >= 2 && lo > 0.0 && hi > lo);
+    let step = (hi / lo).ln() / (points - 1) as f64;
+    (0..points)
+        .map(|i| {
+            let x = lo * (step * i as f64).exp();
+            let p = axis.apply(base, x);
+            let mut p5 = p;
+            p5.r = PIER_REFRESH_5MIN;
+            let mut p1 = p;
+            p1.r = PIER_REFRESH_1H;
+            SweepPoint {
+                x,
+                centralized: maintenance_bps(Architecture::Centralized, &p),
+                seaweed: maintenance_bps(Architecture::Seaweed, &p),
+                dht_replicated: maintenance_bps(Architecture::DhtReplicated, &p),
+                pier_5min: maintenance_bps(Architecture::Pier, &p5),
+                pier_1h: maintenance_bps(Architecture::Pier, &p1),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_linear_in_network_size() {
+        // Figure 3(a): every curve is linear in N (constant per-endsystem
+        // factors), so doubling N doubles every bandwidth.
+        let pts = sweep(&ModelParams::default(), SweepAxis::NetworkSize, 1e4, 2e4, 2);
+        for (a, b) in [
+            (pts[0].centralized, pts[1].centralized),
+            (pts[0].seaweed, pts[1].seaweed),
+            (pts[0].dht_replicated, pts[1].dht_replicated),
+            (pts[0].pier_5min, pts[1].pier_5min),
+        ] {
+            assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn update_rate_panel_shapes() {
+        // Figure 3(b): PIER flat in u; Seaweed flat; centralized linear;
+        // DHT has a u-dependent and a u-independent term.
+        let pts = sweep(&ModelParams::default(), SweepAxis::UpdateRate, 1.0, 1e6, 7);
+        assert!((pts[0].pier_5min - pts[6].pier_5min).abs() < 1.0);
+        assert!((pts[0].seaweed - pts[6].seaweed).abs() < 1.0);
+        assert!(pts[6].centralized > pts[0].centralized * 1e5);
+        assert!(pts[6].dht_replicated > pts[0].dht_replicated);
+        // Crossover the paper describes: DHT starts two orders below PIER
+        // at low u and "approaches and then exceeds" it at high rates
+        // (crossing the 1-hour-refresh PIER inside this range).
+        assert!(pts[0].dht_replicated < pts[0].pier_5min / 50.0);
+        assert!(pts[0].dht_replicated < pts[0].pier_1h);
+        assert!(pts[6].dht_replicated > pts[6].pier_1h);
+    }
+
+    #[test]
+    fn database_size_panel_shapes() {
+        // Figure 3(c): centralized and Seaweed flat in d; PIER and DHT
+        // linear in d.
+        let pts = sweep(
+            &ModelParams::default(),
+            SweepAxis::DatabaseSize,
+            1e6,
+            1e12,
+            7,
+        );
+        assert!((pts[0].centralized - pts[6].centralized).abs() < 1.0);
+        assert!((pts[0].seaweed - pts[6].seaweed).abs() < 1.0);
+        assert!(pts[6].pier_5min / pts[0].pier_5min > 1e5);
+        assert!(pts[6].dht_replicated / pts[0].dht_replicated > 1e3);
+    }
+
+    #[test]
+    fn churn_panel_shapes() {
+        // Figure 3(d): PIER and centralized churn-independent; DHT linear
+        // in c; Seaweed's churn term only matters at very high churn.
+        let pts = sweep(&ModelParams::default(), SweepAxis::ChurnRate, 1e-8, 1e-2, 7);
+        assert!((pts[0].pier_5min - pts[6].pier_5min).abs() < 1.0);
+        assert!((pts[0].centralized - pts[6].centralized).abs() < 1.0);
+        assert!(pts[6].dht_replicated / pts[0].dht_replicated > 1e4);
+        // Seaweed at default churn is dominated by the periodic push term.
+        let ratio = pts[6].seaweed / pts[0].seaweed;
+        assert!(ratio > 1.0 && ratio < 100.0, "seaweed churn ratio {ratio}");
+    }
+
+    #[test]
+    fn figure4_small_db_favours_pier_and_centralized() {
+        let base = ModelParams::small_db_low_rate();
+        let pts = sweep(&base, SweepAxis::NetworkSize, 1e5, 2e5, 2);
+        let p = pts[0];
+        // §4.2.5: "the centralized approach is the best at these low
+        // update rates".
+        assert!(p.centralized < p.seaweed);
+        assert!(p.centralized < p.dht_replicated);
+        assert!(p.centralized < p.pier_1h);
+    }
+}

@@ -1,0 +1,211 @@
+//! An alternative availability predictor (cf. related work, ref. 24:
+//! Mickens & Noble, NSDI 2006: "others have developed alternative
+//! predictors which could potentially improve Seaweed's performance").
+//!
+//! Where the paper's model keeps a *down-duration* distribution and an
+//! *up-event hour* distribution, this predictor keeps an empirical
+//! **hour-of-week availability profile**: for each of the 168 hours of
+//! the week, the fraction of past weeks the endsystem was up at that
+//! hour. Return-time prediction scans the profile forward from "now" and
+//! places mass at each slot proportional to the probability the
+//! endsystem first reappears there. It captures weekly structure
+//! (weekends!) that the paper's 24-hour model folds together, at the
+//! price of needing more history and 7× the state.
+
+use seaweed_types::{Duration, Time};
+
+use crate::model::ReturnPrediction;
+use crate::trace::AvailabilityTrace;
+
+/// Hours in a week.
+pub const WEEK_HOURS: usize = 168;
+
+/// Empirical hour-of-week availability profile of one endsystem.
+#[derive(Clone, Debug)]
+pub struct HourOfWeekModel {
+    /// Number of sampled weeks each slot was observed up.
+    up: [u16; WEEK_HOURS],
+    /// Number of weeks sampled per slot.
+    weeks: [u16; WEEK_HOURS],
+}
+
+impl Default for HourOfWeekModel {
+    fn default() -> Self {
+        HourOfWeekModel {
+            up: [0; WEEK_HOURS],
+            weeks: [0; WEEK_HOURS],
+        }
+    }
+}
+
+impl HourOfWeekModel {
+    /// Learns the profile from an endsystem's up intervals, sampling each
+    /// whole hour mark up to `until` (mirroring the Farsite study's
+    /// hourly-ping methodology).
+    #[must_use]
+    pub fn learn_from_intervals(intervals: &[(Time, Time)], until: Time) -> Self {
+        let mut m = HourOfWeekModel::default();
+        let hours = until.hours_since_epoch();
+        for h in 0..hours {
+            let t = Time::from_micros(h * Duration::HOUR.as_micros());
+            let slot = (h % WEEK_HOURS as u64) as usize;
+            m.weeks[slot] = m.weeks[slot].saturating_add(1);
+            if is_up_at(intervals, t) {
+                m.up[slot] = m.up[slot].saturating_add(1);
+            }
+        }
+        m
+    }
+
+    /// Convenience: learn from a trace's node.
+    #[must_use]
+    pub fn learn_from_trace(trace: &AvailabilityTrace, node: usize, until: Time) -> Self {
+        Self::learn_from_intervals(trace.intervals(node), until)
+    }
+
+    /// P(up) at the given hour-of-week slot (0.5 when unobserved).
+    #[must_use]
+    pub fn p_up(&self, slot: usize) -> f64 {
+        let w = self.weeks[slot % WEEK_HOURS];
+        if w == 0 {
+            return 0.5;
+        }
+        f64::from(self.up[slot % WEEK_HOURS]) / f64::from(w)
+    }
+
+    /// Predicts the delay until the endsystem next becomes available,
+    /// given it is down at `now`: scan the next two weeks of hour slots;
+    /// the probability the endsystem *first* returns in slot `i` is
+    /// `p_up(i) · Π_{j<i}(1 − p_up(j))`.
+    #[must_use]
+    pub fn predict_return(&self, now: Time) -> ReturnPrediction {
+        let start = now.hours_since_epoch() + 1;
+        let mut survive = 1.0f64;
+        let mut mass = Vec::new();
+        for step in 0..(2 * WEEK_HOURS as u64) {
+            let h = start + step;
+            let slot = (h % WEEK_HOURS as u64) as usize;
+            let p = self.p_up(slot);
+            let hit = survive * p;
+            if hit > 1e-4 {
+                let at =
+                    Time::from_micros(h * Duration::HOUR.as_micros()) + Duration::from_mins(30);
+                mass.push((at.saturating_since(now), hit));
+            }
+            survive *= 1.0 - p;
+            if survive < 1e-4 {
+                break;
+            }
+        }
+        if mass.is_empty() {
+            // Never seen up: fall far in the future.
+            return ReturnPrediction::point(Duration::from_days(7));
+        }
+        // Any residual survival mass lands on the final slot.
+        let total: f64 = mass.iter().map(|(_, w)| w).sum();
+        for m in &mut mass {
+            m.1 /= total;
+        }
+        ReturnPrediction { mass }
+    }
+
+    /// Serialized size: 168 packed per-slot counters — 7× the paper's
+    /// 48-byte model.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        336
+    }
+}
+
+fn is_up_at(intervals: &[(Time, Time)], t: Time) -> bool {
+    intervals.iter().any(|&(up, down)| up <= t && t < down)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn office_intervals(weeks: u64) -> Vec<(Time, Time)> {
+        // Up 08:00-18:00 on weekdays only.
+        let mut iv = Vec::new();
+        for d in 0..(7 * weeks) {
+            if d % 7 < 5 {
+                iv.push((
+                    Time::ZERO + Duration::from_days(d) + Duration::from_hours(8),
+                    Time::ZERO + Duration::from_days(d) + Duration::from_hours(18),
+                ));
+            }
+        }
+        iv
+    }
+
+    #[test]
+    fn learns_weekday_profile() {
+        let iv = office_intervals(4);
+        let m = HourOfWeekModel::learn_from_intervals(&iv, Time::ZERO + Duration::from_days(28));
+        // Monday 10:00 (slot 10): always up.
+        assert!(m.p_up(10) > 0.99);
+        // Monday 03:00: always down.
+        assert!(m.p_up(3) < 0.01);
+        // Saturday noon (slot 5*24+12=132): always down.
+        assert!(m.p_up(132) < 0.01);
+    }
+
+    #[test]
+    fn predicts_monday_morning_across_the_weekend() {
+        let iv = office_intervals(4);
+        let m = HourOfWeekModel::learn_from_intervals(&iv, Time::ZERO + Duration::from_days(28));
+        // It is Friday 20:00 of week 5 and the machine is off; the next
+        // availability is Monday ~08:00 — about 60 hours away. The
+        // paper's 24-hour model would predict "tomorrow morning" (12 h),
+        // which is wrong across a weekend.
+        let now = Time::ZERO + Duration::from_days(28 + 4) + Duration::from_hours(20);
+        let pred = m.predict_return(now);
+        let expected = pred.expected();
+        assert!(
+            expected > Duration::from_hours(55) && expected < Duration::from_hours(65),
+            "expected ~60h, got {expected}"
+        );
+    }
+
+    #[test]
+    fn predicts_next_morning_midweek() {
+        let iv = office_intervals(4);
+        let m = HourOfWeekModel::learn_from_intervals(&iv, Time::ZERO + Duration::from_days(28));
+        // Tuesday 22:00: next up Wednesday 08:00, ~10 h.
+        let now = Time::ZERO + Duration::from_days(29) + Duration::from_hours(22);
+        let pred = m.predict_return(now);
+        let expected = pred.expected();
+        assert!(
+            expected > Duration::from_hours(9) && expected < Duration::from_hours(12),
+            "expected ~10h, got {expected}"
+        );
+    }
+
+    #[test]
+    fn mass_is_normalized() {
+        let iv = office_intervals(3);
+        let m = HourOfWeekModel::learn_from_intervals(&iv, Time::ZERO + Duration::from_days(21));
+        let pred = m.predict_return(Time::ZERO + Duration::from_days(22));
+        let total: f64 = pred.mass.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_history_defaults_far_out() {
+        let m = HourOfWeekModel::default();
+        // p_up = 0.5 everywhere => expected return ~within a couple hours.
+        let pred = m.predict_return(Time::ZERO + Duration::from_days(1));
+        assert!(pred.expected() < Duration::from_hours(4));
+        // A machine never seen up at all:
+        let never =
+            HourOfWeekModel::learn_from_intervals(&[], Time::ZERO + Duration::from_days(14));
+        let pred = never.predict_return(Time::ZERO + Duration::from_days(15));
+        assert!(pred.expected() >= Duration::from_days(7));
+    }
+
+    #[test]
+    fn wire_size_documented() {
+        assert_eq!(HourOfWeekModel::default().wire_size(), 336);
+    }
+}

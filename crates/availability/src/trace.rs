@@ -1,0 +1,320 @@
+//! Availability traces: per-endsystem up-interval lists.
+//!
+//! A trace records, for each endsystem, the half-open intervals
+//! `[up, down)` during which it was available, over a fixed horizon.
+//! Traces are replayed into the simulator as `NodeUp`/`NodeDown` events
+//! and interrogated directly by the availability-only simulator
+//! (Figures 5–8) and by statistics extraction (Figure 1, churn rates).
+
+use seaweed_types::{Duration, Time};
+
+/// Up intervals for one endsystem, sorted, non-overlapping, within the
+/// trace horizon.
+pub type Intervals = Vec<(Time, Time)>;
+
+/// An availability trace for a population of endsystems.
+#[derive(Debug, Clone)]
+pub struct AvailabilityTrace {
+    /// `intervals[node]` = sorted disjoint `[up, down)` spans.
+    intervals: Vec<Intervals>,
+    horizon: Time,
+}
+
+impl AvailabilityTrace {
+    /// Builds a trace from raw interval lists, validating invariants.
+    ///
+    /// # Panics
+    /// Panics if any interval list is unsorted, overlapping, empty-spanned
+    /// or extends beyond the horizon.
+    #[must_use]
+    pub fn new(intervals: Vec<Intervals>, horizon: Time) -> Self {
+        for (node, iv) in intervals.iter().enumerate() {
+            let mut prev_end = Time::ZERO;
+            for &(up, down) in iv {
+                assert!(up < down, "node {node}: empty/inverted interval");
+                assert!(up >= prev_end, "node {node}: overlapping intervals");
+                assert!(down <= horizon, "node {node}: interval beyond horizon");
+                prev_end = down;
+            }
+        }
+        AvailabilityTrace { intervals, horizon }
+    }
+
+    #[must_use]
+    pub fn num_endsystems(&self) -> usize {
+        self.intervals.len()
+    }
+
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The up intervals of one endsystem.
+    #[must_use]
+    pub fn intervals(&self, node: usize) -> &[(Time, Time)] {
+        &self.intervals[node]
+    }
+
+    /// Is `node` available at instant `t`?
+    #[must_use]
+    pub fn is_up(&self, node: usize, t: Time) -> bool {
+        let iv = &self.intervals[node];
+        // Binary search for the last interval starting at or before t.
+        match iv.binary_search_by(|&(up, _)| up.cmp(&t)) {
+            Ok(_) => true, // t is exactly an up instant
+            Err(0) => false,
+            Err(i) => t < iv[i - 1].1,
+        }
+    }
+
+    /// The first time at or after `t` when `node` is available, or `None`
+    /// if it never comes back within the horizon.
+    #[must_use]
+    pub fn next_up_at(&self, node: usize, t: Time) -> Option<Time> {
+        if self.is_up(node, t) {
+            return Some(t);
+        }
+        self.intervals[node]
+            .iter()
+            .find(|&&(up, _)| up >= t)
+            .map(|&(up, _)| up)
+    }
+
+    /// True if `node` is available for at least `min_span` continuously at
+    /// some point in `[from, to]`. This is the paper's `H_U` membership:
+    /// "available at some instant ... for sufficient time to execute a
+    /// query".
+    #[must_use]
+    pub fn is_up_during(&self, node: usize, from: Time, to: Time, min_span: Duration) -> bool {
+        self.intervals[node].iter().any(|&(up, down)| {
+            let s = up.max(from);
+            let e = down.min(to);
+            e > s && e.since(s) >= min_span
+        })
+    }
+
+    /// Fraction of endsystems available at instant `t`.
+    #[must_use]
+    pub fn fraction_up(&self, t: Time) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        let up = (0..self.intervals.len())
+            .filter(|&n| self.is_up(n, t))
+            .count();
+        up as f64 / self.intervals.len() as f64
+    }
+
+    /// Hourly availability series (Figure 1): for each whole hour of the
+    /// trace, the fraction of endsystems up at the hour mark — matching
+    /// the original study's hourly ping methodology.
+    #[must_use]
+    pub fn hourly_availability(&self) -> Vec<f64> {
+        let hours = self.horizon.hours_since_epoch();
+        (0..hours)
+            .map(|h| self.fraction_up(Time::from_micros(h * Duration::HOUR.as_micros())))
+            .collect()
+    }
+
+    /// Replays the trace into a simulator engine as up/down events.
+    pub fn replay_into<M>(&self, engine: &mut seaweed_sim::Engine<M>) {
+        assert_eq!(
+            engine.num_nodes(),
+            self.num_endsystems(),
+            "engine/trace size mismatch"
+        );
+        for (node, iv) in self.intervals.iter().enumerate() {
+            let idx = seaweed_sim::NodeIdx(node as u32);
+            for &(up, down) in iv {
+                engine.schedule_up(up, idx);
+                if down < self.horizon {
+                    engine.schedule_down(down, idx);
+                }
+            }
+        }
+    }
+
+    /// Aggregate statistics over the whole trace.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut online_us: u128 = 0;
+        let mut departures: u64 = 0;
+        let mut sessions: u64 = 0;
+        let mut session_us: u128 = 0;
+        for iv in &self.intervals {
+            for &(up, down) in iv {
+                let span = down.since(up);
+                online_us += u128::from(span.as_micros());
+                sessions += 1;
+                session_us += u128::from(span.as_micros());
+                if down < self.horizon {
+                    departures += 1;
+                }
+            }
+        }
+        let total_us = u128::from(self.horizon.as_micros()) * self.intervals.len() as u128;
+        let mean_availability = if total_us == 0 {
+            0.0
+        } else {
+            online_us as f64 / total_us as f64
+        };
+        let online_secs = online_us as f64 / 1e6;
+        TraceStats {
+            mean_availability,
+            departure_rate_per_online_sec: if online_secs > 0.0 {
+                departures as f64 / online_secs
+            } else {
+                0.0
+            },
+            mean_session: if sessions > 0 {
+                Duration::from_micros((session_us / u128::from(sessions)) as u64)
+            } else {
+                Duration::ZERO
+            },
+            departures,
+        }
+    }
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStats {
+    /// Time-averaged fraction of endsystems available (the paper's f_on).
+    pub mean_availability: f64,
+    /// Departures per online endsystem per second (the paper reports
+    /// 4.06e-6 for Farsite and 9.46e-5 for Gnutella).
+    pub departure_rate_per_online_sec: f64,
+    /// Mean up-session length.
+    pub mean_session: Duration,
+    /// Total departure events within the horizon.
+    pub departures: u64,
+}
+
+impl TraceStats {
+    /// The churn rate `c` of the analytic models: the rate at which a
+    /// single endsystem switches between available and unavailable,
+    /// normalized per endsystem (not per *online* endsystem). Up and down
+    /// transitions are assumed balanced, as in §4.2.
+    #[must_use]
+    pub fn churn_rate(&self, _n: usize) -> f64 {
+        // departures/online-sec * f_on = departures per endsystem-sec.
+        self.departure_rate_per_online_sec * self.mean_availability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hour(h: u64) -> Time {
+        Time::from_micros(h * Duration::HOUR.as_micros())
+    }
+
+    fn simple_trace() -> AvailabilityTrace {
+        // Node 0: up [0h, 10h). Node 1: up [2h, 4h) and [6h, 10h).
+        // Horizon 10h.
+        AvailabilityTrace::new(
+            vec![
+                vec![(hour(0), hour(10))],
+                vec![(hour(2), hour(4)), (hour(6), hour(10))],
+            ],
+            hour(10),
+        )
+    }
+
+    #[test]
+    fn is_up_at_instants() {
+        let t = simple_trace();
+        assert!(t.is_up(0, hour(0)));
+        assert!(t.is_up(0, hour(9)));
+        assert!(!t.is_up(1, hour(0)));
+        assert!(t.is_up(1, hour(2)));
+        assert!(t.is_up(1, hour(3)));
+        assert!(!t.is_up(1, hour(4)));
+        assert!(!t.is_up(1, hour(5)));
+        assert!(t.is_up(1, hour(6)));
+    }
+
+    #[test]
+    fn next_up_at_works() {
+        let t = simple_trace();
+        assert_eq!(t.next_up_at(1, hour(0)), Some(hour(2)));
+        assert_eq!(t.next_up_at(1, hour(3)), Some(hour(3)));
+        assert_eq!(t.next_up_at(1, hour(5)), Some(hour(6)));
+        // Node with no further intervals.
+        let t2 = AvailabilityTrace::new(vec![vec![(hour(0), hour(1))]], hour(10));
+        assert_eq!(t2.next_up_at(0, hour(2)), None);
+    }
+
+    #[test]
+    fn is_up_during_respects_min_span() {
+        let t = simple_trace();
+        assert!(t.is_up_during(1, hour(0), hour(3), Duration::from_mins(30)));
+        assert!(!t.is_up_during(1, hour(4), hour(6), Duration::from_mins(30)));
+        // Interval [2,4) clipped to [3.5, 4) is only 30 min.
+        let from = hour(3) + Duration::from_mins(30);
+        assert!(t.is_up_during(1, from, hour(4), Duration::from_mins(30)));
+        assert!(!t.is_up_during(1, from, hour(4), Duration::from_mins(31)));
+    }
+
+    #[test]
+    fn fraction_and_hourly() {
+        let t = simple_trace();
+        assert_eq!(t.fraction_up(hour(0)), 0.5);
+        assert_eq!(t.fraction_up(hour(3)), 1.0);
+        let series = t.hourly_availability();
+        assert_eq!(series.len(), 10);
+        assert_eq!(series[0], 0.5);
+        assert_eq!(series[2], 1.0);
+        assert_eq!(series[5], 0.5);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let t = simple_trace();
+        let s = t.stats();
+        // Online time: 10h + 6h = 16h over 20 node-hours.
+        assert!((s.mean_availability - 0.8).abs() < 1e-9);
+        // Departures within horizon: node 1 at hour 4 only (both nodes'
+        // final intervals end exactly at the horizon).
+        assert_eq!(s.departures, 1);
+        let online_secs = 16.0 * 3600.0;
+        assert!((s.departure_rate_per_online_sec - 1.0 / online_secs).abs() < 1e-12);
+        // Mean session: (10 + 2 + 4) / 3 hours.
+        assert_eq!(
+            s.mean_session,
+            Duration::from_micros(16 * 3600 * 1_000_000 / 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_intervals_rejected() {
+        let _ =
+            AvailabilityTrace::new(vec![vec![(hour(0), hour(2)), (hour(1), hour(3))]], hour(10));
+    }
+
+    #[test]
+    fn replay_schedules_events() {
+        use seaweed_sim::{Engine, SimConfig, UniformTopology};
+        let t = simple_trace();
+        let mut e: Engine<()> = Engine::new(
+            Box::new(UniformTopology::new(2, Duration::MILLISECOND)),
+            SimConfig::default(),
+        );
+        t.replay_into(&mut e);
+        let mut ups = 0;
+        let mut downs = 0;
+        while let Some((_, ev)) = e.next_event_before(hour(11)) {
+            match ev {
+                seaweed_sim::Event::NodeUp { .. } => ups += 1,
+                seaweed_sim::Event::NodeDown { .. } => downs += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(ups, 3);
+        // Final intervals end at horizon => no down event scheduled.
+        assert_eq!(downs, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for traces and availability models.
+
+use proptest::prelude::*;
+use seaweed_availability::{AvailabilityModel, FarsiteConfig, GnutellaConfig, ModelConfig};
+use seaweed_types::{Duration, Time};
+
+fn hours(h: u64) -> Time {
+    Time::from_micros(h * Duration::HOUR.as_micros())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated traces always satisfy structural invariants (sorted,
+    /// disjoint, in-horizon) — enforced by the constructor, so building
+    /// is itself the assertion — and statistics are sane.
+    #[test]
+    fn farsite_traces_are_structurally_sound(seed in 0u64..500, n in 20usize..120) {
+        let (trace, profiles) = FarsiteConfig::small(n, 1).generate(seed);
+        prop_assert_eq!(trace.num_endsystems(), n);
+        prop_assert_eq!(profiles.len(), n);
+        let stats = trace.stats();
+        prop_assert!(stats.mean_availability > 0.0 && stats.mean_availability <= 1.0);
+        prop_assert!(stats.departure_rate_per_online_sec >= 0.0);
+        // Hourly availability series length matches horizon.
+        prop_assert_eq!(trace.hourly_availability().len(), 168);
+    }
+
+    #[test]
+    fn gnutella_traces_are_structurally_sound(seed in 0u64..500, n in 20usize..120) {
+        let trace = GnutellaConfig::small(n, 24).generate(seed);
+        let stats = trace.stats();
+        prop_assert!(stats.mean_availability > 0.0 && stats.mean_availability < 1.0);
+        // High churn: mean session well under a day.
+        prop_assert!(stats.mean_session < Duration::from_hours(24));
+    }
+
+    /// is_up / next_up_at / is_up_during agree with each other on random
+    /// probes.
+    #[test]
+    fn trace_queries_are_consistent(seed in 0u64..200, node in 0usize..30, probe_h in 0u64..167) {
+        let (trace, _) = FarsiteConfig::small(30, 1).generate(seed);
+        let t = hours(probe_h);
+        let up = trace.is_up(node, t);
+        if up {
+            prop_assert_eq!(trace.next_up_at(node, t), Some(t));
+            prop_assert!(trace.is_up_during(node, t, t + Duration::from_mins(1), Duration::ZERO));
+        } else if let Some(next) = trace.next_up_at(node, t) {
+            prop_assert!(next > t);
+            prop_assert!(trace.is_up(node, next));
+        }
+    }
+
+    /// Model predictions are proper probability distributions with
+    /// non-negative delays, whatever history they saw.
+    #[test]
+    fn predictions_are_distributions(
+        spans in prop::collection::vec((1u64..72, 0u64..24), 1..40),
+        elapsed_h in 0u64..100,
+    ) {
+        let mut m = AvailabilityModel::new(ModelConfig::default());
+        let mut t = Time::ZERO;
+        for (down_h, up_hour) in spans {
+            t += Duration::from_days(1);
+            let at = Time::from_micros(
+                t.as_micros() / Duration::DAY.as_micros() * Duration::DAY.as_micros()
+            ) + Duration::from_hours(up_hour);
+            m.observe_up(Duration::from_hours(down_h), at);
+        }
+        let now = Time::ZERO + Duration::from_days(200);
+        let pred = m.predict_return(now, now - Duration::from_hours(elapsed_h));
+        prop_assert!(!pred.mass.is_empty());
+        let total: f64 = pred.mass.iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        for (d, w) in &pred.mass {
+            prop_assert!(*w >= 0.0);
+            prop_assert!(*d <= Duration::from_days(15), "delay {d}");
+        }
+        // CDF is monotone and reaches ~1.
+        let mut last = 0.0;
+        for h in [1u64, 4, 12, 24, 24 * 7, 24 * 20] {
+            let c = pred.cdf(Duration::from_hours(h));
+            prop_assert!(c + 1e-12 >= last);
+            last = c;
+        }
+        prop_assert!((pred.cdf(Duration::from_days(30)) - 1.0).abs() < 1e-9);
+    }
+
+    /// Learning from intervals never panics and yields one observation
+    /// per up-transition (plus the initial down spell).
+    #[test]
+    fn learn_counts_up_events(seed in 0u64..200) {
+        let (trace, _) = FarsiteConfig::small(10, 2).generate(seed);
+        for node in 0..10 {
+            let until = trace.horizon();
+            let m = AvailabilityModel::learn_from_intervals(
+                ModelConfig::default(),
+                trace.intervals(node),
+                until,
+            );
+            let expected = trace
+                .intervals(node)
+                .iter()
+                .filter(|&&(up, _)| up > Time::ZERO)
+                .count() as u32;
+            prop_assert!(m.observations() <= expected + 1);
+            prop_assert!(m.observations() + 1 >= expected.min(1));
+        }
+    }
+}
+
+/// Replay must deliver exactly the trace's transitions, in order.
+#[test]
+fn replay_round_trips_transitions() {
+    use seaweed_sim::{Engine, Event, SimConfig, UniformTopology};
+    let (trace, _) = FarsiteConfig::small(25, 1).generate(77);
+    let mut eng: Engine<()> = Engine::new(
+        Box::new(UniformTopology::new(25, Duration::MILLISECOND)),
+        SimConfig::default(),
+    );
+    trace.replay_into(&mut eng);
+    let mut transitions: Vec<(u64, usize, bool)> = Vec::new();
+    while let Some((t, ev)) = eng.next_event_before(trace.horizon()) {
+        match ev {
+            Event::NodeUp { node } => transitions.push((t.as_micros(), node.idx(), true)),
+            Event::NodeDown { node } => transitions.push((t.as_micros(), node.idx(), false)),
+            _ => {}
+        }
+    }
+    // Check against the trace, node by node.
+    for node in 0..25 {
+        let mine: Vec<&(u64, usize, bool)> =
+            transitions.iter().filter(|(_, n, _)| *n == node).collect();
+        let mut expect = Vec::new();
+        for &(up, down) in trace.intervals(node) {
+            expect.push((up.as_micros(), true));
+            if down < trace.horizon() {
+                expect.push((down.as_micros(), false));
+            }
+        }
+        let got: Vec<(u64, bool)> = mine.iter().map(|&&(t, _, u)| (t, u)).collect();
+        assert_eq!(got, expect, "node {node}");
+    }
+}

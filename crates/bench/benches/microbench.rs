@@ -1,0 +1,208 @@
+//! Criterion micro-benchmarks for the hot paths of every layer:
+//! hashing, id arithmetic, the vertex parent function, histogram
+//! construction and estimation, aggregate/predictor merging, SQL parsing,
+//! overlay routing and raw engine throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use seaweed_availability::ReturnPrediction;
+use seaweed_core::predictor::Predictor;
+use seaweed_core::vertex::chain_to_root;
+use seaweed_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
+use seaweed_sim::{Engine, Event, NodeIdx, SimConfig, TrafficClass, UniformTopology};
+use seaweed_store::histogram::NumericHistogram;
+use seaweed_store::{AggFunc, Aggregate, CmpOp, Query};
+use seaweed_types::{sha1, Duration, Id, Time};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| sha1::sha1(black_box(&data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_id_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ids: Vec<Id> = (0..1024).map(|_| Id::random(&mut rng)).collect();
+    c.bench_function("id/prefix_len_b4", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(ids[i].prefix_len(ids[i + 1], 4))
+        });
+    });
+    c.bench_function("id/ring_dist", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(ids[i].ring_dist(ids[i + 1]))
+        });
+    });
+}
+
+fn bench_vertex_chain(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let query = Id::random(&mut rng);
+    let starts: Vec<Id> = (0..256).map(|_| Id::random(&mut rng)).collect();
+    c.bench_function("vertex/chain_to_root_b4", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % starts.len();
+            black_box(chain_to_root(query, starts[i], 4))
+        });
+    });
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<f64> = (0..100_000)
+        .map(|_| (rng.gen::<f64>() * 1e6).floor())
+        .collect();
+    c.bench_function("histogram/build_100k_64buckets", |b| {
+        b.iter(|| NumericHistogram::build(black_box(&values), 64));
+    });
+    let hist = NumericHistogram::build(&values, 64);
+    c.bench_function("histogram/estimate_range", |b| {
+        b.iter(|| black_box(hist.estimate(CmpOp::Lt, 500_000.0)));
+    });
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut agg_a = Aggregate::empty(AggFunc::Avg);
+    let mut agg_b = Aggregate::empty(AggFunc::Avg);
+    for i in 0..100 {
+        agg_a.fold(f64::from(i));
+        agg_b.fold(f64::from(i) * 2.0);
+    }
+    c.bench_function("aggregate/merge", |b| {
+        b.iter(|| {
+            let mut m = black_box(agg_a);
+            m.merge(black_box(&agg_b));
+            black_box(m)
+        });
+    });
+
+    let mut pred_a = Predictor::new();
+    let mut pred_b = Predictor::new();
+    for i in 1..50u64 {
+        pred_a.add_available(i as f64);
+        pred_b.add_unavailable(
+            i as f64,
+            &ReturnPrediction::point(Duration::from_mins(i * 11)),
+        );
+    }
+    c.bench_function("predictor/merge", |b| {
+        b.iter(|| {
+            let mut m = black_box(pred_a.clone());
+            m.merge(black_box(&pred_b));
+            black_box(m)
+        });
+    });
+    c.bench_function("predictor/completeness_at", |b| {
+        b.iter(|| black_box(pred_b.completeness_at(Duration::from_hours(3))));
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    const SQL: &str =
+        "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80 AND ts <= NOW() AND ts >= NOW() - 86400";
+    c.bench_function("sql/parse_paper_query", |b| {
+        b.iter(|| Query::parse(black_box(SQL)).expect("parses"));
+    });
+}
+
+/// Builds a joined 500-node overlay once, then measures routing one
+/// message end-to-end (all hops, event loop included).
+fn bench_routing(c: &mut Criterion) {
+    let n = 500usize;
+    let mut eng: Engine<OverlayMsg<u64>> = Engine::new(
+        Box::new(UniformTopology::new(n, Duration::from_millis(1))),
+        SimConfig::default(),
+    );
+    let mut ov = Overlay::new(Overlay::random_ids(n, 4), OverlayConfig::default());
+    for i in 0..n {
+        eng.schedule_up(Time::from_micros(1 + i as u64 * 100_000), NodeIdx(i as u32));
+    }
+    // Drain to quiescence.
+    let mut horizon = Time::ZERO + Duration::from_hours(1);
+    while let Some((_, ev)) = eng.next_event_before(horizon) {
+        match ev {
+            Event::Message { from, to, payload } => {
+                let _ = ov.on_message(&mut eng, from, to, payload);
+            }
+            Event::Timer { node, tag } => {
+                let _ = ov.on_timer(&mut eng, node, tag);
+            }
+            Event::NodeUp { node } => {
+                let _: Vec<OverlayEvent<u64>> = ov.node_up(&mut eng, node);
+            }
+            Event::NodeDown { node } => ov.node_down(&mut eng, node),
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("overlay/route_500_nodes", |b| {
+        b.iter(|| {
+            let key = Id::random(&mut rng);
+            let from = NodeIdx(rng.gen_range(0..n as u32));
+            let mut delivered = ov.route(&mut eng, from, key, 1, 64, TrafficClass::Query);
+            horizon += Duration::from_mins(10);
+            while delivered.is_empty() {
+                match eng.next_event_before(horizon) {
+                    Some((_, Event::Message { from, to, payload })) => {
+                        delivered = ov.on_message(&mut eng, from, to, payload);
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            black_box(delivered.len())
+        });
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("timer_churn_10k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<()> = Engine::new(
+                Box::new(UniformTopology::new(4, Duration::MILLISECOND)),
+                SimConfig::default(),
+            );
+            eng.schedule_up(Time::ZERO, NodeIdx(0));
+            let _ = eng.next_event_before(Time(10));
+            for i in 0..10_000u64 {
+                eng.set_timer(NodeIdx(0), Duration::from_micros(i * 7 + 1), i);
+            }
+            let mut n = 0u64;
+            while eng
+                .next_event_before(Time::ZERO + Duration::from_secs(10))
+                .is_some()
+            {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_id_ops,
+    bench_vertex_chain,
+    bench_histograms,
+    bench_merges,
+    bench_sql,
+    bench_routing,
+    bench_engine,
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation: alternative availability predictors.
+//!
+//! §5: "others have developed alternative predictors (ref. 24) which could
+//! potentially improve Seaweed's performance." Compares three return-time
+//! predictors on the Farsite-like trace:
+//!
+//! * the paper's model (down-duration + up-hour, periodic classification);
+//! * an hour-of-week availability profile (weekly structure, 7× state);
+//! * a naive fixed-delay baseline (always "8 hours").
+
+use seaweed_availability::{FarsiteConfig, HourOfWeekModel, ModelConfig, ReturnPrediction};
+use seaweed_bench::predsim::PredictionSetup;
+use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_types::{Duration, Time};
+use seaweed_workload::{AnemoneConfig, QUERY_HTTP_BYTES};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 1_200usize);
+    let seed = args.get("seed", 18u64);
+    let weeks = 4u64;
+
+    println!("Ablation: availability predictors ({n} endsystems, {weeks}-week trace)");
+    let (trace, _) = FarsiteConfig::small(n, weeks).generate(seed);
+    let anemone = AnemoneConfig {
+        horizon: Duration::WEEK * weeks,
+        ..AnemoneConfig::default()
+    };
+    let setup = PredictionSetup::build(trace, &anemone, seed, &[QUERY_HTTP_BYTES]);
+
+    // Injection times chosen to stress different structure: weekday
+    // night, weekday noon, Friday evening (weekend gap!), Sunday noon.
+    let injections = [
+        ("Tue 00:00", Time::ZERO + Duration::from_days(15)),
+        (
+            "Wed 12:00",
+            Time::ZERO + Duration::from_days(16) + Duration::from_hours(12),
+        ),
+        (
+            "Fri 20:00",
+            Time::ZERO + Duration::from_days(18) + Duration::from_hours(20),
+        ),
+        (
+            "Sun 12:00",
+            Time::ZERO + Duration::from_days(20) + Duration::from_hours(12),
+        ),
+    ];
+    let checkpoints = [1u64, 2, 4, 8, 12, 24, 48];
+
+    let mut table = OutTable::new(&["predictor", "mean |error| %", "worst |error| %"]);
+    let mut rows = Vec::new();
+
+    let mut evaluate =
+        |name: &str, idx: f64, run_one: &dyn Fn(Time) -> seaweed_bench::predsim::PredictionRun| {
+            let mut errs = Vec::new();
+            for &(_, inject) in &injections {
+                let run = run_one(inject);
+                for &h in &checkpoints {
+                    errs.push(run.error_pct_at(Duration::from_hours(h)).abs());
+                }
+            }
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            let worst = errs.iter().copied().fold(0.0f64, f64::max);
+            table.row(vec![
+                name.into(),
+                format!("{mean:.2}"),
+                format!("{worst:.2}"),
+            ]);
+            rows.push(vec![idx, mean, worst]);
+        };
+
+    evaluate("paper model (48 B)", 0.0, &|inject| {
+        setup.run_with_model(0, inject, Duration::from_hours(48), ModelConfig::default())
+    });
+    evaluate("hour-of-week profile (336 B)", 1.0, &|inject| {
+        setup.run_with_return_predictor(
+            0,
+            inject,
+            Duration::from_hours(48),
+            |trace, node, _ds, now| {
+                HourOfWeekModel::learn_from_trace(trace, node, now).predict_return(now)
+            },
+        )
+    });
+    evaluate("fixed 8 h baseline", 2.0, &|inject| {
+        setup.run_with_return_predictor(0, inject, Duration::from_hours(48), |_t, _n, _ds, _now| {
+            ReturnPrediction::point(Duration::from_hours(8))
+        })
+    });
+
+    write_csv(
+        "results/abl05_predictors.csv",
+        &["predictor", "mean_abs_error_pct", "worst_abs_error_pct"],
+        &rows,
+    );
+    table.print();
+    println!("  (the hour-of-week profile should win around weekends, at 7x the metadata)");
+}

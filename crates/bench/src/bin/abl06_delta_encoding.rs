@@ -1,0 +1,124 @@
+//! Ablation: delta-encoded metadata pushes.
+//!
+//! §3.2.2: "We are looking at ... sending delta-encoded histograms which
+//! could reduce network overhead compared to pushing the entire
+//! histogram." Grows each endsystem's Flow table day by day and compares
+//! the cumulative bytes of pushing full summaries vs deltas.
+
+use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_store::DataSummary;
+use seaweed_types::{Duration, Time};
+use seaweed_workload::AnemoneConfig;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 40usize);
+    let days = args.get("days", 14u64);
+    let seed = args.get("seed", 19u64);
+
+    println!("Ablation: delta-encoded summaries ({n} endsystems, {days} days of growth)");
+    // One generator over the full horizon; a day-d summary sees only the
+    // rows with ts < d days (the table grows monotonically, exactly the
+    // update pattern of a deployed endsystem).
+    let anemone = AnemoneConfig {
+        horizon: Duration::from_days(days),
+        ..AnemoneConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut t = OutTable::new(&["day", "full push B (mean)", "delta push B (mean)", "saving"]);
+    let mut prev: Vec<Option<DataSummary>> = vec![None; n];
+    let mut cum_full = 0u64;
+    let mut cum_delta = 0u64;
+    for day in 1..=days {
+        let mut full = 0u64;
+        let mut delta = 0u64;
+        #[allow(clippy::needless_range_loop)]
+        for node in 0..n {
+            // The fragment as of `day` days: restrict generation to the
+            // first `day` days via the uptime gate.
+            let upto = vec![(Time::ZERO, Time::ZERO + Duration::from_days(day))];
+            let table = anemone.generate_flow_table(seed, node, &upto);
+            let summary = DataSummary::build(&table);
+            full += u64::from(summary.wire_size());
+            delta += u64::from(match &prev[node] {
+                Some(p) => summary.delta_wire_size(p),
+                None => summary.wire_size(),
+            });
+            prev[node] = Some(summary);
+        }
+        cum_full += full;
+        cum_delta += delta;
+        let saving = 100.0 * (1.0 - delta as f64 / full as f64);
+        rows.push(vec![
+            day as f64,
+            full as f64 / n as f64,
+            delta as f64 / n as f64,
+            saving,
+        ]);
+        t.row(vec![
+            format!("{day}"),
+            format!("{:.0}", full as f64 / n as f64),
+            format!("{:.0}", delta as f64 / n as f64),
+            format!("{saving:.1}%"),
+        ]);
+    }
+    write_csv(
+        "results/abl06_delta_encoding.csv",
+        &["day", "full_bytes_mean", "delta_bytes_mean", "saving_pct"],
+        &rows,
+    );
+    t.print();
+    println!(
+        "  cumulative (daily pushes): full {:.1} kB vs delta {:.1} kB per endsystem ({:.1}% saved)",
+        cum_full as f64 / n as f64 / 1e3,
+        cum_delta as f64 / n as f64 / 1e3,
+        100.0 * (1.0 - cum_delta as f64 / cum_full as f64),
+    );
+
+    // Second phase: the paper's actual push granularity (~17.5 min).
+    // Many windows add no rows at night, so their pushes delta to almost
+    // nothing; daytime windows still shift most equi-depth boundaries.
+    let mut full_b = 0u64;
+    let mut delta_b = 0u64;
+    let mut unchanged = 0u64;
+    let mut pushes = 0u64;
+    let sample_nodes = n.min(15);
+    for node in 0..sample_nodes {
+        let mut prev: Option<DataSummary> = None;
+        let mut t_us = Duration::from_mins(1050 / 60).as_micros(); // 17.5 min
+        let step = Duration::from_secs(1050).as_micros();
+        while t_us <= Duration::from_days(1).as_micros() {
+            let upto = vec![(Time::ZERO, Time::from_micros(t_us))];
+            let table = anemone.generate_flow_table(seed, node, &upto);
+            let summary = DataSummary::build(&table);
+            full_b += u64::from(summary.wire_size());
+            let d = match &prev {
+                Some(p) => {
+                    let d = summary.delta_wire_size(p);
+                    if *p == summary {
+                        unchanged += 1;
+                    }
+                    d
+                }
+                None => summary.wire_size(),
+            };
+            delta_b += u64::from(d);
+            prev = Some(summary);
+            pushes += 1;
+            t_us += step;
+        }
+    }
+    println!(
+        "  at the paper's 17.5-min push period (day 1, {sample_nodes} endsystems): \
+         full {:.1} kB vs delta {:.1} kB ({:.1}% saved; {:.0}% of pushes unchanged)",
+        full_b as f64 / sample_nodes as f64 / 1e3,
+        delta_b as f64 / sample_nodes as f64 / 1e3,
+        100.0 * (1.0 - delta_b as f64 / full_b as f64),
+        100.0 * unchanged as f64 / pushes as f64,
+    );
+    println!(
+        "  finding: equi-depth boundaries shift with every append, so deltas only pay off\n  \
+         when a window saw no data (overnight); boundary-stable histograms would delta better"
+    );
+}

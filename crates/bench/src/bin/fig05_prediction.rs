@@ -1,0 +1,13 @@
+//! Figure 5: completeness prediction accuracy for
+//! `seaweed_workload::QUERY_HTTP_BYTES` — predicted vs actual
+//! cumulative rows over 48 h, and prediction error across injection days
+//! and times of day.
+
+use seaweed_bench::figures::run_prediction_figure;
+use seaweed_bench::Args;
+use seaweed_workload::QUERY_HTTP_BYTES;
+
+fn main() {
+    let args = Args::parse();
+    run_prediction_figure(5, QUERY_HTTP_BYTES, &args);
+}

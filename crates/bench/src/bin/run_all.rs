@@ -1,0 +1,72 @@
+//! Runs every experiment at default (laptop) scale, in paper order.
+//!
+//! `cargo run --release -p seaweed-bench --bin run_all`
+//!
+//! Each experiment is also available as its own binary with `--n`,
+//! `--seed`, `--weeks`, `--full` overrides; this driver shells out to the
+//! sibling binaries so their output (and `results/*.csv`) is identical to
+//! running them individually.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "tab01_params",
+    "tab02_pier_availability",
+    "fig01_availability",
+    "fig02_predictor",
+    "fig03_scalability",
+    "fig04_scalability_small",
+    "fig05_prediction",
+    "fig06_prediction",
+    "fig07_prediction",
+    "fig08_prediction",
+    "fig09_overheads",
+    "fig10_churn",
+    "lat01_predictor_latency",
+    "abl01_replication_k",
+    "abl02_histogram_buckets",
+    "abl03_fanout",
+    "abl04_periodic_threshold",
+    "abl05_predictors",
+    "abl06_delta_encoding",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let started = std::time::Instant::now();
+    let mut failures = Vec::new();
+    for (i, exp) in EXPERIMENTS.iter().enumerate() {
+        println!("\n=== [{}/{}] {exp} ===", i + 1, EXPERIMENTS.len());
+        let t0 = std::time::Instant::now();
+        let status = Command::new(bin_dir.join(exp))
+            .args(std::env::args().skip(1)) // pass through e.g. --full
+            .status();
+        match status {
+            Ok(s) if s.success() => {
+                println!(
+                    "=== {exp} finished in {:.1}s ===",
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Ok(s) => {
+                eprintln!("=== {exp} FAILED: {s} ===");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("=== {exp} could not start: {e} (build with --release -p seaweed-bench first) ===");
+                failures.push(*exp);
+            }
+        }
+    }
+    println!(
+        "\nall experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    if failures.is_empty() {
+        println!("every experiment completed; series are under results/");
+    } else {
+        eprintln!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

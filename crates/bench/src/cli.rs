@@ -1,0 +1,116 @@
+//! Minimal command-line flag parsing for experiment binaries.
+//!
+//! Hand-rolled on purpose — the permitted dependency set has no CLI
+//! crate, and the needs are trivial: `--flag value` pairs and boolean
+//! switches.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+    program: String,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_args(std::env::args())
+    }
+
+    /// Parses an explicit iterator (first item = program name).
+    pub fn parse_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let program = it.next().unwrap_or_default();
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut pending: Option<String> = None;
+        for arg in it {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some(key) = pending.take() {
+                    switches.push(key);
+                }
+                pending = Some(stripped.to_owned());
+            } else if let Some(key) = pending.take() {
+                values.insert(key, arg);
+            } else {
+                eprintln!("ignoring stray argument: {arg}");
+            }
+        }
+        if let Some(key) = pending {
+            switches.push(key);
+        }
+        Args {
+            values,
+            switches,
+            program,
+        }
+    }
+
+    /// The program name (`argv[0]`).
+    #[must_use]
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Is a boolean switch present (e.g. `--full`)?
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|e| {
+                panic!("bad value for --{name}: {raw} ({e})");
+            }),
+        }
+    }
+
+    /// A string value with a default.
+    #[must_use]
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_args(
+            std::iter::once("prog".to_owned()).chain(args.iter().map(|s| (*s).to_owned())),
+        )
+    }
+
+    #[test]
+    fn values_switches_and_defaults() {
+        let a = parse(&["--n", "500", "--full", "--out", "results/x.csv", "--flag"]);
+        assert_eq!(a.get("n", 100usize), 500);
+        assert_eq!(a.get("seed", 7u64), 7);
+        assert!(a.has("full"));
+        assert!(a.has("flag"));
+        assert!(!a.has("quick"));
+        assert_eq!(a.get_str("out", "d"), "results/x.csv");
+        assert_eq!(a.program(), "prog");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value")]
+    fn bad_value_panics() {
+        let a = parse(&["--n", "xyz"]);
+        let _: usize = a.get("n", 1);
+    }
+}

@@ -1,0 +1,599 @@
+//! Query dissemination and completeness prediction (paper §3.3).
+//!
+//! The query is routed to the root of its queryId, which broadcasts by
+//! divide-and-conquer over namespace ranges: a node receiving a range
+//! splits it into 2^b subranges, handles the parts that lie entirely
+//! within its own region of responsibility locally (estimating for the
+//! unavailable endsystems there from replicated metadata), and routes one
+//! message toward the midpoint of every other part. Per-range predictors
+//! aggregate back along the reverse edges; silent subranges are reissued
+//! after a timeout.
+
+use seaweed_overlay::OverlayEvent;
+use seaweed_sim::{NodeIdx, TrafficClass};
+use seaweed_types::IdRange;
+
+use super::{
+    DissemTask, QueryHandle, QueryKind, RangeResult, Seaweed, SeaweedEngine, SeaweedMsg,
+    SubrangeSlot, TaskKey, TimerAction,
+};
+use crate::predictor::Predictor;
+use crate::provider::DataProvider;
+use crate::wire;
+use seaweed_store::Aggregate;
+
+impl<P: DataProvider> Seaweed<P> {
+    /// Origin-side: route the query to the root of its queryId with the
+    /// full namespace range.
+    pub(crate) fn start_dissemination(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        h: QueryHandle,
+    ) {
+        self.learn_query(eng, origin, h);
+        let q = &self.queries[h as usize];
+        let key = q.id;
+        let size = wire::disseminate(q.text.len());
+        self.stats.disseminate_msgs += 1;
+        self.stats.dissem_bytes += u64::from(size);
+        let evs = self.overlay.route(
+            eng,
+            origin,
+            key,
+            SeaweedMsg::Disseminate {
+                query: h,
+                range: IdRange::FULL,
+                parent: origin,
+            },
+            size,
+            TrafficClass::Query,
+        );
+        // If the origin is itself the root, the delivery comes back
+        // synchronously; feed it through the normal dispatch path.
+        self.cascade(eng, evs);
+    }
+
+    /// Drains a batch of overlay events produced outside the main
+    /// dispatch loop.
+    pub(crate) fn cascade(&mut self, eng: &mut SeaweedEngine, evs: Vec<OverlayEvent<SeaweedMsg>>) {
+        let mut queue: std::collections::VecDeque<_> = evs.into();
+        while let Some(ev) = queue.pop_front() {
+            let more = self.on_overlay_event_pub(eng, ev);
+            queue.extend(more);
+        }
+    }
+
+    // Small shim so sibling modules can reuse the private handler.
+    pub(crate) fn on_overlay_event_pub(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        ev: OverlayEvent<SeaweedMsg>,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        self.on_overlay_event(eng, ev)
+    }
+
+    /// A dissemination message (range responsibility) arrived at `n`.
+    pub(crate) fn handle_disseminate(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        range: IdRange,
+        parent: NodeIdx,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        if !self.queries[h as usize].active {
+            return Vec::new();
+        }
+        self.learn_query(eng, n, h);
+
+        let key: TaskKey = (n.0, h, range.start().0, range.width().unwrap_or(0));
+        if let Some(task) = self.tasks.get_mut(&key) {
+            if task.reported {
+                // The parent reissued because our report was lost in
+                // flight: retransmit it.
+                task.reported = false;
+                self.finish_task(eng, n, h, key);
+            }
+            // Otherwise the existing task is still collecting; it will
+            // report when complete.
+            return Vec::new();
+        }
+
+        let mut task = DissemTask {
+            parent: Some(parent),
+            range,
+            slots: Vec::new(),
+            local: self.empty_result(h),
+            reported: false,
+        };
+
+        // The query root (first receiver, full range) reports straight to
+        // the origin rather than to a tree parent.
+        if range.is_full() {
+            task.parent = None;
+        }
+
+        // The largest range in which n is the only live endsystem (from
+        // its leafset view): any subrange of this can be absorbed whole.
+        let my_sole = self.overlay.sole_coverage_range(n);
+        // Midpoints n is responsible for would boomerang if routed out.
+        let my_region = self.overlay.responsible_range(n);
+        let mut out_events = Vec::new();
+
+        // Work stack of subranges this node must either absorb locally or
+        // delegate. Splitting is 2^b-ary as in the implementation the
+        // paper describes.
+        let fanout = 1u32 << self.overlay.config().b;
+        let mut stack = vec![range];
+        while let Some(r) = stack.pop() {
+            if range_within(&r, &my_sole) {
+                // We are the only live endsystem covering r: estimate for
+                // ourselves (if inside) and every unavailable endsystem.
+                self.absorb_range(eng, n, h, &r, &mut task.local);
+            } else if r.contains(self.overlay.id_of(n)) || my_region.contains(r.midpoint()) {
+                // Our own id is inside (or we are the root for the
+                // subrange's midpoint, so routing it out would boomerang):
+                // subdivide further locally.
+                for s in r.split(fanout) {
+                    stack.push(s);
+                }
+            } else {
+                // Delegate to the closest live endsystem to the subrange
+                // midpoint.
+                let q = &self.queries[h as usize];
+                let size = wire::disseminate(q.text.len());
+                self.stats.disseminate_msgs += 1;
+                self.stats.dissem_bytes += u64::from(size);
+                let evs = self.overlay.route(
+                    eng,
+                    n,
+                    r.midpoint(),
+                    SeaweedMsg::Disseminate {
+                        query: h,
+                        range: r,
+                        parent: n,
+                    },
+                    size,
+                    TrafficClass::Query,
+                );
+                out_events.extend(evs);
+                task.slots.push(SubrangeSlot {
+                    range: r,
+                    done: None,
+                    reissues: 0,
+                });
+            }
+        }
+
+        let done = task.slots.is_empty();
+        self.tasks.insert(key, task);
+        if done {
+            self.finish_task(eng, n, h, key);
+        } else {
+            self.set_app_timer(
+                eng,
+                n,
+                self.cfg.dissem_timeout,
+                TimerAction::DissemTimeout { node: n, task: key },
+            );
+        }
+        out_events
+    }
+
+    /// The kind-appropriate identity element for a task's accumulator.
+    fn empty_result(&self, h: QueryHandle) -> RangeResult {
+        match self.queries[h as usize].kind {
+            QueryKind::View { .. } => {
+                RangeResult::View(Aggregate::empty(self.queries[h as usize].bound.agg), 0)
+            }
+            _ => RangeResult::Predictor(Predictor::new()),
+        }
+    }
+
+    /// Folds into `acc` the contribution for a range wholly owned by `n`.
+    fn absorb_range(
+        &mut self,
+        eng: &SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        r: &IdRange,
+        acc: &mut RangeResult,
+    ) {
+        match self.queries[h as usize].kind {
+            QueryKind::View { view } => {
+                let RangeResult::View(agg, covered) = acc else {
+                    unreachable!("view task accumulates view results")
+                };
+                self.absorb_range_view(eng, n, view, r, agg, covered);
+            }
+            _ => {
+                let RangeResult::Predictor(p) = acc else {
+                    unreachable!("predictor task accumulates predictors")
+                };
+                self.absorb_range_predict(eng, n, h, r, p);
+            }
+        }
+    }
+
+    /// Normal queries: `n`'s own estimate if its id lies inside, plus
+    /// predictions for every unavailable endsystem whose metadata `n`
+    /// holds.
+    fn absorb_range_predict(
+        &mut self,
+        eng: &SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        r: &IdRange,
+        acc: &mut Predictor,
+    ) {
+        let bound = &self.queries[h as usize].bound;
+        if r.contains(self.overlay.id_of(n)) {
+            acc.add_available(self.provider.estimate_rows(n.idx(), bound));
+        }
+        // Enumerate endsystem ids inside r (the index is over all
+        // endsystems, available or not).
+        for x in ids_in_range(&self.id_index, r) {
+            if x == n || eng.is_up(x) {
+                // Available endsystems answer for themselves elsewhere in
+                // the broadcast. (An up-but-not-yet-joined endsystem will
+                // contribute results moments later via the active-query
+                // list; predicting it as immediately-available would also
+                // be fine, but it has no live path yet, so skip it — the
+                // error window is seconds.)
+                continue;
+            }
+            if !self.holders[x.idx()].contains(&n) {
+                // We never received this endsystem's metadata: it cannot
+                // be predicted (coverage gap, tracked).
+                self.stats.uncovered_unavailable += 1;
+                continue;
+            }
+            let rows = self.provider.estimate_rows(x.idx(), bound);
+            let down_since = self.down_since[x.idx()].unwrap_or(eng.now());
+            let pred = self.models[x.idx()].predict_return(eng.now(), down_since);
+            acc.add_unavailable(rows, &pred);
+            self.stats.predictions_for_unavailable += 1;
+        }
+    }
+
+    /// View queries: `n`'s freshly computed value if its id lies inside,
+    /// plus the *replicated* (possibly stale) values of unavailable
+    /// endsystems `n` holds metadata for.
+    fn absorb_range_view(
+        &mut self,
+        eng: &SeaweedEngine,
+        n: NodeIdx,
+        view: super::ViewHandle,
+        r: &IdRange,
+        acc: &mut Aggregate,
+        covered: &mut u64,
+    ) {
+        if r.contains(self.overlay.id_of(n)) {
+            let own = self
+                .provider
+                .execute(n.idx(), &self.views[view as usize].bound);
+            acc.merge(&own);
+            *covered += 1;
+        }
+        for x in ids_in_range(&self.id_index, r) {
+            if x == n || eng.is_up(x) {
+                continue; // live endsystems answer with fresh values
+            }
+            if !self.holders[x.idx()].contains(&n) {
+                self.stats.uncovered_unavailable += 1;
+                continue;
+            }
+            if let Some(stale) = &self.view_values[view as usize][x.idx()] {
+                acc.merge(stale);
+                *covered += 1;
+                self.stats.predictions_for_unavailable += 1;
+            } else {
+                self.stats.uncovered_unavailable += 1;
+            }
+        }
+    }
+
+    /// A child reported its subrange result (predictor or view partial).
+    pub(crate) fn on_range_report(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        range: IdRange,
+        result: RangeResult,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        self.stats.predictor_reports += 1;
+        // Find this node's task owning that subrange.
+        let key = self
+            .tasks
+            .iter()
+            .find(|(&(node, qh, _, _), task)| {
+                node == n.0 && qh == h && task.slots.iter().any(|s| s.range == range)
+            })
+            .map(|(&k, _)| k);
+        let Some(key) = key else {
+            return Vec::new(); // late/duplicate report for a finished task
+        };
+        let task = self.tasks.get_mut(&key).expect("just found");
+        let slot = task
+            .slots
+            .iter_mut()
+            .find(|s| s.range == range)
+            .expect("slot exists");
+        if slot.done.is_none() {
+            slot.done = Some(result);
+        }
+        if task.slots.iter().all(|s| s.done.is_some()) {
+            self.finish_task(eng, n, h, key);
+        }
+        Vec::new()
+    }
+
+    /// Reissue timer fired for a task: re-route any silent subranges (up
+    /// to the configured number of reissues), then give up on stragglers
+    /// so the predictor is not held hostage by churn.
+    pub(crate) fn on_dissem_timeout(&mut self, eng: &mut SeaweedEngine, n: NodeIdx, key: TaskKey) {
+        let Some(task) = self.tasks.get_mut(&key) else {
+            return;
+        };
+        if task.reported {
+            return;
+        }
+        let h = key.1;
+        let mut to_reissue = Vec::new();
+        let mut gave_up = Vec::new();
+        for (i, slot) in task.slots.iter_mut().enumerate() {
+            if slot.done.is_some() {
+                continue;
+            }
+            if slot.reissues < self.cfg.max_reissues {
+                slot.reissues += 1;
+                to_reissue.push(slot.range);
+            } else {
+                // Give up: report what we have (the range contributes
+                // nothing — matches the paper's best-effort reissue).
+                gave_up.push(i);
+            }
+        }
+        if !gave_up.is_empty() {
+            let empty = self.empty_result(h);
+            let task = self.tasks.get_mut(&key).expect("still present");
+            for i in gave_up {
+                task.slots[i].done = Some(empty.clone());
+            }
+        }
+        if !to_reissue.is_empty() {
+            self.stats.dissem_reissues += to_reissue.len() as u64;
+            let q_text_len = self.queries[h as usize].text.len();
+            for r in to_reissue {
+                let size = wire::disseminate(q_text_len);
+                self.stats.disseminate_msgs += 1;
+                self.stats.dissem_bytes += u64::from(size);
+                let evs = self.overlay.route(
+                    eng,
+                    n,
+                    r.midpoint(),
+                    SeaweedMsg::Disseminate {
+                        query: h,
+                        range: r,
+                        parent: n,
+                    },
+                    size,
+                    TrafficClass::Query,
+                );
+                self.cascade(eng, evs);
+            }
+            self.set_app_timer(
+                eng,
+                n,
+                self.cfg.dissem_timeout,
+                TimerAction::DissemTimeout { node: n, task: key },
+            );
+        }
+        // All slots may now be resolved (give-ups).
+        let task = self.tasks.get(&key).expect("still present");
+        if !task.reported && task.slots.iter().all(|s| s.done.is_some()) {
+            self.finish_task(eng, n, h, key);
+        }
+    }
+
+    /// All subranges accounted for: merge and report to the parent (or
+    /// the origin, at the tree root).
+    fn finish_task(&mut self, eng: &mut SeaweedEngine, n: NodeIdx, h: QueryHandle, key: TaskKey) {
+        let task = self.tasks.get_mut(&key).expect("task exists");
+        if task.reported {
+            return;
+        }
+        task.reported = true;
+        let mut merged = task.local.clone();
+        for slot in &task.slots {
+            if let Some(r) = &slot.done {
+                merged.merge(r);
+            }
+        }
+        let parent = task.parent;
+        let range = task.range;
+        let size = match &merged {
+            RangeResult::Predictor(p) => wire::predictor_report(p.wire_size()),
+            RangeResult::View(..) => wire::predictor_report(48),
+        };
+        self.stats.predictor_bytes += u64::from(size);
+        match parent {
+            Some(parent) if parent != n => {
+                let msg = match merged {
+                    RangeResult::Predictor(predictor) => SeaweedMsg::PredictorReport {
+                        query: h,
+                        range,
+                        predictor,
+                    },
+                    RangeResult::View(agg, endsystems) => SeaweedMsg::ViewReport {
+                        query: h,
+                        range,
+                        agg,
+                        endsystems,
+                    },
+                };
+                self.overlay
+                    .send_app(eng, n, parent, msg, size, TrafficClass::Query);
+            }
+            Some(_) => {
+                // Parent is ourselves (self-delegated subrange): feed the
+                // report back through the local path.
+                let evs = self.on_range_report(eng, n, h, range, merged);
+                self.cascade(eng, evs);
+            }
+            None => {
+                // Tree root: hand the result to the query origin.
+                let origin = self.queries[h as usize].origin;
+                match merged {
+                    RangeResult::Predictor(predictor) => {
+                        if origin == n {
+                            self.on_predictor_at_origin(eng, n, h, predictor);
+                        } else {
+                            self.overlay.send_app(
+                                eng,
+                                n,
+                                origin,
+                                SeaweedMsg::PredictorToOrigin {
+                                    query: h,
+                                    predictor,
+                                },
+                                size,
+                                TrafficClass::Query,
+                            );
+                        }
+                    }
+                    RangeResult::View(agg, endsystems) => {
+                        if origin == n {
+                            self.on_view_at_origin(eng, n, h, agg, endsystems);
+                        } else {
+                            self.overlay.send_app(
+                                eng,
+                                n,
+                                origin,
+                                SeaweedMsg::ViewToOrigin {
+                                    query: h,
+                                    agg,
+                                    endsystems,
+                                },
+                                size,
+                                TrafficClass::Query,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The aggregated view answer reached the query origin.
+    pub(crate) fn on_view_at_origin(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        at: NodeIdx,
+        h: QueryHandle,
+        agg: Aggregate,
+        endsystems: u64,
+    ) {
+        let q = &mut self.queries[h as usize];
+        debug_assert_eq!(q.origin, at);
+        if q.latest.is_none() {
+            q.latest = Some(agg);
+            q.latest_version = endsystems; // coverage doubles as version
+            q.progress.push((eng.now(), agg.rows, agg.finish()));
+            q.predictor_at = Some(eng.now());
+        }
+    }
+
+    /// The aggregated predictor reached the query origin.
+    pub(crate) fn on_predictor_at_origin(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        at: NodeIdx,
+        h: QueryHandle,
+        predictor: Predictor,
+    ) {
+        let q = &mut self.queries[h as usize];
+        debug_assert_eq!(q.origin, at);
+        if q.predictor.is_none() {
+            q.predictor = Some(predictor);
+            q.predictor_at = Some(eng.now());
+        }
+    }
+}
+
+/// Endsystems whose ids fall within `r`.
+fn ids_in_range(index: &std::collections::BTreeMap<u128, NodeIdx>, r: &IdRange) -> Vec<NodeIdx> {
+    if r.is_empty() {
+        return Vec::new();
+    }
+    if r.is_full() {
+        return index.values().copied().collect();
+    }
+    let start = r.start().0;
+    let width = r.width().expect("not full");
+    let end = start.wrapping_add(width); // exclusive
+    let mut out = Vec::new();
+    if start < end {
+        out.extend(index.range(start..end).map(|(_, &n)| n));
+    } else {
+        out.extend(index.range(start..).map(|(_, &n)| n));
+        out.extend(index.range(..end).map(|(_, &n)| n));
+    }
+    out
+}
+
+/// Is `inner` entirely contained in `outer`?
+fn range_within(inner: &IdRange, outer: &IdRange) -> bool {
+    if inner.is_empty() || outer.is_full() {
+        return true;
+    }
+    if outer.is_empty() || inner.is_full() {
+        return false;
+    }
+    outer.contains(inner.start()) && outer.contains(inner.last()) && {
+        // Guard against inner wrapping all the way around a small outer:
+        // widths must be consistent too.
+        inner.width().expect("not full") <= outer.width().expect("not full")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaweed_types::Id;
+
+    #[test]
+    fn ids_in_range_handles_wrap() {
+        let mut index = std::collections::BTreeMap::new();
+        for v in [0u128, 10, 100, u128::MAX - 5] {
+            index.insert(v, NodeIdx(v as u32));
+        }
+        let r = IdRange::between(Id(u128::MAX - 10), Id(50));
+        let hits = ids_in_range(&index, &r);
+        assert_eq!(hits.len(), 3); // MAX-5, 0, 10
+        let full = ids_in_range(&index, &IdRange::FULL);
+        assert_eq!(full.len(), 4);
+        assert!(ids_in_range(&index, &IdRange::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn range_within_cases() {
+        let outer = IdRange::new(Id(100), 100);
+        assert!(range_within(&IdRange::new(Id(120), 10), &outer));
+        assert!(range_within(&outer, &outer));
+        assert!(!range_within(&IdRange::new(Id(90), 20), &outer));
+        assert!(!range_within(&IdRange::new(Id(150), 100), &outer));
+        assert!(range_within(&IdRange::EMPTY, &outer));
+        assert!(range_within(&outer, &IdRange::FULL));
+        assert!(!range_within(&IdRange::FULL, &outer));
+        // Wrapping outer.
+        let wrap = IdRange::between(Id(u128::MAX - 10), Id(10));
+        assert!(range_within(
+            &IdRange::between(Id(u128::MAX - 5), Id(5)),
+            &wrap
+        ));
+        assert!(!range_within(&IdRange::new(Id(50), 10), &wrap));
+    }
+}

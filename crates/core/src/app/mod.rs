@@ -1,0 +1,976 @@
+//! The Seaweed protocol state machine.
+//!
+//! One [`Seaweed`] value holds the protocol state of *every* endsystem in
+//! the simulation (the simulator is monolithic; see DESIGN.md). State is
+//! strictly partitioned per endsystem except for three documented global
+//! registries that stand in for state the real system persists or
+//! replicates:
+//!
+//! * the **query registry** — in the real system every endsystem that has
+//!   seen a query stores its text and origin; we store one copy and track
+//!   per-endsystem knowledge in a bitmask;
+//! * **metadata contents** — replica holders store copies of summaries
+//!   and availability models; contents are identical everywhere, so we
+//!   store them once and track *who holds what* exactly (a holder that
+//!   never received a push cannot answer);
+//! * **vertex state** — aggregation-tree vertices are replica groups; we
+//!   store each vertex's child map once plus its live holder set, and the
+//!   state is lost if every holder fails, exactly as in the real system.
+
+mod disseminate;
+mod metadata;
+mod results;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seaweed_availability::{AvailabilityModel, ModelConfig};
+use seaweed_overlay::{is_overlay_tag, Overlay, OverlayEvent, OverlayMsg};
+use seaweed_sim::{Engine, Event, NodeIdx};
+use seaweed_store::{Aggregate, BoundQuery, Query};
+use seaweed_types::{sha1, Duration, Id, IdRange, Time};
+
+use crate::predictor::Predictor;
+use crate::provider::DataProvider;
+
+/// Engine type the full Seaweed stack runs on.
+pub type SeaweedEngine = Engine<OverlayMsg<SeaweedMsg>>;
+
+/// Handle to an injected query (index into the registry).
+pub type QueryHandle = u32;
+
+/// Handle to a registered replicated view.
+pub type ViewHandle = u32;
+
+/// A registered replicated view: a NOW()-free single-table aggregate
+/// every endsystem pre-computes and replicates with its metadata.
+#[derive(Debug)]
+pub struct ViewDef {
+    pub text: String,
+    pub bound: BoundQuery,
+}
+
+/// Seaweed protocol messages (application payloads over the overlay).
+#[derive(Debug)]
+pub enum SeaweedMsg {
+    /// Periodic / on-join metadata push from `owner` to a replica-set
+    /// member.
+    MetaPush { owner: NodeIdx },
+    /// Query dissemination for a namespace range; `parent` is where the
+    /// range's predictor must be reported.
+    Disseminate {
+        query: QueryHandle,
+        range: IdRange,
+        parent: NodeIdx,
+    },
+    /// Aggregated predictor for `range`, child → parent in the
+    /// dissemination tree.
+    PredictorReport {
+        query: QueryHandle,
+        range: IdRange,
+        predictor: Predictor,
+    },
+    /// The aggregated predictor arriving at the query's origin.
+    PredictorToOrigin {
+        query: QueryHandle,
+        predictor: Predictor,
+    },
+    /// Aggregated replicated-view values for `range`, child → parent in
+    /// the dissemination tree (view queries only).
+    ViewReport {
+        query: QueryHandle,
+        range: IdRange,
+        agg: Aggregate,
+        endsystems: u64,
+    },
+    /// The aggregated view answer arriving at the query's origin.
+    ViewToOrigin {
+        query: QueryHandle,
+        agg: Aggregate,
+        endsystems: u64,
+    },
+    /// A partial aggregate submitted to aggregation-tree vertex `vertex`.
+    ResultSubmit {
+        query: QueryHandle,
+        vertex: Id,
+        child: Id,
+        version: u64,
+        agg: Aggregate,
+    },
+    /// Ack of a result submission (primary → submitter).
+    ResultAck {
+        query: QueryHandle,
+        vertex: Id,
+        child: Id,
+        version: u64,
+    },
+    /// Vertex state replication to a backup group member.
+    VertexReplicate { query: QueryHandle, vertex: Id },
+    /// The root vertex's current aggregate pushed to the query origin.
+    ResultToOrigin {
+        query: QueryHandle,
+        agg: Aggregate,
+        version: u64,
+    },
+    /// A newly joined endsystem asking a neighbor for active queries.
+    QueryListPull,
+    /// The active-query list.
+    QueryListPush { queries: Vec<QueryHandle> },
+}
+
+/// Seaweed configuration; defaults are the paper's (§4.3.1).
+#[derive(Clone, Debug)]
+pub struct SeaweedConfig {
+    /// Metadata replication factor k (paper: 8).
+    pub k_metadata: usize,
+    /// Aggregation-vertex replica group size m, primary included
+    /// (paper: 3).
+    pub m_vertex: usize,
+    /// Mean metadata push period (paper: 17.5 min average, randomized
+    /// phase).
+    pub push_period: Duration,
+    /// Timeout before a dissemination parent reissues a silent subrange.
+    pub dissem_timeout: Duration,
+    /// Maximum reissues per subrange before giving up.
+    pub max_reissues: u8,
+    /// Timeout before an unacked result submission is retransmitted.
+    pub result_retry: Duration,
+    /// Local processing delay between receiving a query and submitting
+    /// the locally executed result.
+    pub local_exec_delay: Duration,
+    /// Availability-model tuning.
+    pub model: ModelConfig,
+    pub seed: u64,
+}
+
+impl Default for SeaweedConfig {
+    fn default() -> Self {
+        SeaweedConfig {
+            k_metadata: 8,
+            m_vertex: 3,
+            push_period: Duration::from_secs(1050), // 17.5 min
+            dissem_timeout: Duration::from_secs(5),
+            max_reissues: 2,
+            result_retry: Duration::from_secs(10),
+            local_exec_delay: Duration::from_millis(100),
+            model: ModelConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// One-shot (the paper's focus) or continuous (§3.4's outlined
+/// extension) execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    /// Executed once per endsystem, results persist until the TTL.
+    OneShot,
+    /// Re-executed by every endsystem each `interval`, with `NOW()`
+    /// re-bound per epoch; the aggregation tree's versioned child maps
+    /// keep exactly the latest epoch per endsystem, so the origin sees a
+    /// rolling aggregate. Epochs mix briefly at interval boundaries —
+    /// the same dilated-snapshot semantics as the one-shot case.
+    Continuous { interval: Duration },
+    /// Answered entirely from *replicated view values* (§3.2.2's
+    /// selective replication): every endsystem pre-computes the
+    /// registered view's aggregate and replicates it with its metadata,
+    /// so the query covers the whole population — including currently
+    /// unavailable endsystems, at push-period staleness — within
+    /// seconds, with no local execution phase.
+    View { view: ViewHandle },
+}
+
+/// Origin-side view of one query.
+#[derive(Debug)]
+pub struct QueryState {
+    pub id: Id,
+    pub text: String,
+    pub bound: BoundQuery,
+    pub kind: QueryKind,
+    /// Schema kept for per-epoch re-binding of continuous queries.
+    pub schema: seaweed_store::Schema,
+    pub origin: NodeIdx,
+    pub injected: Time,
+    pub expires: Time,
+    pub active: bool,
+    /// Aggregated completeness predictor, once it arrives.
+    pub predictor: Option<Predictor>,
+    /// When the predictor reached the origin (§4.3.3 latency metric).
+    pub predictor_at: Option<Time>,
+    /// Latest full aggregate seen at the origin.
+    pub latest: Option<Aggregate>,
+    /// Root-vertex version of `latest` (suppresses reordered updates).
+    pub latest_version: u64,
+    /// History of `(time, rows folded in, finished value)` at the origin.
+    pub progress: Vec<(Time, u64, Option<f64>)>,
+}
+
+impl QueryState {
+    /// Rows folded into the latest result.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.latest.map_or(0, |a| a.rows)
+    }
+
+    /// Current completeness against the predictor's total estimate.
+    #[must_use]
+    pub fn completeness(&self) -> Option<f64> {
+        let p = self.predictor.as_ref()?;
+        let total = p.total_rows();
+        if total <= 0.0 {
+            return Some(1.0);
+        }
+        Some(self.rows() as f64 / total)
+    }
+}
+
+/// Protocol counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeaweedStats {
+    pub meta_pushes: u64,
+    pub meta_repairs: u64,
+    pub disseminate_msgs: u64,
+    /// Application-payload bytes of dissemination messages (excluding
+    /// per-hop overlay overhead).
+    pub dissem_bytes: u64,
+    /// Application-payload bytes of predictor reports.
+    pub predictor_bytes: u64,
+    pub dissem_reissues: u64,
+    pub predictor_reports: u64,
+    pub predictions_for_unavailable: u64,
+    pub uncovered_unavailable: u64,
+    pub result_submissions: u64,
+    pub result_retries: u64,
+    pub vertex_replications: u64,
+    pub vertex_states_lost: u64,
+    pub results_at_origin: u64,
+}
+
+/// Deferred actions carried by application timers.
+#[derive(Debug)]
+pub(crate) enum TimerAction {
+    MetaPush {
+        node: NodeIdx,
+        incarnation: u64,
+    },
+    DissemTimeout {
+        node: NodeIdx,
+        task: TaskKey,
+    },
+    ExecuteLocal {
+        node: NodeIdx,
+        query: QueryHandle,
+    },
+    ResultRetry {
+        node: NodeIdx,
+        query: QueryHandle,
+        child: Id,
+        version: u64,
+    },
+    QueryExpire {
+        query: QueryHandle,
+    },
+}
+
+/// Key of a dissemination task: (node, query, range start, range width —
+/// 0 encodes the full namespace). Width matters: a subrange shares its
+/// parent's start, and both can be live tasks at one node.
+pub(crate) type TaskKey = (u32, QueryHandle, u128, u128);
+
+/// What a dissemination subtree reports upward: a completeness predictor
+/// (normal queries) or a partial aggregate over replicated view values
+/// (view queries, the §3.2.2 selective-replication extension). Both are
+/// constant-size and merge element-wise, so the same tree machinery
+/// carries either.
+#[derive(Debug, Clone)]
+pub(crate) enum RangeResult {
+    Predictor(Predictor),
+    /// `(aggregate, endsystems covered)`.
+    View(Aggregate, u64),
+}
+
+impl RangeResult {
+    pub(crate) fn merge(&mut self, other: &RangeResult) {
+        match (self, other) {
+            (RangeResult::Predictor(a), RangeResult::Predictor(b)) => a.merge(b),
+            (RangeResult::View(a, na), RangeResult::View(b, nb)) => {
+                a.merge(b);
+                *na += nb;
+            }
+            _ => debug_assert!(false, "mixed range-result kinds"),
+        }
+    }
+}
+
+/// One dissemination task at one node: a received range being split,
+/// estimated and reported.
+#[derive(Debug)]
+pub(crate) struct DissemTask {
+    pub parent: Option<NodeIdx>,
+    pub range: IdRange,
+    /// Outstanding subranges delegated to other nodes.
+    pub slots: Vec<SubrangeSlot>,
+    /// Locally accumulated result (own contribution + dead ranges).
+    pub local: RangeResult,
+    pub reported: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct SubrangeSlot {
+    pub range: IdRange,
+    pub done: Option<RangeResult>,
+    pub reissues: u8,
+}
+
+/// Aggregation-tree vertex state (a replica group's contents).
+#[derive(Debug, Default)]
+pub(crate) struct VertexState {
+    /// child key -> (version, partial aggregate).
+    pub children: HashMap<Id, (u64, Aggregate)>,
+    /// Live group members; index 0 acts as primary.
+    pub holders: Vec<NodeIdx>,
+    /// Version of the last aggregate propagated upward.
+    pub out_version: u64,
+}
+
+/// A pending (unacked) upward submission from a vertex or leaf, keyed by
+/// `(submitting node, query, child key)` — one node can have several in
+/// flight per query (its own leaf plus vertices it primaries).
+#[derive(Debug)]
+pub(crate) struct PendingSubmit {
+    pub target_vertex: Id,
+    pub version: u64,
+    pub agg: Aggregate,
+}
+
+/// The full Seaweed protocol state over all endsystems.
+pub struct Seaweed<P: DataProvider> {
+    pub cfg: SeaweedConfig,
+    pub overlay: Overlay,
+    pub provider: P,
+    /// All endsystem ids, ordered, for range enumeration.
+    pub(crate) id_index: BTreeMap<u128, NodeIdx>,
+
+    // ---- metadata plane ----
+    pub(crate) models: Vec<AvailabilityModel>,
+    pub(crate) down_since: Vec<Option<Time>>,
+    /// Who currently holds each owner's metadata.
+    pub(crate) holders: Vec<Vec<NodeIdx>>,
+    /// Reverse index: owners whose metadata each node holds.
+    pub(crate) held_by: Vec<Vec<NodeIdx>>,
+    pub(crate) incarnation: Vec<u64>,
+
+    // ---- query plane ----
+    pub(crate) queries: Vec<QueryState>,
+    pub(crate) query_by_id: HashMap<Id, QueryHandle>,
+    /// Bitmask per node of queries it has seen (bit = handle).
+    pub(crate) knows_query: Vec<u64>,
+    /// Bitmask per node of queries whose result it has submitted (acked).
+    pub(crate) submitted: Vec<u64>,
+    /// Bitmask per node of queries whose local execution is scheduled or
+    /// in flight.
+    pub(crate) exec_pending: Vec<u64>,
+    pub(crate) tasks: HashMap<TaskKey, DissemTask>,
+    pub(crate) vertices: HashMap<(QueryHandle, Id), VertexState>,
+    pub(crate) node_vertices: Vec<Vec<(QueryHandle, Id)>>,
+    pub(crate) pending_submits: HashMap<(u32, QueryHandle, u128), PendingSubmit>,
+    /// Latest epoch each endsystem has executed for a continuous query.
+    pub(crate) cont_epoch: HashMap<(u32, QueryHandle), u64>,
+    /// The aggregation-tree vertex each endsystem persisted for its leaf
+    /// submissions (§3.4: "It then persists that vertexId with the
+    /// query") — reused across availability sessions so a rejoining
+    /// endsystem updates the *same* child slot instead of forking a new
+    /// tree path.
+    pub(crate) leaf_targets: HashMap<(u32, QueryHandle), Id>,
+
+    // ---- replicated views (§3.2.2 selective replication) ----
+    pub(crate) views: Vec<ViewDef>,
+    /// `[view][node]` last value pushed with the node's metadata; `None`
+    /// until its first push.
+    pub(crate) view_values: Vec<Vec<Option<Aggregate>>>,
+
+    // ---- timers ----
+    timers: HashMap<u64, TimerAction>,
+    timer_seq: u64,
+
+    pub(crate) rng: StdRng,
+    pub stats: SeaweedStats,
+}
+
+impl<P: DataProvider> Seaweed<P> {
+    /// Builds the protocol layer over an overlay and data provider. All
+    /// endsystems start down; drive the engine with an availability
+    /// trace.
+    #[must_use]
+    pub fn new(overlay: Overlay, provider: P, cfg: SeaweedConfig) -> Self {
+        let n = overlay.ids().len();
+        let id_index: BTreeMap<u128, NodeIdx> = overlay
+            .ids()
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.0, NodeIdx(i as u32)))
+            .collect();
+        assert_eq!(id_index.len(), n, "endsystem ids must be unique");
+        Seaweed {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x05ea_eeda_4400),
+            models: (0..n).map(|_| AvailabilityModel::new(cfg.model)).collect(),
+            cfg,
+            overlay,
+            provider,
+            id_index,
+            down_since: vec![Some(Time::ZERO); n],
+            holders: vec![Vec::new(); n],
+            held_by: vec![Vec::new(); n],
+            incarnation: vec![0; n],
+            queries: Vec::new(),
+            query_by_id: HashMap::new(),
+            knows_query: vec![0; n],
+            submitted: vec![0; n],
+            exec_pending: vec![0; n],
+            tasks: HashMap::new(),
+            vertices: HashMap::new(),
+            node_vertices: vec![Vec::new(); n],
+            pending_submits: HashMap::new(),
+            cont_epoch: HashMap::new(),
+            leaf_targets: HashMap::new(),
+            views: Vec::new(),
+            view_values: Vec::new(),
+            timers: HashMap::new(),
+            timer_seq: 0,
+            stats: SeaweedStats::default(),
+        }
+    }
+
+    /// Read access to a query's origin-side state.
+    #[must_use]
+    pub fn query(&self, h: QueryHandle) -> &QueryState {
+        &self.queries[h as usize]
+    }
+
+    #[must_use]
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Injects a one-shot query at `origin` (which must be up and
+    /// joined), alive for `ttl`. Returns the handle used in all
+    /// origin-side accessors.
+    pub fn inject_query(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        sql: &str,
+        ttl: Duration,
+        schema: &seaweed_store::Schema,
+    ) -> Result<QueryHandle, seaweed_store::StoreError> {
+        self.inject_with_kind(eng, origin, sql, ttl, schema, QueryKind::OneShot)
+    }
+
+    /// Injects a continuous query: every endsystem re-executes it each
+    /// `interval` (with `NOW()` re-bound), and the origin's result rolls
+    /// forward as epochs replace each endsystem's contribution in the
+    /// aggregation tree. Requires a provider that can execute arbitrary
+    /// bindings (e.g. `LiveTables`).
+    pub fn inject_continuous_query(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        sql: &str,
+        interval: Duration,
+        ttl: Duration,
+        schema: &seaweed_store::Schema,
+    ) -> Result<QueryHandle, seaweed_store::StoreError> {
+        assert!(interval.as_micros() > 0, "interval must be positive");
+        self.inject_with_kind(
+            eng,
+            origin,
+            sql,
+            ttl,
+            schema,
+            QueryKind::Continuous { interval },
+        )
+    }
+
+    /// Registers a replicated view (NOW()-free single-table aggregate).
+    /// Every endsystem computes it and replicates the value with its
+    /// metadata from the next push onward. Register views before
+    /// endsystems come up so the first pushes already carry them.
+    pub fn register_view(
+        &mut self,
+        sql: &str,
+        schema: &seaweed_store::Schema,
+    ) -> Result<ViewHandle, seaweed_store::StoreError> {
+        let parsed = Query::parse(sql)?;
+        let bound = parsed.bind(schema, 0)?;
+        let handle = self.views.len() as ViewHandle;
+        self.views.push(ViewDef {
+            text: parsed.text,
+            bound,
+        });
+        self.view_values.push(vec![None; self.knows_query.len()]);
+        Ok(handle)
+    }
+
+    /// Queries a registered view: the answer covers every endsystem whose
+    /// metadata is replicated — including currently-unavailable ones, at
+    /// push-period staleness — and arrives in seconds.
+    pub fn query_view(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        view: ViewHandle,
+        ttl: Duration,
+    ) -> QueryHandle {
+        assert!((view as usize) < self.views.len(), "unknown view");
+        assert!(eng.is_up(origin), "origin must be available");
+        assert!(self.queries.len() < 64, "query registry full");
+        let def = &self.views[view as usize];
+        // The query id folds in the view tag so a view query and a
+        // regular query over the same text coexist.
+        let id = sha1::id_of(format!("view:{}", def.text).as_bytes());
+        let handle = self.queries.len() as QueryHandle;
+        self.queries.push(QueryState {
+            id,
+            text: def.text.clone(),
+            bound: def.bound.clone(),
+            kind: QueryKind::View { view },
+            schema: seaweed_store::Schema::new("_view", Vec::new()),
+            origin,
+            injected: eng.now(),
+            expires: eng.now() + ttl,
+            active: true,
+            predictor: None,
+            predictor_at: None,
+            latest: None,
+            latest_version: 0,
+            progress: Vec::new(),
+        });
+        self.query_by_id.insert(id, handle);
+        self.set_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
+        self.start_dissemination(eng, origin, handle);
+        handle
+    }
+
+    fn inject_with_kind(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        sql: &str,
+        ttl: Duration,
+        schema: &seaweed_store::Schema,
+        kind: QueryKind,
+    ) -> Result<QueryHandle, seaweed_store::StoreError> {
+        assert!(eng.is_up(origin), "origin must be available");
+        assert!(
+            self.queries.len() < 64,
+            "query registry is limited to 64 in-flight queries per run"
+        );
+        let parsed = Query::parse(sql)?;
+        if parsed.group_by.is_some() {
+            // Grouped results are a local-engine feature; the in-network
+            // aggregation carries scalar aggregates (§1.3: grouped /
+            // multi-endsystem functionality belongs in a layer above).
+            return Err(seaweed_store::StoreError::BadAggregate(
+                "GROUP BY is not supported for distributed queries".into(),
+            ));
+        }
+        let now_secs = (eng.now().as_micros() / 1_000_000) as i64;
+        let bound = parsed.bind(schema, now_secs)?;
+        let id = sha1::id_of(parsed.text.as_bytes());
+        let handle = self.queries.len() as QueryHandle;
+        self.queries.push(QueryState {
+            id,
+            text: parsed.text,
+            bound,
+            kind,
+            schema: schema.clone(),
+            origin,
+            injected: eng.now(),
+            expires: eng.now() + ttl,
+            active: true,
+            predictor: None,
+            predictor_at: None,
+            latest: None,
+            latest_version: 0,
+            progress: Vec::new(),
+        });
+        self.query_by_id.insert(id, handle);
+        self.set_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
+        self.start_dissemination(eng, origin, handle);
+        Ok(handle)
+    }
+
+    /// Explicitly cancels a query before its TTL (§2: results "continue
+    /// to arrive for any query until it times out or is explicitly
+    /// canceled"). A cancel notice is broadcast over the dissemination
+    /// tree (charged as one dissemination round) so endsystems stop
+    /// executing; all protocol state for the query is dropped.
+    pub fn cancel_query(&mut self, eng: &mut SeaweedEngine, h: QueryHandle) {
+        if !self.queries[h as usize].active {
+            return;
+        }
+        // The cancel notice costs one dissemination pass: O(N) small
+        // messages. We charge it against the origin's subtree fan-out
+        // without re-running the range machinery (the notice carries no
+        // per-range state to aggregate back).
+        let origin = self.queries[h as usize].origin;
+        if eng.is_up(origin) {
+            let n_live = eng.num_up() as u64;
+            let notice = u64::from(crate::wire::SEAWEED_HEADER + 16);
+            self.stats.dissem_bytes += notice * n_live;
+            eng.record_probe(origin, (notice * n_live.min(1 << 16)) as u32);
+        }
+        self.expire_query(h);
+    }
+
+    /// Runs the event loop until `horizon`.
+    pub fn run_until(&mut self, eng: &mut SeaweedEngine, horizon: Time) {
+        while let Some((_, ev)) = eng.next_event_before(horizon) {
+            self.dispatch(eng, ev);
+        }
+    }
+
+    /// Handles one engine event (exposed for custom experiment loops that
+    /// interleave injections with event processing).
+    pub fn dispatch(&mut self, eng: &mut SeaweedEngine, ev: Event<OverlayMsg<SeaweedMsg>>) {
+        let initial: Vec<OverlayEvent<SeaweedMsg>> = match ev {
+            Event::Message { from, to, payload } => self.overlay.on_message(eng, from, to, payload),
+            Event::Timer { node, tag } if is_overlay_tag(tag) => {
+                self.overlay.on_timer(eng, node, tag)
+            }
+            Event::Timer { node, tag } => {
+                self.on_app_timer(eng, node, tag);
+                Vec::new()
+            }
+            Event::NodeUp { node } => {
+                self.on_node_up(eng, node);
+                self.overlay.node_up(eng, node)
+            }
+            Event::NodeDown { node } => {
+                self.overlay.node_down(eng, node);
+                self.on_node_down(eng, node);
+                Vec::new()
+            }
+        };
+        // Overlay events can cascade (e.g. routing that delivers locally),
+        // so drain a queue rather than recursing.
+        let mut queue: VecDeque<OverlayEvent<SeaweedMsg>> = initial.into();
+        while let Some(oe) = queue.pop_front() {
+            let more = self.on_overlay_event(eng, oe);
+            queue.extend(more);
+        }
+    }
+
+    fn on_overlay_event(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        ev: OverlayEvent<SeaweedMsg>,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        match ev {
+            OverlayEvent::Joined { node } => self.on_joined(eng, node),
+            OverlayEvent::NeighborJoined { node, joined } => {
+                self.on_neighbor_joined(eng, node, joined);
+                Vec::new()
+            }
+            OverlayEvent::NeighborFailed { node, failed } => {
+                self.on_neighbor_failed(eng, node, failed);
+                Vec::new()
+            }
+            OverlayEvent::AppMessage {
+                node,
+                from,
+                payload,
+            } => self.on_seaweed_msg(eng, from, node, payload),
+            OverlayEvent::Deliver {
+                node,
+                key,
+                origin,
+                payload,
+                ..
+            } => self.on_routed_delivery(eng, origin, node, key, payload),
+        }
+    }
+
+    fn on_seaweed_msg(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        from: NodeIdx,
+        to: NodeIdx,
+        msg: SeaweedMsg,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        match msg {
+            SeaweedMsg::MetaPush { owner } => {
+                self.on_meta_push(to, owner);
+                Vec::new()
+            }
+            SeaweedMsg::PredictorReport {
+                query,
+                range,
+                predictor,
+            } => self.on_range_report(eng, to, query, range, RangeResult::Predictor(predictor)),
+            SeaweedMsg::PredictorToOrigin { query, predictor } => {
+                self.on_predictor_at_origin(eng, to, query, predictor);
+                Vec::new()
+            }
+            SeaweedMsg::ViewReport {
+                query,
+                range,
+                agg,
+                endsystems,
+            } => self.on_range_report(eng, to, query, range, RangeResult::View(agg, endsystems)),
+            SeaweedMsg::ViewToOrigin {
+                query,
+                agg,
+                endsystems,
+            } => {
+                self.on_view_at_origin(eng, to, query, agg, endsystems);
+                Vec::new()
+            }
+            SeaweedMsg::ResultAck {
+                query,
+                vertex,
+                child,
+                version,
+            } => {
+                self.on_result_ack(to, query, vertex, child, version);
+                Vec::new()
+            }
+            SeaweedMsg::VertexReplicate { query, vertex } => {
+                self.on_vertex_replicate(to, query, vertex);
+                Vec::new()
+            }
+            SeaweedMsg::ResultToOrigin {
+                query,
+                agg,
+                version,
+            } => {
+                self.on_result_at_origin(eng, to, query, agg, version);
+                Vec::new()
+            }
+            SeaweedMsg::QueryListPull => {
+                self.on_query_list_pull(eng, from, to);
+                Vec::new()
+            }
+            SeaweedMsg::QueryListPush { queries } => {
+                self.on_query_list_push(eng, to, &queries);
+                Vec::new()
+            }
+            // These two arrive via routing, not direct sends.
+            SeaweedMsg::Disseminate {
+                query,
+                range,
+                parent,
+            } => self.handle_disseminate(eng, to, query, range, parent),
+            SeaweedMsg::ResultSubmit {
+                query,
+                vertex,
+                child,
+                version,
+                agg,
+            } => self.on_result_submit(eng, from, to, query, vertex, child, version, agg),
+        }
+    }
+
+    fn on_routed_delivery(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        route_origin: NodeIdx,
+        node: NodeIdx,
+        _key: Id,
+        msg: SeaweedMsg,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        match msg {
+            SeaweedMsg::Disseminate {
+                query,
+                range,
+                parent,
+            } => self.handle_disseminate(eng, node, query, range, parent),
+            SeaweedMsg::ResultSubmit {
+                query,
+                vertex,
+                child,
+                version,
+                agg,
+            } => self.on_result_submit(eng, route_origin, node, query, vertex, child, version, agg),
+            other => {
+                debug_assert!(false, "unexpected routed message: {other:?}");
+                Vec::new()
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- timers
+
+    pub(crate) fn set_app_timer(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        node: NodeIdx,
+        delay: Duration,
+        action: TimerAction,
+    ) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        debug_assert!(seq < (1 << 62), "timer tag space exhausted");
+        self.timers.insert(seq, action);
+        eng.set_timer(node, delay, seq);
+    }
+
+    fn on_app_timer(&mut self, eng: &mut SeaweedEngine, node: NodeIdx, tag: u64) {
+        let Some(action) = self.timers.remove(&tag) else {
+            return; // cancelled or superseded
+        };
+        match action {
+            TimerAction::MetaPush {
+                node: n,
+                incarnation,
+            } => {
+                debug_assert_eq!(n, node);
+                self.on_meta_push_timer(eng, n, incarnation);
+            }
+            TimerAction::DissemTimeout { node: n, task } => {
+                self.on_dissem_timeout(eng, n, task);
+            }
+            TimerAction::ExecuteLocal { node: n, query } => {
+                self.execute_and_submit(eng, n, query);
+            }
+            TimerAction::ResultRetry {
+                node: n,
+                query,
+                child,
+                version,
+            } => {
+                self.on_result_retry(eng, n, query, child, version);
+            }
+            TimerAction::QueryExpire { query } => {
+                self.expire_query(query);
+            }
+        }
+    }
+
+    fn expire_query(&mut self, query: QueryHandle) {
+        let q = &mut self.queries[query as usize];
+        q.active = false;
+        // Drop protocol state lazily held for this query.
+        self.tasks.retain(|&(_, qh, _, _), _| qh != query);
+        self.vertices.retain(|&(qh, _), _| qh != query);
+        for nv in &mut self.node_vertices {
+            nv.retain(|&(qh, _)| qh != query);
+        }
+        self.pending_submits.retain(|&(_, qh, _), _| qh != query);
+        self.cont_epoch.retain(|&(_, qh), _| qh != query);
+        self.leaf_targets.retain(|&(_, qh), _| qh != query);
+    }
+
+    // ------------------------------------------------- lifecycle hooks
+
+    fn on_node_up(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) {
+        self.incarnation[n.idx()] += 1;
+        // Update the local availability model with the completed down
+        // spell (the endsystem persists the model across sessions).
+        if let Some(down_at) = self.down_since[n.idx()].take() {
+            let span = eng.now().saturating_since(down_at);
+            self.models[n.idx()].observe_up(span, eng.now());
+        }
+    }
+
+    fn on_node_down(&mut self, _eng: &mut SeaweedEngine, n: NodeIdx) {
+        self.down_since[n.idx()] = Some(_eng.now());
+        // Local volatile query state dies with the node; parents reissue.
+        self.tasks.retain(|&(node, _, _, _), _| node != n.0);
+        self.pending_submits.retain(|&(node, _, _), _| node != n.0);
+        // Un-acked local executions may be rescheduled on rejoin.
+        self.exec_pending[n.idx()] = 0;
+        // Vertex replicas this node held are repaired when some neighbor
+        // detects the failure (on_neighbor_failed); metadata it held
+        // likewise. Nothing to do eagerly — that is the window of
+        // vulnerability the paper describes.
+    }
+
+    fn on_joined(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) -> Vec<OverlayEvent<SeaweedMsg>> {
+        // (Re)start metadata pushes: one immediately, then randomized.
+        self.push_metadata(eng, n);
+        self.schedule_meta_push(eng, n);
+        // Learn about active queries from a neighbor.
+        let has_active = self.queries.iter().any(|q| q.active);
+        if has_active {
+            if let Some(&peer) = self.overlay.replica_set(n, 1).first() {
+                self.overlay.send_app(
+                    eng,
+                    n,
+                    peer,
+                    SeaweedMsg::QueryListPull,
+                    crate::wire::SEAWEED_HEADER,
+                    seaweed_sim::TrafficClass::Query,
+                );
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_query_list_pull(&mut self, eng: &mut SeaweedEngine, from: NodeIdx, at: NodeIdx) {
+        let active: Vec<QueryHandle> = self
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(h, q)| q.active && self.knows_query[at.idx()] & (1 << h) != 0)
+            .map(|(h, _)| h as QueryHandle)
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let text: usize = active
+            .iter()
+            .map(|&h| self.queries[h as usize].text.len())
+            .sum();
+        let size = crate::wire::query_list(text, active.len());
+        self.overlay.send_app(
+            eng,
+            at,
+            from,
+            SeaweedMsg::QueryListPush { queries: active },
+            size,
+            seaweed_sim::TrafficClass::Query,
+        );
+    }
+
+    fn on_query_list_push(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        at: NodeIdx,
+        queries: &[QueryHandle],
+    ) {
+        for &h in queries {
+            self.learn_query(eng, at, h);
+        }
+    }
+
+    /// Marks `at` as knowing query `h` and schedules local execution if
+    /// it has not yet contributed.
+    pub(crate) fn learn_query(&mut self, eng: &mut SeaweedEngine, at: NodeIdx, h: QueryHandle) {
+        let bit = 1u64 << h;
+        self.knows_query[at.idx()] |= bit;
+        if !self.queries[h as usize].active {
+            return;
+        }
+        if matches!(self.queries[h as usize].kind, QueryKind::View { .. }) {
+            // View queries have no local execution phase: they are
+            // answered during dissemination from replicated values.
+            return;
+        }
+        if self.submitted[at.idx()] & bit != 0 || self.exec_pending[at.idx()] & bit != 0 {
+            return;
+        }
+        self.exec_pending[at.idx()] |= bit;
+        let jitter = Duration::from_micros(
+            self.rng
+                .gen_range(0..=self.cfg.local_exec_delay.as_micros()),
+        );
+        self.set_app_timer(
+            eng,
+            at,
+            self.cfg.local_exec_delay + jitter,
+            TimerAction::ExecuteLocal { node: at, query: h },
+        );
+    }
+}

@@ -1,0 +1,549 @@
+//! Result aggregation (paper §3.4).
+//!
+//! Each available endsystem executes the query exactly and submits its
+//! partial aggregate into the query's aggregation tree. The tree is
+//! built from the leaves upward: an endsystem iterates the vertex parent
+//! function `V` from its own id until it leaves its own region of
+//! responsibility, and submits there. Interior vertices are replica
+//! groups (primary + m−1 backups); a primary stores per-child versioned
+//! partial aggregates (exactly-once), replicates to its backups before
+//! acknowledging, and propagates its merged aggregate to its parent
+//! vertex. The root vertex's key is the queryId; its primary pushes the
+//! merged result to the query origin as it improves.
+
+use seaweed_overlay::OverlayEvent;
+use seaweed_sim::{NodeIdx, TrafficClass};
+use seaweed_store::Aggregate;
+use seaweed_types::Id;
+
+use super::{
+    PendingSubmit, QueryHandle, Seaweed, SeaweedEngine, SeaweedMsg, TimerAction, VertexState,
+};
+use crate::provider::DataProvider;
+use crate::vertex::parent_vertex;
+use crate::wire;
+
+impl<P: DataProvider> Seaweed<P> {
+    /// Local execution finished (modelled by the exec-delay timer):
+    /// submit the partial aggregate into the aggregation tree. For
+    /// continuous queries this also schedules the next epoch.
+    pub(crate) fn execute_and_submit(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+    ) {
+        let bit = 1u64 << h;
+        if !eng.is_up(n) || !self.overlay.is_joined(n) {
+            self.exec_pending[n.idx()] &= !bit;
+            return; // went down meanwhile; will resubmit on rejoin
+        }
+        if !self.queries[h as usize].active {
+            self.exec_pending[n.idx()] &= !bit;
+            return;
+        }
+        match self.queries[h as usize].kind {
+            super::QueryKind::OneShot => {
+                self.exec_pending[n.idx()] &= !bit;
+                if self.submitted[n.idx()] & bit != 0 {
+                    return;
+                }
+                let agg = self
+                    .provider
+                    .execute(n.idx(), &self.queries[h as usize].bound);
+                let my_id = self.overlay.id_of(n);
+                let target = self.leaf_vertex(n, h);
+                self.stats.result_submissions += 1;
+                self.submit_to_vertex(eng, n, h, target, my_id, 1, agg);
+            }
+            super::QueryKind::Continuous { interval } => {
+                self.execute_continuous_epoch(eng, n, h, interval);
+            }
+            super::QueryKind::View { .. } => {
+                // View queries are answered during dissemination from
+                // replicated values; there is no execution phase.
+                self.exec_pending[n.idx()] &= !bit;
+            }
+        }
+    }
+
+    /// One epoch of a continuous query at one endsystem: re-bind `NOW()`
+    /// to the current instant, execute, submit with the epoch as the
+    /// version (so the aggregation tree's per-child versioning replaces
+    /// the previous epoch exactly once), and arm the next epoch's timer.
+    /// The exec-pending bit stays set while the query is active so the
+    /// active-query list cannot double-schedule the loop.
+    fn execute_continuous_epoch(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        interval: seaweed_types::Duration,
+    ) {
+        let q = &self.queries[h as usize];
+        let epoch = eng.now().saturating_since(q.injected).as_micros() / interval.as_micros();
+        let already = self.cont_epoch.get(&(n.0, h)).copied();
+        if already != Some(epoch) {
+            let now_secs = (eng.now().as_micros() / 1_000_000) as i64;
+            let bound = seaweed_store::Query::parse(&q.text)
+                .and_then(|p| p.bind(&q.schema, now_secs))
+                .expect("continuous query re-binds (validated at injection)");
+            let agg = self.provider.execute(n.idx(), &bound);
+            self.cont_epoch.insert((n.0, h), epoch);
+            let my_id = self.overlay.id_of(n);
+            let target = self.leaf_vertex(n, h);
+            self.stats.result_submissions += 1;
+            // Version = epoch + 2 keeps continuous versions above the
+            // initial one-shot-style version space.
+            self.submit_to_vertex(eng, n, h, target, my_id, epoch + 2, agg);
+        }
+        // Arm the next epoch (with the configured jitter so epochs do not
+        // synchronize network-wide).
+        let q = &self.queries[h as usize];
+        let next_at =
+            q.injected + seaweed_types::Duration::from_micros((epoch + 1) * interval.as_micros());
+        let jitter = seaweed_types::Duration::from_micros(rand::Rng::gen_range(
+            &mut self.rng,
+            0..=self.cfg.local_exec_delay.as_micros(),
+        ));
+        let delay = next_at.saturating_since(eng.now()) + self.cfg.local_exec_delay + jitter;
+        self.set_app_timer(
+            eng,
+            n,
+            delay,
+            TimerAction::ExecuteLocal { node: n, query: h },
+        );
+    }
+
+    /// The paper's leaf optimization: iterate V from the endsystem's own
+    /// id until the vertex leaves this endsystem's region, and submit
+    /// there (skipping the tree levels whose vertices we would own
+    /// ourselves). The chosen vertex is **persisted** per (endsystem,
+    /// query) — §3.4: "It then persists that vertexId with the query" —
+    /// so resubmissions after churn update the same child slot rather
+    /// than forking a second tree path.
+    pub(crate) fn leaf_vertex(&mut self, n: NodeIdx, h: QueryHandle) -> Id {
+        if let Some(&v) = self.leaf_targets.get(&(n.0, h)) {
+            return v;
+        }
+        let qid = self.queries[h as usize].id;
+        let b = self.overlay.config().b;
+        let region = self.overlay.responsible_range(n);
+        let mut v = self.overlay.id_of(n);
+        let target = loop {
+            match parent_vertex(qid, v, b) {
+                None => break v, // reached the root key itself
+                Some(p) if region.contains(p) => v = p,
+                Some(p) => break p,
+            }
+        };
+        self.leaf_targets.insert((n.0, h), target);
+        target
+    }
+
+    /// Routes a (re)submission toward a vertex and arms the retry timer.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_to_vertex(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        from: NodeIdx,
+        h: QueryHandle,
+        vertex: Id,
+        child: Id,
+        version: u64,
+        agg: Aggregate,
+    ) {
+        self.pending_submits.insert(
+            (from.0, h, child.0),
+            PendingSubmit {
+                target_vertex: vertex,
+                version,
+                agg,
+            },
+        );
+        let evs = self.overlay.route(
+            eng,
+            from,
+            vertex,
+            SeaweedMsg::ResultSubmit {
+                query: h,
+                vertex,
+                child,
+                version,
+                agg,
+            },
+            wire::RESULT_SUBMIT,
+            TrafficClass::Query,
+        );
+        self.set_app_timer(
+            eng,
+            from,
+            self.cfg.result_retry,
+            TimerAction::ResultRetry {
+                node: from,
+                query: h,
+                child,
+                version,
+            },
+        );
+        self.cascade(eng, evs);
+    }
+
+    /// Retry timer: if the submission is still unacked, re-route it.
+    pub(crate) fn on_result_retry(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        child: Id,
+        version: u64,
+    ) {
+        let Some(p) = self.pending_submits.get(&(n.0, h, child.0)) else {
+            return; // acked
+        };
+        if p.version != version {
+            return; // superseded by a newer submission
+        }
+        if !eng.is_up(n) || !self.queries[h as usize].active {
+            return;
+        }
+        let (vertex, agg) = (p.target_vertex, p.agg);
+        self.stats.result_retries += 1;
+        let evs = self.overlay.route(
+            eng,
+            n,
+            vertex,
+            SeaweedMsg::ResultSubmit {
+                query: h,
+                vertex,
+                child,
+                version,
+                agg,
+            },
+            wire::RESULT_SUBMIT,
+            TrafficClass::Query,
+        );
+        self.set_app_timer(
+            eng,
+            n,
+            self.cfg.result_retry,
+            TimerAction::ResultRetry {
+                node: n,
+                query: h,
+                child,
+                version,
+            },
+        );
+        self.cascade(eng, evs);
+    }
+
+    /// A submission arrived at the (believed) primary for `vertex`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_result_submit(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        submitter: NodeIdx,
+        at: NodeIdx,
+        h: QueryHandle,
+        vertex: Id,
+        child: Id,
+        version: u64,
+        agg: Aggregate,
+    ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        if !self.queries[h as usize].active {
+            return Vec::new();
+        }
+        self.learn_query(eng, at, h);
+
+        // Ensure the vertex group exists and `at` is a member (a fresh
+        // primary after churn pulls state from a surviving backup —
+        // charged as one replication transfer).
+        self.ensure_vertex_member(eng, at, h, vertex);
+
+        let state = self.vertices.get_mut(&(h, vertex)).expect("ensured");
+        let entry = state.children.entry(child).or_insert((0, agg));
+        if version >= entry.0 {
+            *entry = (version, agg);
+        }
+        let children_count = state.children.len();
+
+        // Replicate to backups before acknowledging (paper ordering).
+        let holders = state.holders.clone();
+        let size = wire::vertex_replicate(children_count);
+        for b in holders.iter().skip(1) {
+            if *b != at && eng.is_up(*b) {
+                self.stats.vertex_replications += 1;
+                self.overlay.send_app(
+                    eng,
+                    at,
+                    *b,
+                    SeaweedMsg::VertexReplicate { query: h, vertex },
+                    size,
+                    TrafficClass::Query,
+                );
+            }
+        }
+
+        // Ack the submitter.
+        if submitter != at {
+            self.overlay.send_app(
+                eng,
+                at,
+                submitter,
+                SeaweedMsg::ResultAck {
+                    query: h,
+                    vertex,
+                    child,
+                    version,
+                },
+                wire::RESULT_ACK,
+                TrafficClass::Query,
+            );
+        } else {
+            self.on_result_ack(at, h, vertex, child, version);
+        }
+
+        // Propagate the merged aggregate upward.
+        self.propagate_up(eng, at, h, vertex);
+        Vec::new()
+    }
+
+    /// Merges a vertex's children and pushes the result to its parent
+    /// vertex (or the query origin at the root).
+    fn propagate_up(&mut self, eng: &mut SeaweedEngine, at: NodeIdx, h: QueryHandle, vertex: Id) {
+        let qid = self.queries[h as usize].id;
+        let b = self.overlay.config().b;
+        let state = self.vertices.get_mut(&(h, vertex)).expect("vertex exists");
+        let mut merged = Aggregate::empty(self.queries[h as usize].bound.agg);
+        for (_, a) in state.children.values() {
+            merged.merge(a);
+        }
+        state.out_version += 1;
+        let version = state.out_version;
+
+        match parent_vertex(qid, vertex, b) {
+            None => {
+                // This IS the root vertex: push to the origin.
+                let origin = self.queries[h as usize].origin;
+                self.stats.results_at_origin += 1;
+                if origin == at {
+                    self.on_result_at_origin(eng, at, h, merged, version);
+                } else {
+                    self.overlay.send_app(
+                        eng,
+                        at,
+                        origin,
+                        SeaweedMsg::ResultToOrigin {
+                            query: h,
+                            agg: merged,
+                            version,
+                        },
+                        wire::RESULT_SUBMIT,
+                        TrafficClass::Query,
+                    );
+                }
+            }
+            Some(parent) => {
+                if self.overlay.responsible_range(at).contains(parent) {
+                    // We own the parent vertex too: fold in directly (we
+                    // are its primary); its own propagation continues the
+                    // climb.
+                    self.merge_into_owned_vertex(eng, at, h, parent, vertex, version, merged);
+                } else {
+                    self.submit_to_vertex(eng, at, h, parent, vertex, version, merged);
+                }
+            }
+        }
+    }
+
+    /// Directly folds an aggregate into a vertex this node owns (no
+    /// routing round-trip for self-owned parents).
+    #[allow(clippy::too_many_arguments)]
+    fn merge_into_owned_vertex(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        at: NodeIdx,
+        h: QueryHandle,
+        vertex: Id,
+        child: Id,
+        version: u64,
+        agg: Aggregate,
+    ) {
+        let evs = self.on_result_submit(eng, at, at, h, vertex, child, version, agg);
+        self.cascade(eng, evs);
+    }
+
+    /// An ack reached the submitter: clear the pending retransmission and
+    /// mark leaf completion.
+    pub(crate) fn on_result_ack(
+        &mut self,
+        at: NodeIdx,
+        h: QueryHandle,
+        vertex: Id,
+        child: Id,
+        version: u64,
+    ) {
+        let clear = match self.pending_submits.get(&(at.0, h, child.0)) {
+            Some(p) => p.target_vertex == vertex && p.version <= version,
+            None => false,
+        };
+        if clear {
+            self.pending_submits.remove(&(at.0, h, child.0));
+        }
+        // A one-shot leaf submission (child == our own id) is now
+        // durable: never resubmit, even across availability sessions.
+        // Continuous queries keep re-executing, so the bit stays clear.
+        if child == self.overlay.id_of(at)
+            && self.queries[h as usize].kind == super::QueryKind::OneShot
+        {
+            self.submitted[at.idx()] |= 1 << h;
+        }
+    }
+
+    /// Backup received vertex state (contents live in the shared store;
+    /// membership is what matters here).
+    pub(crate) fn on_vertex_replicate(&mut self, at: NodeIdx, h: QueryHandle, vertex: Id) {
+        let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
+            return;
+        };
+        if !state.holders.contains(&at) {
+            state.holders.push(at);
+            self.node_vertices[at.idx()].push((h, vertex));
+        }
+    }
+
+    /// Makes sure a vertex group exists with `at` as a member, recruiting
+    /// backups on creation.
+    fn ensure_vertex_member(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        at: NodeIdx,
+        h: QueryHandle,
+        vertex: Id,
+    ) {
+        let m = self.cfg.m_vertex;
+        let exists = self.vertices.contains_key(&(h, vertex));
+        if !exists {
+            let mut state = VertexState::default();
+            state.holders.push(at);
+            self.vertices.insert((h, vertex), state);
+            self.node_vertices[at.idx()].push((h, vertex));
+            // Recruit m-1 backups: the next-closest live nodes to the
+            // vertex key (from our leafset view).
+            let backups: Vec<NodeIdx> = self
+                .overlay
+                .replica_set(at, self.cfg.k_metadata)
+                .into_iter()
+                .filter(|&x| x != at)
+                .take(m - 1)
+                .collect();
+            for bkp in backups {
+                self.stats.vertex_replications += 1;
+                self.overlay.send_app(
+                    eng,
+                    at,
+                    bkp,
+                    SeaweedMsg::VertexReplicate { query: h, vertex },
+                    wire::vertex_replicate(0),
+                    TrafficClass::Query,
+                );
+            }
+        } else {
+            let state = self.vertices.get_mut(&(h, vertex)).expect("exists");
+            if !state.holders.contains(&at) {
+                // New primary after churn: pull state from a surviving
+                // member (charged as one replication-sized transfer).
+                let src = state
+                    .holders
+                    .iter()
+                    .copied()
+                    .find(|&x| x != at && eng.is_up(x));
+                state.holders.insert(0, at);
+                let children = state.children.len();
+                self.node_vertices[at.idx()].push((h, vertex));
+                if let Some(src) = src {
+                    self.stats.vertex_replications += 1;
+                    self.overlay.send_app(
+                        eng,
+                        src,
+                        at,
+                        SeaweedMsg::VertexReplicate { query: h, vertex },
+                        wire::vertex_replicate(children),
+                        TrafficClass::Query,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Repairs every vertex group `failed` belonged to: drop it from the
+    /// holder set; if members survive, one of them recruits a
+    /// replacement; if none do, the state is lost (the paper's
+    /// low-probability window).
+    pub(crate) fn repair_vertices_of(&mut self, eng: &mut SeaweedEngine, failed: NodeIdx) {
+        let held = std::mem::take(&mut self.node_vertices[failed.idx()]);
+        for (h, vertex) in held {
+            let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
+                continue;
+            };
+            state.holders.retain(|&x| x != failed);
+            let survivors: Vec<NodeIdx> = state
+                .holders
+                .iter()
+                .copied()
+                .filter(|&x| eng.is_up(x))
+                .collect();
+            if survivors.is_empty() {
+                if !state.children.is_empty() {
+                    self.stats.vertex_states_lost += 1;
+                    self.vertices.remove(&(h, vertex));
+                }
+                continue;
+            }
+            let children = state.children.len();
+            if state.holders.len() < self.cfg.m_vertex {
+                // Recruit a replacement near the vertex key.
+                let replacement = self
+                    .overlay
+                    .replica_set_oracle(vertex, self.cfg.m_vertex + 2)
+                    .into_iter()
+                    .find(|x| !state.holders.contains(x) && eng.is_up(*x));
+                if let Some(r) = replacement {
+                    state.holders.push(r);
+                    self.node_vertices[r.idx()].push((h, vertex));
+                    self.stats.vertex_replications += 1;
+                    self.overlay.send_app(
+                        eng,
+                        survivors[0],
+                        r,
+                        SeaweedMsg::VertexReplicate { query: h, vertex },
+                        wire::vertex_replicate(children),
+                        TrafficClass::Query,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The merged result reached the query origin.
+    pub(crate) fn on_result_at_origin(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        at: NodeIdx,
+        h: QueryHandle,
+        agg: Aggregate,
+        version: u64,
+    ) {
+        let q = &mut self.queries[h as usize];
+        debug_assert_eq!(q.origin, at);
+        // The root vertex's out-version orders updates: late reordered
+        // deliveries must not regress the result. (For one-shot queries
+        // this makes the origin's row count monotone; for continuous
+        // queries newer epochs may legitimately shrink it.)
+        if version > q.latest_version || q.latest.is_none() {
+            q.latest = Some(agg);
+            q.latest_version = version;
+            q.progress.push((eng.now(), agg.rows, agg.finish()));
+        }
+    }
+}

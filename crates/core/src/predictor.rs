@@ -1,0 +1,384 @@
+//! Completeness predictors (paper §2.1, §3.3).
+//!
+//! A completeness predictor is "a cumulative histogram of expected row
+//! count over time": bucket zero counts rows on endsystems available right
+//! now; later buckets count rows expected to become queryable after a
+//! given delay, on a log-scaled time axis spanning seconds to weeks.
+//! Predictors are aggregated element-wise up the dissemination tree, so
+//! their size is constant regardless of how many endsystems contributed.
+
+use seaweed_availability::ReturnPrediction;
+use seaweed_types::{Duration, LogBuckets};
+
+/// A (partial) completeness predictor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predictor {
+    buckets: LogBuckets,
+    /// Rows available immediately (delay "zero").
+    now_rows: f64,
+    /// Expected rows becoming available in each delay bucket.
+    later: Vec<f64>,
+    /// Number of endsystems folded in (for diagnostics).
+    endsystems: u64,
+}
+
+impl Predictor {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_buckets(LogBuckets::standard())
+    }
+
+    #[must_use]
+    pub fn with_buckets(buckets: LogBuckets) -> Self {
+        Predictor {
+            buckets,
+            now_rows: 0.0,
+            later: vec![0.0; buckets.len()],
+            endsystems: 0,
+        }
+    }
+
+    /// Folds in an endsystem that is available now with `rows` relevant
+    /// rows.
+    pub fn add_available(&mut self, rows: f64) {
+        self.now_rows += rows.max(0.0);
+        self.endsystems += 1;
+    }
+
+    /// Folds in an unavailable endsystem expected to return according to
+    /// `pred`, holding `rows` relevant rows.
+    pub fn add_unavailable(&mut self, rows: f64, pred: &ReturnPrediction) {
+        let rows = rows.max(0.0);
+        for &(delay, weight) in &pred.mass {
+            let i = self.buckets.index(delay);
+            self.later[i] += rows * weight;
+        }
+        self.endsystems += 1;
+    }
+
+    /// Merges another predictor (element-wise; both must share bucketing).
+    pub fn merge(&mut self, other: &Predictor) {
+        assert_eq!(self.buckets, other.buckets, "bucket scheme mismatch");
+        self.now_rows += other.now_rows;
+        for (a, b) in self.later.iter_mut().zip(&other.later) {
+            *a += b;
+        }
+        self.endsystems += other.endsystems;
+    }
+
+    /// Expected rows queryable within `delay` of the prediction instant
+    /// (the cumulative curve the user sees, Figure 2).
+    #[must_use]
+    pub fn expected_rows_within(&self, delay: Duration) -> f64 {
+        let cut = self.buckets.index(delay);
+        let mut total = self.now_rows;
+        for (i, &rows) in self.later.iter().enumerate() {
+            // A bucket's rows count as arrived once the delay passes its
+            // representative (geometric-midpoint) delay.
+            if i < cut || (i == cut && self.buckets.midpoint(i) <= delay) {
+                total += rows;
+            }
+        }
+        total
+    }
+
+    /// Total rows expected over all time.
+    #[must_use]
+    pub fn total_rows(&self) -> f64 {
+        self.now_rows + self.later.iter().sum::<f64>()
+    }
+
+    /// Rows available immediately.
+    #[must_use]
+    pub fn immediate_rows(&self) -> f64 {
+        self.now_rows
+    }
+
+    /// Expected completeness (0..=1) at `delay` — what the paper's user
+    /// reads off to decide whether to wait.
+    #[must_use]
+    pub fn completeness_at(&self, delay: Duration) -> f64 {
+        let total = self.total_rows();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.expected_rows_within(delay) / total
+    }
+
+    /// Smallest bucketed delay at which expected completeness reaches
+    /// `target` (0..=1); `None` if it never does.
+    #[must_use]
+    pub fn delay_for_completeness(&self, target: f64) -> Option<Duration> {
+        let total = self.total_rows();
+        if total <= 0.0 {
+            return Some(Duration::ZERO);
+        }
+        let want = target.clamp(0.0, 1.0) * total;
+        let mut acc = self.now_rows;
+        if acc >= want {
+            return Some(Duration::ZERO);
+        }
+        for (i, &rows) in self.later.iter().enumerate() {
+            acc += rows;
+            if acc >= want {
+                return Some(self.buckets.midpoint(i));
+            }
+        }
+        None
+    }
+
+    /// The cumulative curve as `(delay, expected rows)` points — one per
+    /// bucket edge — for plotting (Figure 2, Figures 5–8 left panels).
+    #[must_use]
+    pub fn curve(&self) -> Vec<(Duration, f64)> {
+        let mut out = Vec::with_capacity(self.later.len() + 1);
+        let mut acc = self.now_rows;
+        out.push((Duration::ZERO, acc));
+        for (i, &rows) in self.later.iter().enumerate() {
+            acc += rows;
+            out.push((self.buckets.midpoint(i), acc));
+        }
+        out
+    }
+
+    #[must_use]
+    pub fn endsystems(&self) -> u64 {
+        self.endsystems
+    }
+
+    /// Serialized size: bucket vector as f32s plus a 16-byte header. With
+    /// the standard 50-bucket scheme this is 220 bytes; the paper reports
+    /// 776 bytes per endsystem for predictor aggregation including
+    /// framing and retransmissions. Exactly [`Predictor::encode`]'s
+    /// output length.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        16 + 4 * (self.later.len() as u32 + 1)
+    }
+
+    /// Serializes the predictor to its wire format:
+    /// `[magic u32][bucket count u32][endsystems u64][now f32][later f32 × n]`,
+    /// all little-endian. Row counts are carried as f32 — a predictor is
+    /// an estimate; 24 bits of mantissa dwarf its accuracy.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size() as usize);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.later.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.endsystems.to_le_bytes());
+        out.extend_from_slice(&(self.now_rows as f32).to_le_bytes());
+        for &v in &self.later {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+        debug_assert_eq!(out.len(), self.wire_size() as usize);
+        out
+    }
+
+    /// Decodes a predictor previously produced by [`Predictor::encode`]
+    /// with the same bucketing scheme. Returns `None` on malformed input.
+    #[must_use]
+    pub fn decode(bytes: &[u8], buckets: LogBuckets) -> Option<Self> {
+        let mut r = Reader(bytes);
+        if r.u32()? != MAGIC {
+            return None;
+        }
+        let n = r.u32()? as usize;
+        if n != buckets.len() {
+            return None;
+        }
+        let endsystems = r.u64()?;
+        let now_rows = f64::from(r.f32()?);
+        let mut later = Vec::with_capacity(n);
+        for _ in 0..n {
+            later.push(f64::from(r.f32()?));
+        }
+        if !r.0.is_empty() {
+            return None;
+        }
+        Some(Predictor {
+            buckets,
+            now_rows,
+            later,
+            endsystems,
+        })
+    }
+}
+
+impl Default for Predictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const MAGIC: u32 = 0x5EA3_EDCF;
+
+/// Tiny little-endian cursor for decoding.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Some(head)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Option<f32> {
+        self.take(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(delay: Duration) -> ReturnPrediction {
+        ReturnPrediction::point(delay)
+    }
+
+    #[test]
+    fn immediate_rows_dominate_at_zero_delay() {
+        let mut p = Predictor::new();
+        p.add_available(810.0);
+        p.add_unavailable(190.0, &point(Duration::from_hours(8)));
+        assert_eq!(p.total_rows(), 1000.0);
+        assert_eq!(p.immediate_rows(), 810.0);
+        assert!((p.completeness_at(Duration::ZERO) - 0.81).abs() < 1e-9);
+        assert!((p.completeness_at(Duration::from_hours(9)) - 1.0).abs() < 1e-9);
+        assert_eq!(p.endsystems(), 2);
+    }
+
+    #[test]
+    fn distribution_mass_lands_in_buckets() {
+        let mut p = Predictor::new();
+        let pred = ReturnPrediction {
+            mass: vec![
+                (Duration::from_mins(10), 0.5),
+                (Duration::from_hours(10), 0.5),
+            ],
+        };
+        p.add_unavailable(100.0, &pred);
+        let early = p.expected_rows_within(Duration::from_hours(1));
+        assert!((early - 50.0).abs() < 1e-9, "early {early}");
+        let late = p.expected_rows_within(Duration::from_hours(20));
+        assert!((late - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_additive() {
+        let mut a = Predictor::new();
+        a.add_available(10.0);
+        a.add_unavailable(5.0, &point(Duration::from_secs(30)));
+        let mut b = Predictor::new();
+        b.add_unavailable(7.0, &point(Duration::from_hours(2)));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_rows(), 22.0);
+        assert_eq!(ab.endsystems(), 3);
+    }
+
+    #[test]
+    fn delay_for_completeness_walks_the_curve() {
+        let mut p = Predictor::new();
+        p.add_available(80.0);
+        p.add_unavailable(19.0, &point(Duration::from_hours(1)));
+        p.add_unavailable(1.0, &point(Duration::from_days(3)));
+        assert_eq!(p.delay_for_completeness(0.5), Some(Duration::ZERO));
+        let d99 = p.delay_for_completeness(0.99).unwrap();
+        assert!(
+            d99 >= Duration::from_mins(30) && d99 <= Duration::from_hours(2),
+            "{d99}"
+        );
+        let d100 = p.delay_for_completeness(1.0).unwrap();
+        assert!(d100 >= Duration::from_days(2), "{d100}");
+    }
+
+    #[test]
+    fn empty_predictor_is_trivially_complete() {
+        let p = Predictor::new();
+        assert_eq!(p.total_rows(), 0.0);
+        assert_eq!(p.completeness_at(Duration::ZERO), 1.0);
+        assert_eq!(p.delay_for_completeness(0.9), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let mut p = Predictor::new();
+        p.add_available(5.0);
+        for h in [1u64, 3, 9, 27] {
+            p.add_unavailable(h as f64, &point(Duration::from_hours(h)));
+        }
+        let curve = p.curve();
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!((curve.last().unwrap().1 - p.total_rows()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_roundtrips_within_f32_precision() {
+        let mut p = Predictor::new();
+        p.add_available(812_345.0);
+        for h in [1u64, 3, 9, 27, 81] {
+            p.add_unavailable(1000.0 + h as f64, &point(Duration::from_hours(h)));
+        }
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.wire_size() as usize);
+        let q = Predictor::decode(&bytes, LogBuckets::standard()).expect("decodes");
+        assert_eq!(q.endsystems(), p.endsystems());
+        let rel = (q.total_rows() - p.total_rows()).abs() / p.total_rows();
+        assert!(rel < 1e-6, "f32 round-trip error {rel}");
+        for d in [
+            Duration::ZERO,
+            Duration::from_hours(5),
+            Duration::from_days(2),
+        ] {
+            assert!((q.completeness_at(d) - p.completeness_at(d)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Predictor::decode(&[], LogBuckets::standard()).is_none());
+        assert!(Predictor::decode(&[0u8; 220], LogBuckets::standard()).is_none());
+        let good = Predictor::new().encode();
+        // Truncated.
+        assert!(Predictor::decode(&good[..good.len() - 1], LogBuckets::standard()).is_none());
+        // Trailing junk.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(Predictor::decode(&long, LogBuckets::standard()).is_none());
+        // Wrong bucket scheme.
+        let other = LogBuckets::new(Duration::SECOND, Duration::from_hours(1), 4);
+        assert!(Predictor::decode(&good, other).is_none());
+    }
+
+    #[test]
+    fn wire_size_is_constant() {
+        let mut p = Predictor::new();
+        let before = p.wire_size();
+        for i in 0..1000 {
+            p.add_available(i as f64);
+        }
+        assert_eq!(p.wire_size(), before);
+        assert!(before < 1024, "predictors must stay small: {before}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Data-plane access for the protocol layer.
+//!
+//! The paper's simulations pre-computed per-endsystem query results and
+//! histograms (§4.3) rather than running a DBMS inside the simulator; we
+//! support both modes behind one trait:
+//!
+//! * [`LiveTables`] holds real [`Table`] fragments and answers arbitrary
+//!   queries — examples and small simulations use this.
+//! * [`Precomputed`] stores per-(endsystem, query) aggregates and row
+//!   estimates for a fixed query set — large-scale experiments stream
+//!   generated fragments through a summarization pass and drop them.
+
+use std::collections::HashMap;
+
+use seaweed_store::exec::{count_matching, execute};
+use seaweed_store::{Aggregate, BoundQuery, DataSummary, Query, Schema, StoreError, Table};
+
+/// Data-plane interface the Seaweed protocol layer needs from each
+/// endsystem.
+pub trait DataProvider {
+    /// Serialized size in bytes of the endsystem's data summary — the
+    /// `h` of Table 1, charged on every metadata push.
+    fn summary_wire_size(&self, node: usize) -> u32;
+
+    /// Histogram-based estimate of rows relevant to `query` on `node` —
+    /// what a metadata replica computes on an unavailable endsystem's
+    /// behalf, and what an available endsystem quotes for its own
+    /// predictor.
+    fn estimate_rows(&self, node: usize, query: &BoundQuery) -> f64;
+
+    /// Executes `query` on `node`'s fragment, returning the exact partial
+    /// aggregate.
+    fn execute(&self, node: usize, query: &BoundQuery) -> Aggregate;
+
+    /// Exact relevant-row count (ground truth for experiments).
+    fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64;
+}
+
+/// Real tables per endsystem.
+pub struct LiveTables {
+    schema: Schema,
+    tables: Vec<Table>,
+    summaries: Vec<DataSummary>,
+}
+
+impl LiveTables {
+    /// Builds from per-endsystem fragments (summaries are derived here).
+    ///
+    /// # Panics
+    /// Panics if fragments disagree on schema.
+    #[must_use]
+    pub fn new(tables: Vec<Table>) -> Self {
+        assert!(!tables.is_empty(), "need at least one fragment");
+        let schema = tables[0].schema().clone();
+        for t in &tables {
+            assert_eq!(*t.schema(), schema, "fragments must share a schema");
+        }
+        let summaries = tables.iter().map(DataSummary::build).collect();
+        LiveTables {
+            schema,
+            tables,
+            summaries,
+        }
+    }
+
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    #[must_use]
+    pub fn table(&self, node: usize) -> &Table {
+        &self.tables[node]
+    }
+
+    /// Mutable access to one endsystem's fragment — the paper's "frequent
+    /// local updates" path (updates are single-endsystem by design, §1.3).
+    /// Call [`LiveTables::refresh_summary`] afterwards so the next
+    /// metadata push carries current histograms.
+    pub fn table_mut(&mut self, node: usize) -> &mut Table {
+        &mut self.tables[node]
+    }
+
+    /// Rebuilds the endsystem's data summary from its current fragment
+    /// (what a real endsystem does before each metadata push when data
+    /// changed, §3.2.2).
+    pub fn refresh_summary(&mut self, node: usize) {
+        self.summaries[node] = DataSummary::build(&self.tables[node]);
+    }
+
+    /// Parses and binds a query against this application's schema.
+    pub fn bind(&self, sql: &str, now_secs: i64) -> Result<(Query, BoundQuery), StoreError> {
+        let q = Query::parse(sql)?;
+        let b = q.bind(&self.schema, now_secs)?;
+        Ok((q, b))
+    }
+}
+
+impl DataProvider for LiveTables {
+    fn summary_wire_size(&self, node: usize) -> u32 {
+        self.summaries[node].wire_size()
+    }
+
+    fn estimate_rows(&self, node: usize, query: &BoundQuery) -> f64 {
+        self.summaries[node].estimate_rows(query)
+    }
+
+    fn execute(&self, node: usize, query: &BoundQuery) -> Aggregate {
+        execute(query, &self.tables[node]).expect("bound query executes")
+    }
+
+    fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64 {
+        count_matching(query, &self.tables[node])
+    }
+}
+
+/// Pre-computed per-(endsystem, query) answers for a fixed query set,
+/// keyed by the bound query's shape. Mirrors the paper's own simulator
+/// optimization: "We pre-computed the results of each query as well as
+/// the histograms on all endsystem data."
+pub struct Precomputed {
+    /// Summary sizes per endsystem.
+    summary_sizes: Vec<u32>,
+    /// Per registered query: per-endsystem (estimate, aggregate, exact).
+    answers: HashMap<QueryKey, Vec<(f64, Aggregate, u64)>>,
+}
+
+/// Hashable identity of a bound query.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct QueryKey(String);
+
+fn key_of(query: &BoundQuery) -> QueryKey {
+    QueryKey(format!("{query:?}"))
+}
+
+impl Precomputed {
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        Precomputed {
+            summary_sizes: vec![0; num_nodes],
+            answers: HashMap::new(),
+        }
+    }
+
+    /// Registers one endsystem's answers, typically streamed from a
+    /// just-generated fragment that is dropped afterwards.
+    pub fn record(
+        &mut self,
+        node: usize,
+        summary_size: u32,
+        answers: impl IntoIterator<Item = (BoundQuery, f64, Aggregate, u64)>,
+    ) {
+        self.summary_sizes[node] = summary_size;
+        for (q, est, agg, exact) in answers {
+            let slot = self.answers.entry(key_of(&q)).or_insert_with(|| {
+                vec![(0.0, Aggregate::empty(q.agg), 0); self.summary_sizes.len()]
+            });
+            slot[node] = (est, agg, exact);
+        }
+    }
+
+    /// Convenience: summarize + answer a fragment for a set of queries,
+    /// then drop it.
+    pub fn record_fragment(&mut self, node: usize, table: &Table, queries: &[BoundQuery]) {
+        let summary = DataSummary::build(table);
+        let answers: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                (
+                    q.clone(),
+                    summary.estimate_rows(q),
+                    execute(q, table).expect("bound query executes"),
+                    count_matching(q, table),
+                )
+            })
+            .collect();
+        self.record(node, summary.wire_size(), answers);
+    }
+
+    fn lookup(&self, node: usize, query: &BoundQuery) -> &(f64, Aggregate, u64) {
+        self.answers
+            .get(&key_of(query))
+            .unwrap_or_else(|| panic!("query not pre-registered: {query:?}"))
+            .get(node)
+            .expect("node in range")
+    }
+}
+
+impl DataProvider for Precomputed {
+    fn summary_wire_size(&self, node: usize) -> u32 {
+        self.summary_sizes[node]
+    }
+
+    fn estimate_rows(&self, node: usize, query: &BoundQuery) -> f64 {
+        self.lookup(node, query).0
+    }
+
+    fn execute(&self, node: usize, query: &BoundQuery) -> Aggregate {
+        self.lookup(node, query).1
+    }
+
+    fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64 {
+        self.lookup(node, query).2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaweed_store::{ColumnDef, DataType, Value};
+
+    fn tiny_tables(n: usize) -> Vec<Table> {
+        let schema = Schema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int, true),
+                ColumnDef::new("v", DataType::Int, true),
+            ],
+        );
+        (0..n)
+            .map(|node| {
+                let mut t = Table::new(schema.clone());
+                for i in 0..50 {
+                    t.insert(vec![
+                        Value::Int((i % 5) as i64),
+                        Value::Int((node * 100 + i) as i64),
+                    ])
+                    .unwrap();
+                }
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn live_tables_answer_queries() {
+        let lt = LiveTables::new(tiny_tables(3));
+        let (_, b) = lt.bind("SELECT COUNT(*) FROM T WHERE a = 2", 0).unwrap();
+        assert_eq!(lt.exact_rows(1, &b), 10);
+        assert_eq!(lt.execute(1, &b).finish(), Some(10.0));
+        let est = lt.estimate_rows(1, &b);
+        assert!((est - 10.0).abs() < 2.0, "estimate {est}");
+        assert!(lt.summary_wire_size(0) > 0);
+    }
+
+    #[test]
+    fn precomputed_round_trips_live_answers() {
+        let lt = LiveTables::new(tiny_tables(4));
+        let (_, b) = lt.bind("SELECT SUM(v) FROM T WHERE a >= 3", 0).unwrap();
+        let mut pc = Precomputed::new(4);
+        for node in 0..4 {
+            pc.record_fragment(node, lt.table(node), std::slice::from_ref(&b));
+        }
+        for node in 0..4 {
+            assert_eq!(pc.exact_rows(node, &b), lt.exact_rows(node, &b));
+            assert_eq!(pc.execute(node, &b).finish(), lt.execute(node, &b).finish());
+            assert!((pc.estimate_rows(node, &b) - lt.estimate_rows(node, &b)).abs() < 1e-9);
+            assert_eq!(pc.summary_wire_size(node), lt.summary_wire_size(node));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not pre-registered")]
+    fn precomputed_rejects_unknown_queries() {
+        let lt = LiveTables::new(tiny_tables(1));
+        let (_, b) = lt.bind("SELECT COUNT(*) FROM T WHERE a = 0", 0).unwrap();
+        let pc = Precomputed::new(1);
+        let _ = pc.estimate_rows(0, &b);
+    }
+}

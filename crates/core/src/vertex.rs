@@ -1,0 +1,144 @@
+//! The result aggregation tree's vertex geometry (paper §3.4).
+//!
+//! Every query gets its own aggregation tree embedded in the Pastry
+//! namespace. Tree vertices are keys (`vertexId`s); the deterministic
+//! function `V(queryId, vertexId)` maps a vertex to its parent's key, and
+//! iterating `V` from any starting key reaches `queryId` — the root — in
+//! at most `128/b` steps.
+//!
+//! ## On the paper's formula
+//!
+//! The paper prints
+//! `V = PREFIX(vertexId, 128/b - (len+1)) + SUFFIX(queryId, len+1)` with
+//! `len = PREFIXLENGTH(queryId, vertexId)`. Read with `len` as the common
+//! *prefix* length this is a fixed point (the digit at position `len`
+//! never changes), so no tree forms. Read with `len` as the common
+//! *suffix* length, every application extends the shared suffix by at
+//! least one digit, the iteration converges to `queryId`, interior
+//! vertices keep the child's high-order digits (spreading primaries
+//! across the namespace — the "good load distribution" the paper claims),
+//! and the leaf optimization below yields the O(log N) depth the paper
+//! describes. We therefore implement the suffix reading and note the
+//! discrepancy in DESIGN.md.
+
+use seaweed_types::Id;
+
+/// Length of the common suffix of `a` and `b` in base-2^b digits.
+#[must_use]
+pub fn suffix_len(a: Id, b_id: Id, b: u8) -> usize {
+    let xor = a.0 ^ b_id.0;
+    if xor == 0 {
+        return Id::num_digits(b);
+    }
+    (xor.trailing_zeros() as usize) / b as usize
+}
+
+/// The parent vertexId of `vertex` in `query`'s aggregation tree, or
+/// `None` if `vertex` is already the root (`vertex == query`).
+#[must_use]
+pub fn parent_vertex(query: Id, vertex: Id, b: u8) -> Option<Id> {
+    if vertex == query {
+        return None;
+    }
+    let n = Id::num_digits(b);
+    let len = suffix_len(query, vertex, b);
+    debug_assert!(len < n);
+    // Keep the first n-(len+1) digits of the vertex; adopt the query's
+    // last len+1 digits.
+    Some(vertex.concat(n - (len + 1), query, b))
+}
+
+/// The whole chain from `start` (exclusive) up to and including the root
+/// `query`.
+#[must_use]
+pub fn chain_to_root(query: Id, start: Id, b: u8) -> Vec<Id> {
+    let mut out = Vec::new();
+    let mut v = start;
+    while let Some(p) = parent_vertex(query, v, b) {
+        out.push(p);
+        v = p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: u8 = 4;
+
+    #[test]
+    fn suffix_len_counts_trailing_digits() {
+        let q = Id(0xabcd);
+        assert_eq!(suffix_len(q, Id(0xabcd), B), 32);
+        assert_eq!(suffix_len(q, Id(0x1bcd), B), 3 + 28 - 28); // differs at digit 28
+        assert_eq!(suffix_len(Id(0xf0), Id(0x00), B), 1);
+        assert_eq!(suffix_len(Id(0x1), Id(0x2), B), 0);
+    }
+
+    #[test]
+    fn parent_extends_shared_suffix() {
+        let q = Id(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        let mut v = Id(0xffff_ffff_ffff_ffff_ffff_ffff_ffff_ffff);
+        let mut prev_suffix = suffix_len(q, v, B);
+        let mut steps = 0;
+        while let Some(p) = parent_vertex(q, v, B) {
+            let s = suffix_len(q, p, B);
+            assert!(s > prev_suffix, "suffix must grow: {prev_suffix} -> {s}");
+            prev_suffix = s;
+            v = p;
+            steps += 1;
+            assert!(steps <= 32, "must converge within num_digits steps");
+        }
+        assert_eq!(v, q);
+    }
+
+    #[test]
+    fn chain_reaches_root_from_anywhere() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let q = Id(rng.gen());
+        for _ in 0..50 {
+            let start = Id(rng.gen());
+            let chain = chain_to_root(q, start, B);
+            assert_eq!(*chain.last().unwrap(), q);
+            assert!(chain.len() <= 32);
+            // Chain entries are distinct.
+            for i in 0..chain.len() {
+                for j in 0..i {
+                    assert_ne!(chain[i], chain[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_children_with_same_suffix_share_a_parent() {
+        // Children differing only above the replaced digits converge.
+        let q = Id(0x1111);
+        let a = Id(0xaa01);
+        let bb = Id(0xbb01);
+        // Both share suffix "1" (digit '1') with q of length... compute:
+        let la = suffix_len(q, a, B);
+        let lb = suffix_len(q, bb, B);
+        assert_eq!(la, lb);
+        let pa = parent_vertex(q, a, B).unwrap();
+        let pb = parent_vertex(q, bb, B).unwrap();
+        // Parents adopt q's last la+1 digits; high digits stay distinct.
+        assert_eq!(pa.0 & 0xff, 0x11);
+        assert_eq!(pb.0 & 0xff, 0x11);
+        assert_ne!(pa, pb);
+        // One more application each converges further.
+        let gpa = chain_to_root(q, a, B);
+        let gpb = chain_to_root(q, bb, B);
+        assert_eq!(*gpa.last().unwrap(), q);
+        assert_eq!(*gpb.last().unwrap(), q);
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let q = Id(42);
+        assert_eq!(parent_vertex(q, q, B), None);
+        assert!(chain_to_root(q, q, B).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Wire-size model for Seaweed protocol messages.
+
+/// Framing shared by all Seaweed messages above the overlay header.
+pub const SEAWEED_HEADER: u32 = 24;
+
+/// Availability model size — Table 1's `a` = 48 bytes.
+pub const AVAILABILITY_MODEL: u32 = 48;
+
+/// Metadata push: summary (h, per endsystem) + availability model (a).
+#[must_use]
+pub fn meta_push(summary_size: u32) -> u32 {
+    SEAWEED_HEADER + summary_size + AVAILABILITY_MODEL
+}
+
+/// Query dissemination message: queryId + namespace range + query text.
+#[must_use]
+pub fn disseminate(query_text_len: usize) -> u32 {
+    SEAWEED_HEADER + 16 + 32 + query_text_len as u32
+}
+
+/// Predictor report from a dissemination-tree child to its parent.
+#[must_use]
+pub fn predictor_report(predictor_size: u32) -> u32 {
+    SEAWEED_HEADER + 16 + 32 + predictor_size
+}
+
+/// Result submission into the aggregation tree (queryId, vertexId,
+/// child key, version, aggregate state).
+pub const RESULT_SUBMIT: u32 = SEAWEED_HEADER + 16 + 16 + 16 + 8 + 40;
+
+/// Ack of a result submission.
+pub const RESULT_ACK: u32 = SEAWEED_HEADER + 16 + 16 + 8;
+
+/// Vertex state replication to a backup: per-child entries.
+#[must_use]
+pub fn vertex_replicate(children: usize) -> u32 {
+    SEAWEED_HEADER + 16 + 16 + (children as u32) * (16 + 8 + 40)
+}
+
+/// Active-query list transfer to a newly joined endsystem.
+#[must_use]
+pub fn query_list(total_text: usize, queries: usize) -> u32 {
+    SEAWEED_HEADER + (queries as u32) * 24 + total_text as u32
+}

@@ -1,0 +1,346 @@
+//! End-to-end protocol tests: the full Seaweed stack (engine → Pastry →
+//! Seaweed) on synthetic tables with known ground truth.
+
+use seaweed_core::{LiveTables, Seaweed, SeaweedConfig, SeaweedEngine};
+use seaweed_overlay::{Overlay, OverlayConfig};
+use seaweed_sim::{Engine, NodeIdx, SimConfig, UniformTopology};
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+/// Each endsystem holds exactly one row matching `flag = 1` whose `v`
+/// column is `node + 1`, plus noise rows with `flag = 0`. Exactly-once
+/// counting is then directly observable: `rows == |H|` and
+/// `SUM(v) == Σ_{i∈H}(i+1)`.
+fn tables(n: usize) -> LiveTables {
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let mut out = Vec::with_capacity(n);
+    for node in 0..n {
+        let mut t = Table::new(schema.clone());
+        t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+            .unwrap();
+        for j in 0..5 {
+            t.insert(vec![Value::Int(0), Value::Int(j)]).unwrap();
+        }
+        out.push(t);
+    }
+    LiveTables::new(out)
+}
+
+fn world(n: usize, seed: u64) -> (SeaweedEngine, Seaweed<LiveTables>, Schema) {
+    let eng: SeaweedEngine = Engine::new(
+        Box::new(UniformTopology::new(n, Duration::from_millis(5))),
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    let overlay = Overlay::new(
+        Overlay::random_ids(n, seed),
+        OverlayConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    let provider = tables(n);
+    let schema = provider.schema().clone();
+    let sw = Seaweed::new(
+        overlay,
+        provider,
+        SeaweedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    (eng, sw, schema)
+}
+
+/// Brings all `n` nodes up staggered over a minute and settles joins and
+/// first metadata pushes.
+fn settle(eng: &mut SeaweedEngine, sw: &mut Seaweed<LiveTables>, n: usize) {
+    for i in 0..n {
+        eng.schedule_up(Time::from_micros(1 + i as u64 * 777_000), NodeIdx(i as u32));
+    }
+    sw.run_until(eng, Time::ZERO + Duration::from_mins(10));
+}
+
+const QUERY_COUNT: &str = "SELECT COUNT(*) FROM T WHERE flag = 1";
+const QUERY_SUM: &str = "SELECT SUM(v) FROM T WHERE flag = 1";
+
+#[test]
+fn query_over_fully_available_network() {
+    let n = 30;
+    let (mut eng, mut sw, schema) = world(n, 1);
+    settle(&mut eng, &mut sw, n);
+    assert_eq!(sw.overlay.num_joined(), n);
+
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(0),
+            QUERY_SUM,
+            Duration::from_hours(4),
+            &schema,
+        )
+        .unwrap();
+    let hz = eng.now() + Duration::from_mins(5);
+    sw.run_until(&mut eng, hz);
+
+    let q = sw.query(h);
+    // Predictor: everything available now, total ~ n rows.
+    let p = q.predictor.as_ref().expect("predictor must arrive");
+    assert!(q.predictor_at.is_some());
+    assert!(
+        (p.total_rows() - n as f64).abs() < n as f64 * 0.1,
+        "predictor total {} vs {n}",
+        p.total_rows()
+    );
+    assert!(p.completeness_at(Duration::ZERO) > 0.95);
+    // Exact result, every endsystem counted exactly once.
+    assert_eq!(q.rows(), n as u64);
+    let expected_sum: f64 = (1..=n as i64).map(|v| v as f64).sum();
+    assert_eq!(q.latest.unwrap().finish(), Some(expected_sum));
+}
+
+#[test]
+fn predictor_reflects_unavailable_endsystems() {
+    let n = 30;
+    let down = 8;
+    let (mut eng, mut sw, schema) = world(n, 2);
+    settle(&mut eng, &mut sw, n);
+
+    // Give every endsystem some up/down history so availability models
+    // have observations, then take `down` nodes offline.
+    let t0 = eng.now();
+    for i in 0..down {
+        eng.schedule_down(t0 + Duration::from_mins(i as u64 + 1), NodeIdx(i as u32));
+    }
+    // Let failure detection and metadata repair finish.
+    sw.run_until(&mut eng, t0 + Duration::from_mins(30));
+
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(20),
+            QUERY_COUNT,
+            Duration::from_hours(8),
+            &schema,
+        )
+        .unwrap();
+    let hz = eng.now() + Duration::from_mins(5);
+    sw.run_until(&mut eng, hz);
+
+    let q = sw.query(h);
+    let p = q.predictor.as_ref().expect("predictor");
+    // Total should still see ~all n endsystems (metadata answers for the
+    // down ones); immediate only the live ones.
+    assert!(
+        (p.total_rows() - n as f64).abs() <= 1.5,
+        "total {} vs {n}",
+        p.total_rows()
+    );
+    let immediate = p.immediate_rows();
+    assert!(
+        (immediate - (n - down) as f64).abs() <= 1.5,
+        "immediate {immediate} vs {}",
+        n - down
+    );
+    // The result so far covers exactly the live endsystems.
+    assert_eq!(q.rows(), (n - down) as u64);
+
+    // Bring the down endsystems back: incremental results must converge
+    // to full completeness, each endsystem exactly once.
+    let t1 = eng.now();
+    for i in 0..down {
+        eng.schedule_up(
+            t1 + Duration::from_mins(2 * i as u64 + 1),
+            NodeIdx(i as u32),
+        );
+    }
+    sw.run_until(&mut eng, t1 + Duration::from_hours(1));
+    let q = sw.query(h);
+    assert_eq!(
+        q.rows(),
+        n as u64,
+        "incremental results must reach full completeness"
+    );
+}
+
+#[test]
+fn rejoining_endsystem_is_counted_exactly_once() {
+    let n = 20;
+    let (mut eng, mut sw, schema) = world(n, 3);
+    settle(&mut eng, &mut sw, n);
+
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(5),
+            QUERY_SUM,
+            Duration::from_hours(8),
+            &schema,
+        )
+        .unwrap();
+    let hz = eng.now() + Duration::from_mins(2);
+    sw.run_until(&mut eng, hz);
+    assert_eq!(sw.query(h).rows(), n as u64);
+
+    // Node 7 bounces twice; the total must not change.
+    let t0 = eng.now();
+    eng.schedule_down(t0 + Duration::from_mins(1), NodeIdx(7));
+    eng.schedule_up(t0 + Duration::from_mins(20), NodeIdx(7));
+    eng.schedule_down(t0 + Duration::from_mins(40), NodeIdx(7));
+    eng.schedule_up(t0 + Duration::from_mins(60), NodeIdx(7));
+    sw.run_until(&mut eng, t0 + Duration::from_hours(2));
+
+    let q = sw.query(h);
+    assert_eq!(q.rows(), n as u64);
+    let expected_sum: f64 = (1..=n as i64).map(|v| v as f64).sum();
+    assert_eq!(q.latest.unwrap().finish(), Some(expected_sum));
+}
+
+#[test]
+fn exactly_once_under_churn_during_query() {
+    let n = 40;
+    let (mut eng, mut sw, schema) = world(n, 4);
+    settle(&mut eng, &mut sw, n);
+
+    // Churn: a third of the nodes bounce on staggered schedules while the
+    // query runs.
+    let t0 = eng.now();
+    for i in 0..n / 3 {
+        let node = NodeIdx((i * 3) as u32);
+        let off = t0 + Duration::from_mins(2 + i as u64);
+        eng.schedule_down(off, node);
+        eng.schedule_up(off + Duration::from_mins(15), node);
+    }
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(1),
+            QUERY_SUM,
+            Duration::from_hours(8),
+            &schema,
+        )
+        .unwrap();
+    sw.run_until(&mut eng, t0 + Duration::from_hours(3));
+
+    let q = sw.query(h);
+    // Every endsystem was available long enough at some point, so H must
+    // equal the full population — counted exactly once each.
+    assert_eq!(q.rows(), n as u64, "lost or duplicated contributions");
+    let expected_sum: f64 = (1..=n as i64).map(|v| v as f64).sum();
+    assert_eq!(q.latest.unwrap().finish(), Some(expected_sum));
+    // Progress at the origin is monotone in rows.
+    for w in q.progress.windows(2) {
+        assert!(w[1].1 >= w[0].1, "origin saw row count regress");
+    }
+}
+
+#[test]
+fn predictor_latency_is_seconds_scale() {
+    let n = 50;
+    let (mut eng, mut sw, schema) = world(n, 5);
+    settle(&mut eng, &mut sw, n);
+    let injected = eng.now();
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(9),
+            QUERY_COUNT,
+            Duration::from_hours(1),
+            &schema,
+        )
+        .unwrap();
+    sw.run_until(&mut eng, injected + Duration::from_mins(5));
+    let q = sw.query(h);
+    let at = q.predictor_at.expect("predictor arrived");
+    let latency = at.since(injected);
+    // Paper: 3.1 s at 2,000 endsystems. At 50 endsystems with 5 ms links
+    // it must be well under a minute, and strictly positive.
+    assert!(latency > Duration::ZERO);
+    assert!(latency < Duration::from_secs(60), "latency {latency}");
+}
+
+#[test]
+fn metadata_is_replicated_k_ways() {
+    let n = 25;
+    let (mut eng, mut sw, schema) = world(n, 6);
+    let _ = &schema;
+    settle(&mut eng, &mut sw, n);
+    let k = sw.cfg.k_metadata;
+    for node in 0..n as u32 {
+        let holders: Vec<NodeIdx> = (0..n as u32)
+            .map(NodeIdx)
+            .filter(|&h| h != NodeIdx(node) && sw.holds_metadata(h, NodeIdx(node)))
+            .collect();
+        assert!(
+            holders.len() >= k.min(n - 1),
+            "node {node} metadata held by only {} nodes",
+            holders.len()
+        );
+    }
+    assert!(sw.stats.meta_pushes > 0);
+}
+
+#[test]
+fn queries_expire_and_stop_consuming_state() {
+    let n = 15;
+    let (mut eng, mut sw, schema) = world(n, 7);
+    settle(&mut eng, &mut sw, n);
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(2),
+            QUERY_COUNT,
+            Duration::from_mins(10),
+            &schema,
+        )
+        .unwrap();
+    let hz = eng.now() + Duration::from_mins(30);
+    sw.run_until(&mut eng, hz);
+    let q = sw.query(h);
+    assert!(!q.active, "query should have expired");
+    assert_eq!(q.rows(), n as u64, "result completed before expiry");
+    // A node bouncing after expiry must not resubmit.
+    let rows_before = sw.query(h).rows();
+    let t0 = eng.now();
+    eng.schedule_down(t0 + Duration::from_mins(1), NodeIdx(3));
+    eng.schedule_up(t0 + Duration::from_mins(5), NodeIdx(3));
+    sw.run_until(&mut eng, t0 + Duration::from_mins(30));
+    assert_eq!(sw.query(h).rows(), rows_before);
+}
+
+#[test]
+fn deterministic_across_reruns() {
+    let run = || {
+        let n = 20;
+        let (mut eng, mut sw, schema) = world(n, 42);
+        settle(&mut eng, &mut sw, n);
+        let h = sw
+            .inject_query(
+                &mut eng,
+                NodeIdx(0),
+                QUERY_SUM,
+                Duration::from_hours(1),
+                &schema,
+            )
+            .unwrap();
+        let hz = eng.now() + Duration::from_mins(10);
+        sw.run_until(&mut eng, hz);
+        let q = sw.query(h);
+        (
+            q.rows(),
+            q.predictor_at.map(|t| t.as_micros()),
+            sw.stats.disseminate_msgs,
+            sw.stats.result_submissions,
+            eng.messages_sent,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for completeness predictors and the vertex
+//! parent function.
+
+use proptest::prelude::*;
+use seaweed_availability::ReturnPrediction;
+use seaweed_core::predictor::Predictor;
+use seaweed_core::vertex::{chain_to_root, parent_vertex, suffix_len};
+use seaweed_types::{Duration, Id};
+
+fn predictions() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    // (rows, delay seconds) pairs for unavailable endsystems.
+    prop::collection::vec((0.0f64..1e6, 1u64..1_000_000), 0..40)
+}
+
+fn build(avail: &[f64], unavail: &[(f64, u64)]) -> Predictor {
+    let mut p = Predictor::new();
+    for &rows in avail {
+        p.add_available(rows);
+    }
+    for &(rows, delay) in unavail {
+        p.add_unavailable(rows, &ReturnPrediction::point(Duration::from_secs(delay)));
+    }
+    p
+}
+
+proptest! {
+    /// Total rows equals the sum of all contributions; immediate rows
+    /// equal the available ones; the curve is monotone and bounded.
+    #[test]
+    fn predictor_accounting(
+        avail in prop::collection::vec(0.0f64..1e6, 0..40),
+        unavail in predictions(),
+    ) {
+        let p = build(&avail, &unavail);
+        let expect_avail: f64 = avail.iter().sum();
+        let expect_total: f64 = expect_avail + unavail.iter().map(|(r, _)| r).sum::<f64>();
+        prop_assert!((p.immediate_rows() - expect_avail).abs() < 1e-6 * expect_avail.max(1.0));
+        prop_assert!((p.total_rows() - expect_total).abs() < 1e-6 * expect_total.max(1.0));
+        prop_assert_eq!(p.endsystems(), (avail.len() + unavail.len()) as u64);
+
+        let mut last = -1.0;
+        for d in [0u64, 1, 60, 3600, 86_400, 14 * 86_400, 100 * 86_400] {
+            let c = p.completeness_at(Duration::from_secs(d));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prop_assert!(c + 1e-9 >= last, "completeness regressed at {d}s");
+            last = c;
+        }
+        // Everything has arrived after the bucket horizon.
+        prop_assert!(p.completeness_at(Duration::from_days(60)) > 1.0 - 1e-9);
+    }
+
+    /// Merging in any grouping/order produces the same predictor.
+    #[test]
+    fn merge_order_insensitive(
+        a in prop::collection::vec(0.0f64..1e5, 0..10),
+        b in predictions(),
+        c in predictions(),
+    ) {
+        let pa = build(&a, &[]);
+        let pb = build(&[], &b);
+        let pc = build(&[], &c);
+        let mut left = pa.clone();
+        left.merge(&pb);
+        left.merge(&pc);
+        let mut right = pc.clone();
+        right.merge(&pa);
+        right.merge(&pb);
+        prop_assert_eq!(left, right);
+    }
+
+    /// delay_for_completeness is the inverse of completeness_at.
+    #[test]
+    fn delay_inverts_completeness(unavail in predictions(), target in 0.0f64..1.0) {
+        let p = build(&[1.0], &unavail);
+        if let Some(d) = p.delay_for_completeness(target) {
+            // At the returned delay (bucket midpoint), the requested
+            // completeness is reached.
+            prop_assert!(p.completeness_at(d) + 1e-9 >= target);
+        }
+    }
+
+    /// The parent function converges to the query id from any start, in
+    /// at most num_digits steps, with strictly growing shared suffix —
+    /// for every digit width.
+    #[test]
+    fn vertex_chain_properties(
+        q in any::<u128>(),
+        start in any::<u128>(),
+        b in prop::sample::select(vec![1u8, 2, 4, 8]),
+    ) {
+        let (q, start) = (Id(q), Id(start));
+        let chain = chain_to_root(q, start, b);
+        prop_assert!(chain.len() <= Id::num_digits(b));
+        if start == q {
+            prop_assert!(chain.is_empty());
+        } else {
+            prop_assert_eq!(*chain.last().unwrap(), q);
+            let mut prev = suffix_len(q, start, b);
+            for v in &chain {
+                let s = suffix_len(q, *v, b);
+                prop_assert!(s > prev || *v == q);
+                prev = s;
+            }
+        }
+        // Parent is deterministic.
+        prop_assert_eq!(parent_vertex(q, start, b), parent_vertex(q, start, b));
+    }
+
+    /// Siblings under the same parent share their trailing digits: the
+    /// parent of any vertex agrees with the query on one more trailing
+    /// digit than the vertex did.
+    #[test]
+    fn parent_extends_suffix_by_at_least_one(q in any::<u128>(), v in any::<u128>()) {
+        prop_assume!(q != v);
+        let (q, v) = (Id(q), Id(v));
+        let p = parent_vertex(q, v, 4).unwrap();
+        prop_assert!(suffix_len(q, p, 4) > suffix_len(q, v, 4));
+    }
+}

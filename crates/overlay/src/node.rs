@@ -1,0 +1,171 @@
+//! Per-node Pastry state: leafset and routing table.
+
+use seaweed_sim::NodeIdx;
+use seaweed_types::{Id, IdRange};
+
+/// Pastry state of one endsystem.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// This node's endsystemId.
+    pub id: Id,
+    /// Has the node completed the join protocol since it last came up?
+    pub joined: bool,
+    /// Incarnation counter: bumped on every NodeUp, used to suppress
+    /// stale timers.
+    pub incarnation: u64,
+    /// Clockwise leafset half: nearest live neighbors in increasing ring
+    /// distance (at most l/2).
+    pub cw: Vec<NodeIdx>,
+    /// Counter-clockwise half, same ordering.
+    pub ccw: Vec<NodeIdx>,
+    /// Routing table, `rows × 2^b` flattened; `rt[row * cols + digit]`.
+    pub rt: Vec<Option<NodeIdx>>,
+}
+
+impl NodeState {
+    #[must_use]
+    pub fn new(id: Id, rows: usize, cols: usize) -> Self {
+        NodeState {
+            id,
+            joined: false,
+            incarnation: 0,
+            cw: Vec::new(),
+            ccw: Vec::new(),
+            rt: vec![None; rows * cols],
+        }
+    }
+
+    /// Clears volatile state when the node goes down (metadata about the
+    /// old incarnation must not leak into the next).
+    pub fn reset(&mut self) {
+        self.joined = false;
+        self.cw.clear();
+        self.ccw.clear();
+        self.rt.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// All current leafset members (both halves).
+    pub fn leafset(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.cw.iter().chain(self.ccw.iter()).copied()
+    }
+
+    /// True if `n` is in the leafset.
+    #[must_use]
+    pub fn in_leafset(&self, n: NodeIdx) -> bool {
+        self.cw.contains(&n) || self.ccw.contains(&n)
+    }
+
+    /// Removes `n` from the leafset; returns whether it was present.
+    pub fn remove_from_leafset(&mut self, n: NodeIdx) -> bool {
+        let mut removed = false;
+        if let Some(p) = self.cw.iter().position(|&x| x == n) {
+            self.cw.remove(p);
+            removed = true;
+        }
+        if let Some(p) = self.ccw.iter().position(|&x| x == n) {
+            self.ccw.remove(p);
+            removed = true;
+        }
+        removed
+    }
+
+    /// The namespace range this node is responsible for — keys closer to
+    /// it than to its nearest live neighbor on either side. A node with
+    /// no neighbors owns the full namespace.
+    #[must_use]
+    pub fn responsible_range(&self, ids: &[Id]) -> IdRange {
+        match (self.ccw.first(), self.cw.first()) {
+            (None, None) => IdRange::FULL,
+            (ccw, cw) => {
+                // Fall back to the other side's neighbor when one half is
+                // empty (2-node networks).
+                let pred = ids[ccw.or(cw).expect("nonempty").idx()];
+                let succ = ids[cw.or(ccw).expect("nonempty").idx()];
+                let lo = ring_midpoint(pred, self.id);
+                let hi = ring_midpoint(self.id, succ);
+                if lo == hi {
+                    // Two-node ring: split the circle in half.
+                    IdRange::new(lo, 1u128 << 127)
+                } else {
+                    IdRange::between(lo, hi)
+                }
+            }
+        }
+    }
+}
+
+/// Midpoint of the clockwise arc from `a` to `b` (exclusive of wrap
+/// ambiguity: if `a == b` the result is `a`).
+#[must_use]
+pub fn ring_midpoint(a: Id, b: Id) -> Id {
+    a.wrapping_add(a.cw_dist(b) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leafset_membership_ops() {
+        let mut n = NodeState::new(Id(100), 32, 16);
+        n.cw = vec![NodeIdx(1), NodeIdx(2)];
+        n.ccw = vec![NodeIdx(3)];
+        assert!(n.in_leafset(NodeIdx(2)));
+        assert!(!n.in_leafset(NodeIdx(9)));
+        assert_eq!(n.leafset().count(), 3);
+        assert!(n.remove_from_leafset(NodeIdx(2)));
+        assert!(!n.remove_from_leafset(NodeIdx(2)));
+        assert_eq!(n.leafset().count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut n = NodeState::new(Id(5), 2, 4);
+        n.joined = true;
+        n.cw = vec![NodeIdx(1)];
+        n.rt[3] = Some(NodeIdx(2));
+        n.reset();
+        assert!(!n.joined);
+        assert_eq!(n.leafset().count(), 0);
+        assert!(n.rt.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn midpoint_on_ring() {
+        assert_eq!(ring_midpoint(Id(10), Id(20)), Id(15));
+        // Wrapping arc.
+        assert_eq!(ring_midpoint(Id(u128::MAX - 1), Id(4)), Id(1));
+        assert_eq!(ring_midpoint(Id(7), Id(7)), Id(7));
+    }
+
+    #[test]
+    fn responsible_range_with_neighbors() {
+        let ids = vec![Id(0), Id(100), Id(200)];
+        let mut n = NodeState::new(Id(100), 32, 16);
+        // Node 1 (id 100) between node 0 (id 0) and node 2 (id 200).
+        n.ccw = vec![NodeIdx(0)];
+        n.cw = vec![NodeIdx(2)];
+        let r = n.responsible_range(&ids);
+        assert!(r.contains(Id(100)));
+        assert!(r.contains(Id(50)));
+        assert!(r.contains(Id(149)));
+        assert!(!r.contains(Id(49)));
+        assert!(!r.contains(Id(150)));
+    }
+
+    #[test]
+    fn responsible_range_singleton_and_pair() {
+        let ids = vec![Id(0), Id(1u128 << 127)];
+        let lone = NodeState::new(Id(0), 32, 16);
+        assert!(lone.responsible_range(&ids).is_full());
+
+        let mut a = NodeState::new(Id(0), 32, 16);
+        a.cw = vec![NodeIdx(1)];
+        let r = a.responsible_range(&ids);
+        // Owns half the ring (the exact midpoint is a boundary tie that
+        // goes to the clockwise neighbor).
+        assert!(r.contains(Id(0)));
+        assert!(r.contains(Id((1u128 << 126) - 1)));
+        assert!(!r.contains(Id(1u128 << 127)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Wire-size model for overlay messages.
+//!
+//! The simulator charges every message a byte count; these constants model
+//! a compact binary encoding (16-byte ids, 4-byte endsystem addresses,
+//! IP/UDP framing) in line with MSPastry's reported low overhead.
+
+/// IP + UDP + Pastry framing per message.
+pub const HEADER: u32 = 40;
+
+/// One `(endsystemId, address)` table entry.
+pub const ENTRY: u32 = 20;
+
+/// Leafset heartbeat (header + sender id).
+pub const HEARTBEAT: u32 = 56;
+
+/// A liveness probe / ack used when routing around a stale entry.
+pub const PROBE: u32 = 50;
+
+/// Join request (header + joiner id/address).
+pub const JOIN_REQUEST: u32 = HEADER + ENTRY;
+
+/// One routing-table row sent to a joiner.
+#[must_use]
+pub fn rt_row(entries: usize) -> u32 {
+    HEADER + 2 + ENTRY * entries as u32
+}
+
+/// Join reply / leafset push carrying `n` members.
+#[must_use]
+pub fn leafset_msg(n: usize) -> u32 {
+    HEADER + ENTRY * n as u32
+}
+
+/// Announce of a newly joined node (header + its entry).
+pub const ANNOUNCE: u32 = HEADER + ENTRY;
+
+/// Per-hop overhead added to a routed application payload.
+pub const ROUTE_OVERHEAD: u32 = HEADER + 17; // key + hop counter

@@ -1,0 +1,509 @@
+//! The discrete-event engine.
+//!
+//! The engine owns the clock, the event queue, node liveness, the topology
+//! and the bandwidth recorder. The *application* (Pastry + Seaweed stacked
+//! per node) owns all protocol state and drives the loop:
+//!
+//! ```ignore
+//! while let Some((now, ev)) = engine.next_event_before(horizon) {
+//!     match ev {
+//!         Event::Message { from, to, payload } => app.on_message(&mut engine, ...),
+//!         Event::Timer { node, tag } => app.on_timer(&mut engine, ...),
+//!         Event::NodeUp { node } => app.on_up(&mut engine, node),
+//!         Event::NodeDown { node } => app.on_down(&mut engine, node),
+//!     }
+//! }
+//! ```
+//!
+//! Determinism: events at equal times are delivered in the order they were
+//! scheduled (a monotone sequence number breaks ties), and all randomness
+//! (message loss) comes from a seeded RNG.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seaweed_types::{Duration, Time};
+
+use crate::bandwidth::{BandwidthRecorder, BandwidthReport, TrafficClass};
+use crate::topology::Topology;
+
+/// Dense index of an endsystem in the simulation (not its Pastry id).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An event delivered to the application.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A network message arrived at `to`.
+    Message {
+        from: NodeIdx,
+        to: NodeIdx,
+        payload: M,
+    },
+    /// A timer set by `node` fired. `tag` is whatever the node passed to
+    /// [`Engine::set_timer`]; stale-timer suppression is the application's
+    /// job (check incarnation counters in the tag).
+    Timer { node: NodeIdx, tag: u64 },
+    /// `node` just became available (liveness already updated).
+    NodeUp { node: NodeIdx },
+    /// `node` just became unavailable (liveness already updated; its
+    /// queued messages and timers will be dropped on delivery).
+    NodeDown { node: NodeIdx },
+}
+
+enum Pending<M> {
+    Message {
+        from: NodeIdx,
+        to: NodeIdx,
+        payload: M,
+        size: u32,
+        class: TrafficClass,
+    },
+    Timer {
+        node: NodeIdx,
+        tag: u64,
+    },
+    NodeUp {
+        node: NodeIdx,
+    },
+    NodeDown {
+        node: NodeIdx,
+    },
+}
+
+struct Queued<M> {
+    at: Time,
+    seq: u64,
+    pending: Pending<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for all engine-internal randomness (message loss).
+    pub seed: u64,
+    /// Uniform probability that any network message is lost in flight.
+    /// MSPastry is evaluated in the paper with rates up to 5%.
+    pub loss_rate: f64,
+    /// Collect per-(node,hour) bandwidth samples for CDFs (Figure 9(b)).
+    pub collect_cdf: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            loss_rate: 0.0,
+            collect_cdf: false,
+        }
+    }
+}
+
+/// The discrete-event engine. `M` is the application's message payload.
+pub struct Engine<M> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    topo: Box<dyn Topology>,
+    up: Vec<bool>,
+    recorder: BandwidthRecorder,
+    rng: StdRng,
+    loss_rate: f64,
+    /// Count of messages dropped because the destination was down.
+    pub dropped_dest_down: u64,
+    /// Count of messages lost to simulated network loss.
+    pub dropped_loss: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+}
+
+impl<M> Engine<M> {
+    /// Creates an engine over `topo`; all nodes start **down** — schedule
+    /// [`Engine::schedule_up`] events (e.g. from an availability trace) to
+    /// bring them up.
+    #[must_use]
+    pub fn new(topo: Box<dyn Topology>, config: SimConfig) -> Self {
+        let n = topo.num_endsystems();
+        Engine {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            topo,
+            up: vec![false; n],
+            recorder: BandwidthRecorder::new(n, config.collect_cdf),
+            rng: StdRng::seed_from_u64(config.seed ^ 0xe791_e5ee_d000_0001),
+            loss_rate: config.loss_rate,
+            dropped_dest_down: 0,
+            dropped_loss: 0,
+            messages_sent: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of endsystems in the simulation.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Is `node` currently available?
+    #[must_use]
+    pub fn is_up(&self, node: NodeIdx) -> bool {
+        self.up[node.idx()]
+    }
+
+    /// Number of currently available endsystems.
+    #[must_use]
+    pub fn num_up(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Iterator over currently available endsystems.
+    pub fn up_nodes(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.up
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| NodeIdx(i as u32))
+    }
+
+    fn push(&mut self, at: Time, pending: Pending<M>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, pending }));
+    }
+
+    /// Sends a network message. Transmission bandwidth is charged to
+    /// `from` immediately; reception to `to` at delivery (if it is still
+    /// up and the message survives loss). `size` is the wire size in
+    /// bytes; `class` selects the accounting bucket.
+    pub fn send(&mut self, from: NodeIdx, to: NodeIdx, payload: M, size: u32, class: TrafficClass) {
+        debug_assert!(self.up[from.idx()], "down node {from:?} tried to send");
+        self.messages_sent += 1;
+        self.recorder.record_tx(self.now, from.idx(), class, size);
+        if self.loss_rate > 0.0 && self.rng.gen::<f64>() < self.loss_rate {
+            self.dropped_loss += 1;
+            return;
+        }
+        let latency = self.topo.one_way(from, to);
+        let at = self.now + latency;
+        self.push(
+            at,
+            Pending::Message {
+                from,
+                to,
+                payload,
+                size,
+                class,
+            },
+        );
+    }
+
+    /// Arms a timer for `node`, firing `delay` from now with `tag`.
+    /// Timers of down nodes are silently discarded at fire time.
+    pub fn set_timer(&mut self, node: NodeIdx, delay: Duration, tag: u64) {
+        self.push(self.now + delay, Pending::Timer { node, tag });
+    }
+
+    /// Schedules `node` to become available at `at` (absolute time).
+    pub fn schedule_up(&mut self, at: Time, node: NodeIdx) {
+        self.push(at, Pending::NodeUp { node });
+    }
+
+    /// Schedules `node` to become unavailable at `at` (absolute time).
+    pub fn schedule_down(&mut self, at: Time, node: NodeIdx) {
+        self.push(at, Pending::NodeDown { node });
+    }
+
+    /// Pops and applies the next event at or before `horizon`, returning
+    /// it for application-level dispatch. Returns `None` when the queue is
+    /// exhausted or the next event lies beyond the horizon (the clock then
+    /// advances to the horizon).
+    pub fn next_event_before(&mut self, horizon: Time) -> Option<(Time, Event<M>)> {
+        loop {
+            match self.queue.peek() {
+                None => {
+                    self.now = self.now.max(horizon);
+                    return None;
+                }
+                Some(Reverse(q)) if q.at > horizon => {
+                    self.now = horizon;
+                    return None;
+                }
+                _ => {}
+            }
+            let Reverse(q) = self.queue.pop().expect("peeked");
+            self.now = q.at;
+            match q.pending {
+                Pending::Message {
+                    from,
+                    to,
+                    payload,
+                    size,
+                    class,
+                } => {
+                    if !self.up[to.idx()] {
+                        self.dropped_dest_down += 1;
+                        continue;
+                    }
+                    self.recorder.record_rx(self.now, to.idx(), class, size);
+                    return Some((self.now, Event::Message { from, to, payload }));
+                }
+                Pending::Timer { node, tag } => {
+                    if !self.up[node.idx()] {
+                        continue;
+                    }
+                    return Some((self.now, Event::Timer { node, tag }));
+                }
+                Pending::NodeUp { node } => {
+                    if self.up[node.idx()] {
+                        continue; // duplicate up event; ignore
+                    }
+                    self.up[node.idx()] = true;
+                    self.recorder.node_up(self.now, node.idx());
+                    return Some((self.now, Event::NodeUp { node }));
+                }
+                Pending::NodeDown { node } => {
+                    if !self.up[node.idx()] {
+                        continue;
+                    }
+                    self.up[node.idx()] = false;
+                    self.recorder.node_down(self.now, node.idx());
+                    return Some((self.now, Event::NodeDown { node }));
+                }
+            }
+        }
+    }
+
+    /// Charges `bytes` of transmitted overlay-maintenance traffic to
+    /// `node` without scheduling a message — used for liveness probes
+    /// whose only protocol effect (detecting a dead peer) the caller
+    /// applies directly.
+    pub fn record_probe(&mut self, node: NodeIdx, bytes: u32) {
+        self.recorder
+            .record_tx(self.now, node.idx(), TrafficClass::Overlay, bytes);
+    }
+
+    /// Registers standing (periodic, event-free) traffic for `node`; see
+    /// [`BandwidthRecorder::set_standing`]. Used for strictly periodic
+    /// protocol traffic (leafset heartbeats) whose event-by-event
+    /// simulation would swamp the queue without changing any decision.
+    pub fn set_standing(&mut self, node: NodeIdx, class: TrafficClass, tx_rate: f32, rx_rate: f32) {
+        self.recorder
+            .set_standing(node.idx(), class, tx_rate, rx_rate);
+    }
+
+    /// Finishes the run, consuming the engine and yielding the bandwidth
+    /// report (accounting closed at the final clock value).
+    #[must_use]
+    pub fn finish(self) -> BandwidthReport {
+        self.recorder.finish(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::UniformTopology;
+
+    fn engine(n: usize, latency_ms: u64) -> Engine<&'static str> {
+        Engine::new(
+            Box::new(UniformTopology::new(n, Duration::from_millis(latency_ms))),
+            SimConfig::default(),
+        )
+    }
+
+    fn drain(e: &mut Engine<&'static str>, horizon: Time) -> Vec<(Time, String)> {
+        let mut out = Vec::new();
+        while let Some((t, ev)) = e.next_event_before(horizon) {
+            out.push((t, format!("{ev:?}")));
+        }
+        out
+    }
+
+    #[test]
+    fn message_latency_and_ordering() {
+        let mut e = engine(3, 10);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        e.schedule_up(Time::ZERO, NodeIdx(1));
+        // Bring nodes up first.
+        assert!(matches!(
+            e.next_event_before(Time(1)),
+            Some((_, Event::NodeUp { .. }))
+        ));
+        assert!(matches!(
+            e.next_event_before(Time(1)),
+            Some((_, Event::NodeUp { .. }))
+        ));
+        e.send(NodeIdx(0), NodeIdx(1), "hello", 100, TrafficClass::Query);
+        let (t, ev) = e
+            .next_event_before(Time::ZERO + Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(t, Time::ZERO + Duration::from_millis(10));
+        match ev {
+            Event::Message { from, to, payload } => {
+                assert_eq!(from, NodeIdx(0));
+                assert_eq!(to, NodeIdx(1));
+                assert_eq!(payload, "hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_between_same_timestamp_events() {
+        let mut e = engine(2, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        e.schedule_up(Time::ZERO, NodeIdx(1));
+        let evs = drain(&mut e, Time(10));
+        assert!(evs[0].1.contains("NodeUp { node: NodeIdx(0) }"));
+        assert!(evs[1].1.contains("NodeUp { node: NodeIdx(1) }"));
+    }
+
+    #[test]
+    fn message_to_down_node_is_dropped() {
+        let mut e = engine(2, 10);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        e.schedule_up(Time::ZERO, NodeIdx(1));
+        e.schedule_down(Time(5_000), NodeIdx(1)); // down before delivery
+        let _ = e.next_event_before(Time(1)); // up 0
+        let _ = e.next_event_before(Time(1)); // up 1
+        e.send(NodeIdx(0), NodeIdx(1), "m", 50, TrafficClass::Query);
+        let evs = drain(&mut e, Time::ZERO + Duration::from_secs(1));
+        // Only the NodeDown should surface; the message is swallowed.
+        assert_eq!(evs.len(), 1, "{evs:?}");
+        assert!(evs[0].1.contains("NodeDown"));
+        assert_eq!(e.dropped_dest_down, 1);
+    }
+
+    #[test]
+    fn timer_dropped_when_node_down() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time(1));
+        e.set_timer(NodeIdx(0), Duration::from_secs(10), 42);
+        e.schedule_down(Time::ZERO + Duration::from_secs(5), NodeIdx(0));
+        let evs = drain(&mut e, Time::ZERO + Duration::from_secs(60));
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].1.contains("NodeDown"));
+    }
+
+    #[test]
+    fn timer_fires_with_tag() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time(1));
+        e.set_timer(NodeIdx(0), Duration::from_secs(3), 7);
+        let (t, ev) = e
+            .next_event_before(Time::ZERO + Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(t, Time::ZERO + Duration::from_secs(3));
+        assert!(matches!(
+            ev,
+            Event::Timer {
+                node: NodeIdx(0),
+                tag: 7
+            }
+        ));
+    }
+
+    #[test]
+    fn horizon_stops_and_advances_clock() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO + Duration::from_secs(100), NodeIdx(0));
+        assert!(e
+            .next_event_before(Time::ZERO + Duration::from_secs(50))
+            .is_none());
+        assert_eq!(e.now(), Time::ZERO + Duration::from_secs(50));
+        assert!(e
+            .next_event_before(Time::ZERO + Duration::from_secs(200))
+            .is_some());
+        assert_eq!(e.now(), Time::ZERO + Duration::from_secs(100));
+    }
+
+    #[test]
+    fn loss_rate_drops_messages() {
+        let mut e: Engine<u32> = Engine::new(
+            Box::new(UniformTopology::new(2, Duration::MILLISECOND)),
+            SimConfig {
+                seed: 1,
+                loss_rate: 1.0,
+                collect_cdf: false,
+            },
+        );
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        e.schedule_up(Time::ZERO, NodeIdx(1));
+        let _ = e.next_event_before(Time(1));
+        let _ = e.next_event_before(Time(1));
+        e.send(NodeIdx(0), NodeIdx(1), 1, 10, TrafficClass::Query);
+        assert!(e
+            .next_event_before(Time::ZERO + Duration::from_secs(1))
+            .is_none());
+        assert_eq!(e.dropped_loss, 1);
+    }
+
+    #[test]
+    fn bandwidth_is_accounted() {
+        let mut e = engine(2, 1);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        e.schedule_up(Time::ZERO, NodeIdx(1));
+        let _ = e.next_event_before(Time(1));
+        let _ = e.next_event_before(Time(1));
+        e.send(NodeIdx(0), NodeIdx(1), "x", 500, TrafficClass::Maintenance);
+        let _ = drain(&mut e, Time::ZERO + Duration::from_hours(2));
+        let report = e.finish();
+        assert_eq!(report.total_tx[TrafficClass::Maintenance as usize], 500);
+        let rx: u64 = report
+            .rx_hours
+            .iter()
+            .map(|h| h.bytes[TrafficClass::Maintenance as usize])
+            .sum();
+        assert_eq!(rx, 500);
+    }
+
+    #[test]
+    fn up_nodes_iterates_live_set() {
+        let mut e = engine(4, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(1));
+        e.schedule_up(Time::ZERO, NodeIdx(3));
+        let _ = e.next_event_before(Time(1));
+        let _ = e.next_event_before(Time(1));
+        let ups: Vec<_> = e.up_nodes().collect();
+        assert_eq!(ups, vec![NodeIdx(1), NodeIdx(3)]);
+        assert_eq!(e.num_up(), 2);
+        assert!(e.is_up(NodeIdx(3)));
+        assert!(!e.is_up(NodeIdx(0)));
+    }
+}

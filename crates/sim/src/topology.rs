@@ -1,0 +1,314 @@
+//! Network topology models providing one-way message latencies.
+//!
+//! The paper's packet-level simulations use the *CorpNet topology*: 298
+//! routers measured from the world-wide Microsoft corporate network, with
+//! per-link minimum RTTs; each endsystem attaches to a uniformly random
+//! router over a 1 ms LAN link. The measured topology is proprietary, so
+//! [`CorpNetTopology`] synthesizes a three-tier corporate WAN of the same
+//! size and flavour (DESIGN.md "Substitutions"): a full-mesh-ish
+//! backbone of core routers spanning continents, regional aggregation
+//! routers, and branch routers, with RTTs drawn from ranges typical of each
+//! tier. All-pairs router RTTs are precomputed with Dijkstra, so latency
+//! lookup during simulation is O(1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seaweed_types::Duration;
+
+use crate::engine::NodeIdx;
+
+/// Provides one-way network delay between endsystems.
+pub trait Topology {
+    /// One-way latency from endsystem `a` to endsystem `b`.
+    fn one_way(&self, a: NodeIdx, b: NodeIdx) -> Duration;
+
+    /// Number of endsystems the topology was built for.
+    fn num_endsystems(&self) -> usize;
+}
+
+/// Trivial fabric: every pair of distinct endsystems is `latency` apart.
+/// Used by unit tests and by the availability-only simulator where network
+/// latency is irrelevant.
+#[derive(Debug, Clone)]
+pub struct UniformTopology {
+    n: usize,
+    latency: Duration,
+}
+
+impl UniformTopology {
+    #[must_use]
+    pub fn new(n: usize, latency: Duration) -> Self {
+        UniformTopology { n, latency }
+    }
+}
+
+impl Topology for UniformTopology {
+    fn one_way(&self, a: NodeIdx, b: NodeIdx) -> Duration {
+        if a == b {
+            Duration::ZERO
+        } else {
+            self.latency
+        }
+    }
+
+    fn num_endsystems(&self) -> usize {
+        self.n
+    }
+}
+
+/// Synthetic world-wide corporate WAN in the mould of the paper's CorpNet
+/// topology: `num_routers` routers in a three-tier hierarchy, all-pairs
+/// shortest-path RTTs, endsystems attached to random routers by 1 ms LAN
+/// links.
+pub struct CorpNetTopology {
+    /// Half of the router-to-router RTT (i.e. one-way), in microseconds,
+    /// as a flattened `num_routers × num_routers` matrix.
+    one_way_us: Vec<u32>,
+    num_routers: usize,
+    /// Router each endsystem attaches to.
+    attach: Vec<u32>,
+    /// One-way LAN delay between an endsystem and its router.
+    lan: Duration,
+}
+
+/// Default router count, matching the paper's CorpNet measurement.
+pub const CORPNET_ROUTERS: usize = 298;
+
+impl CorpNetTopology {
+    /// Builds the synthetic CorpNet with the paper's parameters: 298
+    /// routers, 1 ms LAN links, endsystems attached uniformly at random.
+    #[must_use]
+    pub fn new(num_endsystems: usize, seed: u64) -> Self {
+        Self::with_params(num_endsystems, CORPNET_ROUTERS, Duration::MILLISECOND, seed)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// The router graph: ~5% core routers (intercontinental backbone ring +
+    /// chords, 20–120 ms RTT links), ~25% regional routers (each homed to
+    /// two cores, 2–20 ms), the rest branch routers (homed to one regional,
+    /// 0.5–4 ms). This yields the multi-modal RTT distribution of a real
+    /// corporate WAN: sub-ms within a site, a few ms within a region,
+    /// 100 ms+ across continents.
+    #[must_use]
+    pub fn with_params(
+        num_endsystems: usize,
+        num_routers: usize,
+        lan: Duration,
+        seed: u64,
+    ) -> Self {
+        assert!(num_routers >= 3, "need at least 3 routers");
+        let mut rng = StdRng::seed_from_u64(seed ^ TOPOLOGY_STREAM);
+        let n_core = (num_routers / 20).max(3);
+        let n_regional = (num_routers / 4).max(n_core);
+        let n_branch = num_routers - n_core - n_regional;
+
+        // Adjacency list of (peer, rtt_us).
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_routers];
+        let link = |adj: &mut Vec<Vec<(u32, u32)>>, a: usize, b: usize, rtt_us: u32| {
+            adj[a].push((b as u32, rtt_us));
+            adj[b].push((a as u32, rtt_us));
+        };
+
+        // Backbone ring over core routers plus random chords.
+        for i in 0..n_core {
+            let j = (i + 1) % n_core;
+            let rtt = rng.gen_range(20_000..=120_000);
+            link(&mut adj, i, j, rtt);
+        }
+        for _ in 0..n_core {
+            let a = rng.gen_range(0..n_core);
+            let b = rng.gen_range(0..n_core);
+            if a != b {
+                link(&mut adj, a, b, rng.gen_range(20_000..=120_000));
+            }
+        }
+        // Regional routers dual-homed to cores.
+        for r in n_core..n_core + n_regional {
+            let c1 = rng.gen_range(0..n_core);
+            let mut c2 = rng.gen_range(0..n_core);
+            if c2 == c1 {
+                c2 = (c1 + 1) % n_core;
+            }
+            link(&mut adj, r, c1, rng.gen_range(2_000..=20_000));
+            link(&mut adj, r, c2, rng.gen_range(2_000..=20_000));
+        }
+        // Branch routers single-homed to a regional.
+        for b_r in n_core + n_regional..num_routers {
+            let reg = n_core + rng.gen_range(0..n_regional);
+            link(&mut adj, b_r, reg, rng.gen_range(500..=4_000));
+        }
+        let _ = n_branch;
+
+        // All-pairs shortest-path RTT via repeated Dijkstra.
+        let rtt = all_pairs_shortest(&adj);
+        let one_way_us = rtt.iter().map(|&r| r / 2).collect();
+
+        let attach = (0..num_endsystems)
+            .map(|_| rng.gen_range(0..num_routers) as u32)
+            .collect();
+
+        CorpNetTopology {
+            one_way_us,
+            num_routers,
+            attach,
+            lan,
+        }
+    }
+
+    /// One-way latency between two routers.
+    #[must_use]
+    pub fn router_one_way(&self, a: usize, b: usize) -> Duration {
+        Duration::from_micros(u64::from(self.one_way_us[a * self.num_routers + b]))
+    }
+
+    /// The router an endsystem attaches to.
+    #[must_use]
+    pub fn router_of(&self, node: NodeIdx) -> usize {
+        self.attach[node.0 as usize] as usize
+    }
+
+    #[must_use]
+    pub fn num_routers(&self) -> usize {
+        self.num_routers
+    }
+}
+
+/// Stream-separation constant so the topology RNG never shares a stream
+/// with other components seeded from the same experiment seed.
+const TOPOLOGY_STREAM: u64 = 0x5eae_edc0_99e7;
+
+impl Topology for CorpNetTopology {
+    fn one_way(&self, a: NodeIdx, b: NodeIdx) -> Duration {
+        if a == b {
+            return Duration::ZERO;
+        }
+        let ra = self.attach[a.0 as usize] as usize;
+        let rb = self.attach[b.0 as usize] as usize;
+        // endsystem -> router LAN hop, router path, router -> endsystem.
+        self.lan + self.router_one_way(ra, rb) + self.lan
+    }
+
+    fn num_endsystems(&self) -> usize {
+        self.attach.len()
+    }
+}
+
+/// All-pairs shortest paths over a small weighted graph; returns the
+/// flattened RTT matrix in microseconds. Unreachable pairs (should not
+/// happen in our connected construction) get `u32::MAX / 4`.
+fn all_pairs_shortest(adj: &[Vec<(u32, u32)>]) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = adj.len();
+    let mut out = vec![u32::MAX / 4; n * n];
+    let mut dist = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    for src in 0..n {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[src] = 0;
+        heap.clear();
+        heap.push(Reverse((0u32, src as u32)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, w) in &adj[u as usize] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        for (j, &d) in dist.iter().enumerate() {
+            out[src * n + j] = if d == u32::MAX { u32::MAX / 4 } else { d };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_latency() {
+        let t = UniformTopology::new(10, Duration::from_millis(5));
+        assert_eq!(t.one_way(NodeIdx(0), NodeIdx(1)), Duration::from_millis(5));
+        assert_eq!(t.one_way(NodeIdx(3), NodeIdx(3)), Duration::ZERO);
+        assert_eq!(t.num_endsystems(), 10);
+    }
+
+    #[test]
+    fn corpnet_is_symmetric_and_connected() {
+        let t = CorpNetTopology::with_params(100, 50, Duration::MILLISECOND, 7);
+        for a in 0..50 {
+            for b in 0..50 {
+                let ab = t.router_one_way(a, b);
+                let ba = t.router_one_way(b, a);
+                assert_eq!(ab, ba, "asymmetric {a}->{b}");
+                if a != b {
+                    assert!(ab > Duration::ZERO);
+                    assert!(ab < Duration::from_secs(2), "disconnected? {a}->{b} = {ab}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpnet_triangle_inequality() {
+        let t = CorpNetTopology::with_params(10, 40, Duration::MILLISECOND, 3);
+        for a in 0..40 {
+            for b in 0..40 {
+                for c in [0usize, 7, 23] {
+                    let direct = t.router_one_way(a, b).as_micros();
+                    let via =
+                        t.router_one_way(a, c).as_micros() + t.router_one_way(c, b).as_micros();
+                    // One-way values are RTT/2 with floor division, which
+                    // can shave up to 1 us off each leg.
+                    assert!(
+                        direct <= via + 2,
+                        "shortest path violated: {a}->{b} via {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn endsystem_latency_includes_lan_hops() {
+        let t = CorpNetTopology::with_params(20, 10, Duration::MILLISECOND, 1);
+        let a = NodeIdx(0);
+        let b = NodeIdx(1);
+        let ra = t.router_of(a);
+        let rb = t.router_of(b);
+        let expect = Duration::MILLISECOND + t.router_one_way(ra, rb) + Duration::MILLISECOND;
+        assert_eq!(t.one_way(a, b), expect);
+        // Same endsystem: zero.
+        assert_eq!(t.one_way(a, a), Duration::ZERO);
+        // Different endsystems on (possibly) the same router: >= 2 ms LAN.
+        assert!(t.one_way(a, b) >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let t1 = CorpNetTopology::with_params(50, 30, Duration::MILLISECOND, 99);
+        let t2 = CorpNetTopology::with_params(50, 30, Duration::MILLISECOND, 99);
+        for a in 0..50u32 {
+            let b = (a * 7 + 3) % 50;
+            assert_eq!(
+                t1.one_way(NodeIdx(a), NodeIdx(b)),
+                t2.one_way(NodeIdx(a), NodeIdx(b))
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_builds_quickly() {
+        // 298 routers as in the paper; should take well under a second.
+        let t = CorpNetTopology::new(1000, 42);
+        assert_eq!(t.num_routers(), CORPNET_ROUTERS);
+        assert_eq!(t.num_endsystems(), 1000);
+    }
+}

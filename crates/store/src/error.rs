@@ -1,0 +1,50 @@
+//! Error type for the store crate.
+
+use std::fmt;
+
+/// Errors from parsing, binding or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Lexical or syntactic error in the SQL text.
+    Parse { pos: usize, message: String },
+    /// The query references an unknown table.
+    UnknownTable(String),
+    /// The query references an unknown column.
+    UnknownColumn(String),
+    /// A value or operation does not fit the column type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Row shape does not match the schema.
+    BadRow { expected: usize, got: usize },
+    /// The aggregate function cannot apply to this column type.
+    BadAggregate(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            StoreError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StoreError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on {column}: expected {expected}, got {got}"
+                )
+            }
+            StoreError::BadRow { expected, got } => {
+                write!(f, "bad row: expected {expected} values, got {got}")
+            }
+            StoreError::BadAggregate(m) => write!(f, "bad aggregate: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

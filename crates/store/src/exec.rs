@@ -1,0 +1,424 @@
+//! Query execution and mergeable partial aggregates.
+//!
+//! Seaweed aggregates results *in-network* (§3.4): each aggregation-tree
+//! vertex combines the partial aggregates of its children. [`Aggregate`]
+//! is therefore a commutative monoid — `merge` is associative and
+//! insensitive to arrival order — carrying enough state for COUNT, SUM,
+//! AVG (sum + count), MIN and MAX. The row count also doubles as the
+//! completeness numerator: "completeness is defined as the ratio of tuples
+//! processed to the total number of tuples relevant to the query" (§1).
+
+use crate::error::StoreError;
+use crate::sql::BoundQuery;
+use crate::table::{ColumnData, Table};
+use crate::value::Value;
+
+/// Supported aggregate functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// A mergeable partial aggregate.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    /// Rows folded in (the completeness numerator).
+    pub rows: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// The identity element for `func`.
+    #[must_use]
+    pub fn empty(func: AggFunc) -> Self {
+        Aggregate {
+            func,
+            rows: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one value in (`0.0` for pure COUNT(*) rows).
+    pub fn fold(&mut self, v: f64) {
+        self.rows += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another partial aggregate of the same function.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the functions differ.
+    pub fn merge(&mut self, other: &Aggregate) {
+        debug_assert_eq!(self.func, other.func, "merging different aggregates");
+        self.rows += other.rows;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The final scalar answer; `None` when no rows matched (SQL NULL).
+    #[must_use]
+    pub fn finish(&self) -> Option<f64> {
+        match self.func {
+            AggFunc::Count => Some(self.rows as f64),
+            AggFunc::Sum => Some(self.sum),
+            AggFunc::Avg => {
+                if self.rows == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.rows as f64)
+                }
+            }
+            AggFunc::Min => (self.rows > 0).then_some(self.min),
+            AggFunc::Max => (self.rows > 0).then_some(self.max),
+        }
+    }
+}
+
+/// Executes a bound query against a local table fragment (ignoring any
+/// `GROUP BY`; see [`execute_grouped`]).
+pub fn execute(query: &BoundQuery, table: &Table) -> Result<Aggregate, StoreError> {
+    let mut agg = Aggregate::empty(query.agg);
+    let rows = matching_rows(query, table);
+    match query.agg_column {
+        None => {
+            for _ in rows {
+                agg.fold(0.0);
+            }
+        }
+        Some(col) => match table.column(col) {
+            ColumnData::Ints(v) => {
+                for r in rows {
+                    agg.fold(v[r] as f64);
+                }
+            }
+            ColumnData::Floats(v) => {
+                for r in rows {
+                    agg.fold(v[r]);
+                }
+            }
+            ColumnData::Strs { .. } => {
+                if query.agg == AggFunc::Count {
+                    for _ in rows {
+                        agg.fold(0.0);
+                    }
+                } else {
+                    return Err(StoreError::BadAggregate(
+                        "numeric aggregate over string column".into(),
+                    ));
+                }
+            }
+        },
+    }
+    Ok(agg)
+}
+
+/// Executes a `GROUP BY` aggregate against a local table fragment,
+/// returning one partial aggregate per group value, sorted by group key.
+///
+/// Grouped queries are a *local-engine* feature: Seaweed's in-network
+/// aggregation carries scalar aggregates (the paper's scope), so grouped
+/// distributed queries belong in a layer above (§1.3: "functionality ...
+/// could be provided in a layer above Seaweed"). [`merge_grouped`]
+/// combines fragments' grouped results for such a layer.
+pub fn execute_grouped(
+    query: &BoundQuery,
+    table: &Table,
+) -> Result<Vec<(Value, Aggregate)>, StoreError> {
+    let group_col = query
+        .group_by
+        .ok_or_else(|| StoreError::BadAggregate("execute_grouped without GROUP BY".into()))?;
+    let mut groups: Vec<(Value, Aggregate)> = Vec::new();
+    let mut upsert =
+        |key: Value, v: f64, agg_fn: AggFunc| match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, a)) => a.fold(v),
+            None => {
+                let mut a = Aggregate::empty(agg_fn);
+                a.fold(v);
+                groups.push((key, a));
+            }
+        };
+    for r in 0..table.num_rows() {
+        if !row_matches(query, table, r) {
+            continue;
+        }
+        let key = table.get(r, group_col);
+        let v = match query.agg_column {
+            None => 0.0,
+            Some(col) => match table.get(r, col) {
+                Value::Int(i) => i as f64,
+                Value::Float(f) => f,
+                Value::Str(_) if query.agg == AggFunc::Count => 0.0,
+                Value::Str(_) => {
+                    return Err(StoreError::BadAggregate(
+                        "numeric aggregate over string column".into(),
+                    ))
+                }
+            },
+        };
+        upsert(key, v, query.agg);
+    }
+    groups.sort_by(|(a, _), (b, _)| a.compare(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(groups)
+}
+
+/// Merges two grouped partial results (e.g. from different endsystems'
+/// fragments), preserving sorted group order.
+#[must_use]
+pub fn merge_grouped(
+    mut left: Vec<(Value, Aggregate)>,
+    right: &[(Value, Aggregate)],
+) -> Vec<(Value, Aggregate)> {
+    for (key, agg) in right {
+        match left.iter_mut().find(|(k, _)| k == key) {
+            Some((_, a)) => a.merge(agg),
+            None => left.push((key.clone(), *agg)),
+        }
+    }
+    left.sort_by(|(a, _), (b, _)| a.compare(b).unwrap_or(std::cmp::Ordering::Equal));
+    left
+}
+
+/// Exact count of rows matching the query's predicates — used both for
+/// execution and as the ground-truth row count behind completeness.
+#[must_use]
+pub fn count_matching(query: &BoundQuery, table: &Table) -> u64 {
+    matching_rows(query, table).count() as u64
+}
+
+/// Iterator over matching row indices.
+fn matching_rows<'a>(query: &'a BoundQuery, table: &'a Table) -> impl Iterator<Item = usize> + 'a {
+    (0..table.num_rows()).filter(move |&r| row_matches(query, table, r))
+}
+
+fn row_matches(query: &BoundQuery, table: &Table, row: usize) -> bool {
+    query.predicates.iter().all(|p| {
+        let cell = cell_matches(table.column(p.column), row, p);
+        cell
+    })
+}
+
+fn cell_matches(col: &ColumnData, row: usize, p: &crate::sql::Comparison) -> bool {
+    match (col, &p.value) {
+        (ColumnData::Ints(v), Value::Int(x)) => p.op.eval(v[row].cmp(x)),
+        (ColumnData::Ints(v), Value::Float(x)) => {
+            (v[row] as f64).partial_cmp(x).is_some_and(|o| p.op.eval(o))
+        }
+        (ColumnData::Floats(v), Value::Int(x)) => v[row]
+            .partial_cmp(&(*x as f64))
+            .is_some_and(|o| p.op.eval(o)),
+        (ColumnData::Floats(v), Value::Float(x)) => {
+            v[row].partial_cmp(x).is_some_and(|o| p.op.eval(o))
+        }
+        (ColumnData::Strs { codes, dict }, Value::Str(s)) => {
+            p.op.eval(dict[codes[row] as usize].as_str().cmp(s.as_str()))
+        }
+        _ => false, // bind() prevents incompatible comparisons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::sql::Query;
+    use crate::value::DataType;
+
+    fn flow_table() -> Table {
+        let schema = Schema::new(
+            "Flow",
+            vec![
+                ColumnDef::new("ts", DataType::Int, true),
+                ColumnDef::new("SrcPort", DataType::Int, true),
+                ColumnDef::new("Bytes", DataType::Int, true),
+                ColumnDef::new("App", DataType::Str, true),
+            ],
+        );
+        let mut t = Table::new(schema);
+        let rows = [
+            (100, 80, 5_000, "HTTP"),
+            (200, 80, 25_000, "HTTP"),
+            (300, 445, 40_000, "SMB"),
+            (400, 443, 1_000, "HTTPS"),
+            (500, 80, 15_000, "HTTP"),
+            (600, 445, 30_000, "SMB"),
+        ];
+        for (ts, port, bytes, app) in rows {
+            t.insert(vec![
+                Value::Int(ts),
+                Value::Int(port),
+                Value::Int(bytes),
+                Value::from(app),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn run(sql: &str, now: i64) -> (Aggregate, Table) {
+        let t = flow_table();
+        let q = Query::parse(sql).unwrap().bind(t.schema(), now).unwrap();
+        (execute(&q, &t).unwrap(), t)
+    }
+
+    #[test]
+    fn sum_with_equality() {
+        let (agg, _) = run("SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80", 0);
+        assert_eq!(agg.rows, 3);
+        assert_eq!(agg.finish(), Some(45_000.0));
+    }
+
+    #[test]
+    fn count_star_with_range() {
+        let (agg, _) = run("SELECT COUNT(*) FROM Flow WHERE Bytes > 20000", 0);
+        assert_eq!(agg.finish(), Some(3.0));
+    }
+
+    #[test]
+    fn avg_over_string_predicate() {
+        let (agg, _) = run("SELECT AVG(Bytes) FROM Flow WHERE App='SMB'", 0);
+        assert_eq!(agg.finish(), Some(35_000.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let (mn, _) = run("SELECT MIN(Bytes) FROM Flow", 0);
+        assert_eq!(mn.finish(), Some(1_000.0));
+        let (mx, _) = run("SELECT MAX(Bytes) FROM Flow", 0);
+        assert_eq!(mx.finish(), Some(40_000.0));
+    }
+
+    #[test]
+    fn now_window() {
+        // NOW() = 450: ts in [NOW()-250, NOW()] = [200, 450].
+        let (agg, _) = run(
+            "SELECT COUNT(*) FROM Flow WHERE ts <= NOW() AND ts >= NOW() - 250",
+            450,
+        );
+        assert_eq!(agg.finish(), Some(3.0)); // ts 200, 300, 400
+    }
+
+    #[test]
+    fn empty_result_is_null_for_avg_min_max() {
+        let (avg, _) = run("SELECT AVG(Bytes) FROM Flow WHERE SrcPort=9999", 0);
+        assert_eq!(avg.finish(), None);
+        let (mn, _) = run("SELECT MIN(Bytes) FROM Flow WHERE SrcPort=9999", 0);
+        assert_eq!(mn.finish(), None);
+        let (cnt, _) = run("SELECT COUNT(*) FROM Flow WHERE SrcPort=9999", 0);
+        assert_eq!(cnt.finish(), Some(0.0));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_and_matches_whole() {
+        let t = flow_table();
+        let q = Query::parse("SELECT AVG(Bytes) FROM Flow WHERE SrcPort=80")
+            .unwrap()
+            .bind(t.schema(), 0)
+            .unwrap();
+        let whole = execute(&q, &t).unwrap();
+
+        // Split the table into two fragments and merge partials.
+        let mut frag1 = Table::new(t.schema().clone());
+        let mut frag2 = Table::new(t.schema().clone());
+        for r in 0..t.num_rows() {
+            let row: Vec<Value> = (0..4).map(|c| t.get(r, c)).collect();
+            if r % 2 == 0 {
+                frag1.insert(row).unwrap();
+            } else {
+                frag2.insert(row).unwrap();
+            }
+        }
+        let a1 = execute(&q, &frag1).unwrap();
+        let a2 = execute(&q, &frag2).unwrap();
+        let mut m12 = a1;
+        m12.merge(&a2);
+        let mut m21 = a2;
+        m21.merge(&a1);
+        assert_eq!(m12, m21);
+        assert_eq!(m12.finish(), whole.finish());
+        assert_eq!(m12.rows, whole.rows);
+    }
+
+    #[test]
+    fn count_matching_agrees_with_execute() {
+        let t = flow_table();
+        let q = Query::parse("SELECT SUM(Bytes) FROM Flow WHERE Bytes >= 15000")
+            .unwrap()
+            .bind(t.schema(), 0)
+            .unwrap();
+        assert_eq!(count_matching(&q, &t), execute(&q, &t).unwrap().rows);
+    }
+
+    #[test]
+    fn grouped_execution_and_merge() {
+        let t = flow_table();
+        let q = Query::parse("SELECT SUM(Bytes) FROM Flow GROUP BY App")
+            .unwrap()
+            .bind(t.schema(), 0)
+            .unwrap();
+        let groups = execute_grouped(&q, &t).unwrap();
+        let by_key: Vec<(String, f64)> = groups
+            .iter()
+            .map(|(k, a)| (k.to_string(), a.finish().unwrap()))
+            .collect();
+        assert_eq!(
+            by_key,
+            vec![
+                ("'HTTP'".to_string(), 45_000.0),
+                ("'HTTPS'".to_string(), 1_000.0),
+                ("'SMB'".to_string(), 70_000.0),
+            ]
+        );
+
+        // Split into fragments; merged grouped results equal the whole.
+        let mut frag1 = Table::new(t.schema().clone());
+        let mut frag2 = Table::new(t.schema().clone());
+        for r in 0..t.num_rows() {
+            let row: Vec<Value> = (0..4).map(|c| t.get(r, c)).collect();
+            if r % 2 == 0 {
+                frag1.insert(row).unwrap();
+            } else {
+                frag2.insert(row).unwrap();
+            }
+        }
+        let g1 = execute_grouped(&q, &frag1).unwrap();
+        let g2 = execute_grouped(&q, &frag2).unwrap();
+        let merged = merge_grouped(g1, &g2);
+        assert_eq!(merged, groups);
+    }
+
+    #[test]
+    fn grouped_count_star_and_errors() {
+        let t = flow_table();
+        let q = Query::parse("SELECT COUNT(*) FROM Flow WHERE Bytes >= 15000 GROUP BY SrcPort")
+            .unwrap()
+            .bind(t.schema(), 0)
+            .unwrap();
+        let groups = execute_grouped(&q, &t).unwrap();
+        let total: u64 = groups.iter().map(|(_, a)| a.rows).sum();
+        assert_eq!(total, count_matching(&q, &t));
+        // Calling grouped execution without GROUP BY errors.
+        let plain = Query::parse("SELECT COUNT(*) FROM Flow")
+            .unwrap()
+            .bind(t.schema(), 0)
+            .unwrap();
+        assert!(execute_grouped(&plain, &t).is_err());
+    }
+
+    #[test]
+    fn string_inequality() {
+        let (agg, _) = run("SELECT COUNT(*) FROM Flow WHERE App != 'HTTP'", 0);
+        assert_eq!(agg.finish(), Some(3.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Table schemas.
+//!
+//! The paper assumes "for any given application there is a standard schema
+//! across endsystems" (§2): every endsystem holds a horizontal partition
+//! of each table. A [`Schema`] is shared application-wide; histograms are
+//! maintained on columns marked `indexed`.
+
+use crate::error::StoreError;
+use crate::value::DataType;
+
+/// One column of a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    /// Indexed columns get histograms in the endsystem's data summary.
+    pub indexed: bool,
+}
+
+impl ColumnDef {
+    #[must_use]
+    pub fn new(name: &str, dtype: DataType, indexed: bool) -> Self {
+        ColumnDef {
+            name: name.to_owned(),
+            dtype,
+            indexed,
+        }
+    }
+}
+
+/// Schema of one table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    pub table: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// # Panics
+    /// Panics on duplicate column names (a schema is application code).
+    #[must_use]
+    pub fn new(table: &str, columns: Vec<ColumnDef>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[..i] {
+                assert!(
+                    !a.name.eq_ignore_ascii_case(&b.name),
+                    "duplicate column {}",
+                    a.name
+                );
+            }
+        }
+        Schema {
+            table: table.to_owned(),
+            columns,
+        }
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Result<usize, StoreError> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| StoreError::UnknownColumn(name.to_owned()))
+    }
+
+    #[must_use]
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Indices of all indexed columns.
+    #[must_use]
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.indexed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Flow",
+            vec![
+                ColumnDef::new("ts", DataType::Int, true),
+                ColumnDef::new("SrcPort", DataType::Int, true),
+                ColumnDef::new("Bytes", DataType::Int, false),
+                ColumnDef::new("App", DataType::Str, true),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("srcport").unwrap(), 1);
+        assert_eq!(s.column_index("TS").unwrap(), 0);
+        assert!(matches!(
+            s.column_index("nope"),
+            Err(StoreError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn indexed_columns_listed() {
+        assert_eq!(schema().indexed_columns(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int, false),
+                ColumnDef::new("A", DataType::Str, false),
+            ],
+        );
+    }
+}

@@ -1,0 +1,673 @@
+//! Parser for the Seaweed SQL subset.
+//!
+//! §2 restricts read-only queries to single-table select-project-aggregate
+//! with no distributed joins. The grammar accepted here covers every query
+//! in the paper's evaluation:
+//!
+//! ```text
+//! query   := SELECT agg FROM ident [WHERE cond (AND cond)*] [GROUP BY ident]
+//! agg     := (COUNT | SUM | AVG | MIN | MAX) '(' ('*' | ident) ')'
+//! cond    := ident op operand
+//! op      := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//! operand := number | 'string' | NOW() [('+'|'-') number]
+//! ```
+//!
+//! Parsing happens once at the injection endsystem; *binding* resolves
+//! `NOW()` against the injection timestamp and column names against the
+//! application schema, producing a [`BoundQuery`] every endsystem (or
+//! metadata replica) can evaluate locally.
+
+use crate::error::StoreError;
+use crate::exec::AggFunc;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    #[must_use]
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// Right-hand side of a comparison before binding.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Operand {
+    Literal(Value),
+    /// `NOW()` plus a signed offset in seconds.
+    Now {
+        offset_secs: i64,
+    },
+}
+
+/// One `column op operand` condition, unbound.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RawComparison {
+    pub column: String,
+    pub op: CmpOp,
+    pub operand: Operand,
+}
+
+/// A parsed (but unbound) query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    pub agg: AggFunc,
+    /// Aggregated column name; `None` for `COUNT(*)`.
+    pub agg_column: Option<String>,
+    pub table: String,
+    pub predicates: Vec<RawComparison>,
+    /// Optional `GROUP BY` column.
+    pub group_by: Option<String>,
+    /// Normalized source text (used to derive the queryId).
+    pub text: String,
+}
+
+/// A bound comparison: column index and concrete value.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Comparison {
+    pub column: usize,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+/// A query bound to a schema and an injection time.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoundQuery {
+    pub agg: AggFunc,
+    /// Aggregated column index; `None` for `COUNT(*)`.
+    pub agg_column: Option<usize>,
+    pub predicates: Vec<Comparison>,
+    /// Optional `GROUP BY` column index.
+    pub group_by: Option<usize>,
+}
+
+impl Query {
+    /// Parses `text`.
+    pub fn parse(text: &str) -> Result<Query, StoreError> {
+        Parser::new(text).parse()
+    }
+
+    /// Binds the query against `schema` with `NOW()` = `now_secs`.
+    pub fn bind(&self, schema: &Schema, now_secs: i64) -> Result<BoundQuery, StoreError> {
+        if !self.table.eq_ignore_ascii_case(&schema.table) {
+            return Err(StoreError::UnknownTable(self.table.clone()));
+        }
+        let agg_column = match &self.agg_column {
+            None => None,
+            Some(name) => {
+                let idx = schema.column_index(name)?;
+                let dtype = schema.column(idx).dtype;
+                if self.agg != AggFunc::Count && dtype == DataType::Str {
+                    return Err(StoreError::BadAggregate(format!(
+                        "{:?} over string column {name}",
+                        self.agg
+                    )));
+                }
+                Some(idx)
+            }
+        };
+        let mut predicates = Vec::with_capacity(self.predicates.len());
+        for raw in &self.predicates {
+            let column = schema.column_index(&raw.column)?;
+            let dtype = schema.column(column).dtype;
+            let value = match &raw.operand {
+                Operand::Now { offset_secs } => Value::Int(now_secs + offset_secs),
+                Operand::Literal(v) => v.clone(),
+            };
+            let compatible = matches!(
+                (dtype, &value),
+                (DataType::Int, Value::Int(_))
+                    | (DataType::Int, Value::Float(_))
+                    | (DataType::Float, Value::Int(_))
+                    | (DataType::Float, Value::Float(_))
+                    | (DataType::Str, Value::Str(_))
+            );
+            if !compatible {
+                return Err(StoreError::TypeMismatch {
+                    column: raw.column.clone(),
+                    expected: dtype.name(),
+                    got: value.dtype().name(),
+                });
+            }
+            predicates.push(Comparison {
+                column,
+                op: raw.op,
+                value,
+            });
+        }
+        let group_by = match &self.group_by {
+            None => None,
+            Some(name) => Some(schema.column_index(name)?),
+        };
+        Ok(BoundQuery {
+            agg: self.agg,
+            agg_column,
+            predicates,
+            group_by,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> StoreError {
+        StoreError::Parse {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(usize, Tok), StoreError> {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = self.src[self.pos];
+        match c {
+            b'(' | b')' | b'*' | b',' | b'+' => {
+                self.pos += 1;
+                let s = match c {
+                    b'(' => "(",
+                    b')' => ")",
+                    b'*' => "*",
+                    b',' => ",",
+                    _ => "+",
+                };
+                Ok((start, Tok::Sym(s)))
+            }
+            b'=' => {
+                self.pos += 1;
+                Ok((start, Tok::Sym("=")))
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Ok((start, Tok::Sym("!=")))
+                } else {
+                    Err(self.err("expected '=' after '!'"))
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Ok((start, Tok::Sym("<=")))
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Ok((start, Tok::Sym("!=")))
+                    }
+                    _ => Ok((start, Tok::Sym("<"))),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Ok((start, Tok::Sym(">=")))
+                } else {
+                    Ok((start, Tok::Sym(">")))
+                }
+            }
+            b'-' => {
+                self.pos += 1;
+                Ok((start, Tok::Sym("-")))
+            }
+            b'\'' => {
+                self.pos += 1;
+                let s0 = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated string literal"));
+                }
+                let s = String::from_utf8_lossy(&self.src[s0..self.pos]).into_owned();
+                self.pos += 1;
+                Ok((start, Tok::Str(s)))
+            }
+            b'0'..=b'9' | b'.' => {
+                let s0 = self.pos;
+                let mut is_float = false;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+                {
+                    if self.src[self.pos] == b'.' {
+                        is_float = true;
+                    }
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.src[s0..self.pos]).expect("ascii");
+                if is_float {
+                    s.parse::<f64>()
+                        .map(|f| (start, Tok::Float(f)))
+                        .map_err(|_| self.err(format!("bad float literal {s}")))
+                } else {
+                    s.parse::<i64>()
+                        .map(|i| (start, Tok::Int(i)))
+                        .map_err(|_| self.err(format!("bad integer literal {s}")))
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let s0 = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.src[s0..self.pos])
+                    .expect("ascii")
+                    .to_owned();
+                Ok((start, Tok::Ident(s)))
+            }
+            other => Err(self.err(format!("unexpected character {:?}", other as char))),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    tok_pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            lexer: Lexer::new(src),
+            tok: Tok::Eof,
+            tok_pos: 0,
+            src,
+        }
+    }
+
+    fn bump(&mut self) -> Result<(), StoreError> {
+        let (pos, tok) = self.lexer.next_tok()?;
+        self.tok = tok;
+        self.tok_pos = pos;
+        Ok(())
+    }
+
+    fn err(&self, message: impl Into<String>) -> StoreError {
+        StoreError::Parse {
+            pos: self.tok_pos,
+            message: message.into(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), StoreError> {
+        match &self.tok {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => self.bump(),
+            other => Err(self.err(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), StoreError> {
+        match &self.tok {
+            Tok::Sym(s) if *s == sym => self.bump(),
+            other => Err(self.err(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, StoreError> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Ident(s) => {
+                self.bump()?;
+                Ok(s)
+            }
+            other => {
+                self.tok = other;
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn parse(mut self) -> Result<Query, StoreError> {
+        self.bump()?;
+        self.expect_keyword("SELECT")?;
+        let agg_name = self.ident()?;
+        let agg = match agg_name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            other => return Err(self.err(format!("unknown aggregate {other}"))),
+        };
+        self.expect_sym("(")?;
+        let agg_column = if self.tok == Tok::Sym("*") {
+            if agg != AggFunc::Count {
+                return Err(self.err("only COUNT may take '*'"));
+            }
+            self.bump()?;
+            None
+        } else {
+            Some(self.ident()?)
+        };
+        self.expect_sym(")")?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let mut predicates = Vec::new();
+        if let Tok::Ident(s) = &self.tok {
+            if s.eq_ignore_ascii_case("WHERE") {
+                self.bump()?;
+                loop {
+                    predicates.push(self.comparison()?);
+                    match &self.tok {
+                        Tok::Ident(s) if s.eq_ignore_ascii_case("AND") => self.bump()?,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        let mut group_by = None;
+        if let Tok::Ident(s) = &self.tok {
+            if s.eq_ignore_ascii_case("GROUP") {
+                self.bump()?;
+                self.expect_keyword("BY")?;
+                group_by = Some(self.ident()?);
+            }
+        }
+        if self.tok != Tok::Eof {
+            return Err(self.err(format!("trailing input: {:?}", self.tok)));
+        }
+        Ok(Query {
+            agg,
+            agg_column,
+            table,
+            predicates,
+            group_by,
+            text: normalize(self.src),
+        })
+    }
+
+    fn comparison(&mut self) -> Result<RawComparison, StoreError> {
+        let column = self.ident()?;
+        let op = match &self.tok {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("!=") => CmpOp::Ne,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">") => CmpOp::Gt,
+            Tok::Sym(">=") => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        self.bump()?;
+        let operand = self.operand()?;
+        Ok(RawComparison {
+            column,
+            op,
+            operand,
+        })
+    }
+
+    fn operand(&mut self) -> Result<Operand, StoreError> {
+        match std::mem::replace(&mut self.tok, Tok::Eof) {
+            Tok::Int(i) => {
+                self.bump()?;
+                Ok(Operand::Literal(Value::Int(i)))
+            }
+            Tok::Float(f) => {
+                self.bump()?;
+                Ok(Operand::Literal(Value::Float(f)))
+            }
+            Tok::Str(s) => {
+                self.bump()?;
+                Ok(Operand::Literal(Value::Str(s)))
+            }
+            Tok::Sym("-") => {
+                // Negative numeric literal.
+                self.bump()?;
+                match std::mem::replace(&mut self.tok, Tok::Eof) {
+                    Tok::Int(i) => {
+                        self.bump()?;
+                        Ok(Operand::Literal(Value::Int(-i)))
+                    }
+                    Tok::Float(f) => {
+                        self.bump()?;
+                        Ok(Operand::Literal(Value::Float(-f)))
+                    }
+                    other => {
+                        self.tok = other;
+                        Err(self.err("expected number after '-'"))
+                    }
+                }
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("NOW") => {
+                self.bump()?;
+                self.expect_sym("(")?;
+                self.expect_sym(")")?;
+                let mut offset = 0i64;
+                match &self.tok {
+                    Tok::Sym("-") => {
+                        self.bump()?;
+                        offset = -self.int_literal()?;
+                    }
+                    Tok::Sym("+") => {
+                        self.bump()?;
+                        offset = self.int_literal()?;
+                    }
+                    _ => {}
+                }
+                Ok(Operand::Now {
+                    offset_secs: offset,
+                })
+            }
+            other => {
+                self.tok = other;
+                Err(self.err("expected literal or NOW()"))
+            }
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<i64, StoreError> {
+        match self.tok {
+            Tok::Int(i) => {
+                self.bump()?;
+                Ok(i)
+            }
+            _ => Err(self.err("expected integer literal")),
+        }
+    }
+}
+
+/// Normalizes query text for hashing: collapse whitespace runs. (Two
+/// queries differing only in spacing get the same queryId.)
+fn normalize(src: &str) -> String {
+    src.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+
+    fn flow_schema() -> Schema {
+        Schema::new(
+            "Flow",
+            vec![
+                ColumnDef::new("ts", DataType::Int, true),
+                ColumnDef::new("SrcPort", DataType::Int, true),
+                ColumnDef::new("LocalPort", DataType::Int, true),
+                ColumnDef::new("Bytes", DataType::Int, true),
+                ColumnDef::new("Packets", DataType::Int, false),
+                ColumnDef::new("App", DataType::Str, true),
+            ],
+        )
+    }
+
+    #[test]
+    fn parses_the_papers_queries() {
+        let q1 = Query::parse(
+            "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80 AND ts <= NOW() AND ts >= NOW() - 86400",
+        )
+        .unwrap();
+        assert_eq!(q1.agg, AggFunc::Sum);
+        assert_eq!(q1.agg_column.as_deref(), Some("Bytes"));
+        assert_eq!(q1.table, "Flow");
+        assert_eq!(q1.predicates.len(), 3);
+        assert_eq!(
+            q1.predicates[2].operand,
+            Operand::Now {
+                offset_secs: -86400
+            }
+        );
+
+        let q2 = Query::parse("SELECT COUNT(*) FROM Flow WHERE Bytes > 20000").unwrap();
+        assert_eq!(q2.agg, AggFunc::Count);
+        assert_eq!(q2.agg_column, None);
+
+        let q3 = Query::parse("SELECT AVG(Bytes) FROM Flow WHERE App='SMB'").unwrap();
+        assert_eq!(
+            q3.predicates[0].operand,
+            Operand::Literal(Value::from("SMB"))
+        );
+
+        let q4 = Query::parse("SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024").unwrap();
+        assert_eq!(q4.predicates[0].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn binding_resolves_now_and_columns() {
+        let q = Query::parse("SELECT SUM(Bytes) FROM Flow WHERE ts >= NOW() - 3600").unwrap();
+        let b = q.bind(&flow_schema(), 10_000).unwrap();
+        assert_eq!(b.agg_column, Some(3));
+        assert_eq!(b.predicates[0].column, 0);
+        assert_eq!(b.predicates[0].value, Value::Int(6_400));
+    }
+
+    #[test]
+    fn bind_errors() {
+        let s = flow_schema();
+        let q = Query::parse("SELECT SUM(Bytes) FROM Packet").unwrap();
+        assert!(matches!(q.bind(&s, 0), Err(StoreError::UnknownTable(_))));
+        let q = Query::parse("SELECT SUM(Nope) FROM Flow").unwrap();
+        assert!(matches!(q.bind(&s, 0), Err(StoreError::UnknownColumn(_))));
+        let q = Query::parse("SELECT SUM(App) FROM Flow").unwrap();
+        assert!(matches!(q.bind(&s, 0), Err(StoreError::BadAggregate(_))));
+        let q = Query::parse("SELECT COUNT(*) FROM Flow WHERE App=5").unwrap();
+        assert!(matches!(
+            q.bind(&s, 0),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Query::parse("FROBNICATE").is_err());
+        assert!(Query::parse("SELECT MEDIAN(x) FROM T").is_err());
+        assert!(Query::parse("SELECT SUM(*) FROM T").is_err());
+        assert!(Query::parse("SELECT COUNT(*) FROM T WHERE a ==").is_err());
+        assert!(Query::parse("SELECT COUNT(*) FROM T extra stuff").is_err());
+        assert!(Query::parse("SELECT COUNT(*) FROM T WHERE s = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let q = Query::parse(
+            "select count(*) from T where a != 1 and b <> 2 and c <= 3.5 and d >= -4 and e = 'x y'",
+        )
+        .unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Ne);
+        assert_eq!(q.predicates[1].op, CmpOp::Ne);
+        assert_eq!(q.predicates[2].operand, Operand::Literal(Value::Float(3.5)));
+        assert_eq!(q.predicates[3].operand, Operand::Literal(Value::Int(-4)));
+        assert_eq!(
+            q.predicates[4].operand,
+            Operand::Literal(Value::from("x y"))
+        );
+    }
+
+    #[test]
+    fn text_is_normalized_for_hashing() {
+        let a = Query::parse("SELECT COUNT(*)   FROM  Flow").unwrap();
+        let b = Query::parse("SELECT COUNT(*) FROM Flow").unwrap();
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn group_by_parses_and_binds() {
+        let q = Query::parse("SELECT SUM(Bytes) FROM Flow WHERE Bytes > 0 GROUP BY App").unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("App"));
+        let b = q.bind(&flow_schema(), 0).unwrap();
+        assert_eq!(b.group_by, Some(5));
+        // Plain queries have no grouping.
+        let q = Query::parse("SELECT COUNT(*) FROM Flow").unwrap();
+        assert_eq!(q.group_by, None);
+        // Unknown group column fails at bind.
+        let q = Query::parse("SELECT COUNT(*) FROM Flow GROUP BY nope").unwrap();
+        assert!(matches!(
+            q.bind(&flow_schema(), 0),
+            Err(StoreError::UnknownColumn(_))
+        ));
+        // GROUP without BY is a parse error.
+        assert!(Query::parse("SELECT COUNT(*) FROM Flow GROUP App").is_err());
+    }
+
+    #[test]
+    fn cmpop_eval_table() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Less) && CmpOp::Ne.eval(Greater) && !CmpOp::Ne.eval(Equal));
+        assert!(CmpOp::Le.eval(Equal) && CmpOp::Le.eval(Less) && !CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Ge.eval(Equal) && CmpOp::Ge.eval(Greater) && !CmpOp::Ge.eval(Less));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for histograms, aggregates and the SQL parser.
+
+use proptest::prelude::*;
+use seaweed_store::histogram::{NumericHistogram, StringHistogram};
+use seaweed_store::{AggFunc, Aggregate, CmpOp};
+
+fn values_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-1e6f64..1e6).prop_map(|v| v.round()), 1..400)
+}
+
+proptest! {
+    /// Estimates never exceed the total row count and are never negative,
+    /// for every operator and probe.
+    #[test]
+    fn histogram_estimates_bounded(values in values_strategy(), probe in -2e6f64..2e6, buckets in 1usize..64) {
+        let h = NumericHistogram::build(&values, buckets);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let est = h.estimate(op, probe);
+            prop_assert!(est >= -1e-9, "{op:?} negative: {est}");
+            prop_assert!(est <= h.total as f64 + 1e-9, "{op:?} over total: {est}");
+        }
+    }
+
+    /// Complementary operators partition the rows: eq+ne == total and
+    /// lt+ge == total (up to float noise).
+    #[test]
+    fn histogram_complements(values in values_strategy(), probe in -2e6f64..2e6) {
+        let h = NumericHistogram::build(&values, 32);
+        let total = h.total as f64;
+        let eq_ne = h.estimate(CmpOp::Eq, probe) + h.estimate(CmpOp::Ne, probe);
+        prop_assert!((eq_ne - total).abs() < 1e-6 * total.max(1.0), "eq+ne = {eq_ne} vs {total}");
+        let lt_ge = h.estimate(CmpOp::Lt, probe) + h.estimate(CmpOp::Ge, probe);
+        prop_assert!((lt_ge - total).abs() < 1e-6 * total.max(1.0), "lt+ge = {lt_ge} vs {total}");
+        let le_gt = h.estimate(CmpOp::Le, probe) + h.estimate(CmpOp::Gt, probe);
+        prop_assert!((le_gt - total).abs() < 1e-6 * total.max(1.0), "le+gt = {le_gt} vs {total}");
+    }
+
+    /// Range estimates are monotone in the probe.
+    #[test]
+    fn histogram_range_monotone(values in values_strategy(), a in -2e6f64..2e6, b in -2e6f64..2e6) {
+        let h = NumericHistogram::build(&values, 16);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.estimate(CmpOp::Le, lo) <= h.estimate(CmpOp::Le, hi) + 1e-9);
+        prop_assert!(h.estimate(CmpOp::Gt, lo) + 1e-9 >= h.estimate(CmpOp::Gt, hi));
+    }
+
+    /// Equality estimates on data with exact-match buckets: the estimate
+    /// for a value present k times in otherwise-distinct data is within a
+    /// bucket's worth of k.
+    #[test]
+    fn histogram_eq_reasonable(k in 1usize..50) {
+        let mut values: Vec<f64> = (0..500).map(f64::from).collect();
+        values.extend(std::iter::repeat_n(1000.0, k));
+        let h = NumericHistogram::build(&values, 64);
+        let est = h.estimate(CmpOp::Eq, 1000.0);
+        prop_assert!((est - k as f64).abs() < 12.0, "eq estimate {est} for k={k}");
+    }
+
+    /// String histograms: per-value estimates are exact for values kept
+    /// in the top set, and eq+ne always totals the row count.
+    #[test]
+    fn string_histogram_consistency(counts in prop::collection::vec(1u64..200, 1..20)) {
+        let labels: Vec<String> = (0..counts.len()).map(|i| format!("v{i}")).collect();
+        let data: Vec<&str> = labels
+            .iter()
+            .zip(&counts)
+            .flat_map(|(l, &c)| std::iter::repeat_n(l.as_str(), c as usize))
+            .collect();
+        let h = StringHistogram::build(data.iter().copied(), 8);
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(h.total, total);
+        for (l, &c) in labels.iter().zip(&counts) {
+            let eq = h.estimate(CmpOp::Eq, l);
+            let ne = h.estimate(CmpOp::Ne, l);
+            prop_assert!((eq + ne - total as f64).abs() < 1e-6);
+            if h.top.iter().any(|(v, _)| v == l) {
+                prop_assert_eq!(eq, c as f64);
+            }
+        }
+    }
+
+    /// Aggregate merging is commutative and associative, and matches a
+    /// single fold over the concatenation — for every aggregate function.
+    #[test]
+    fn aggregate_merge_laws(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..50),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..50),
+        zs in prop::collection::vec(-1e6f64..1e6, 0..50),
+        func in prop::sample::select(vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]),
+    ) {
+        let fold = |vals: &[f64]| {
+            let mut a = Aggregate::empty(func);
+            for &v in vals {
+                a.fold(v);
+            }
+            a
+        };
+        let (a, b, c) = (fold(&xs), fold(&ys), fold(&zs));
+
+        // Commutativity.
+        let mut ab = a; ab.merge(&b);
+        let mut ba = b; ba.merge(&a);
+        prop_assert_eq!(ab.rows, ba.rows);
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-6 * ab.sum.abs().max(1.0));
+        prop_assert_eq!(ab.min, ba.min);
+        prop_assert_eq!(ab.max, ba.max);
+
+        // Associativity.
+        let mut ab_c = ab; ab_c.merge(&c);
+        let mut bc = b; bc.merge(&c);
+        let mut a_bc = a; a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.rows, a_bc.rows);
+        prop_assert!((ab_c.sum - a_bc.sum).abs() <= 1e-6 * ab_c.sum.abs().max(1.0));
+
+        // Merged equals whole.
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        let whole = fold(&all);
+        prop_assert_eq!(ab_c.rows, whole.rows);
+        match (ab_c.finish(), whole.finish()) {
+            (Some(m), Some(w)) => prop_assert!((m - w).abs() <= 1e-6 * w.abs().max(1.0), "{m} vs {w}"),
+            (m, w) => prop_assert_eq!(m, w),
+        }
+    }
+
+    /// The parser accepts arbitrary conjunctions it printed itself (via
+    /// normalized text) and never panics on random input.
+    #[test]
+    fn parser_total_on_random_input(input in "[ -~]{0,80}") {
+        let _ = seaweed_store::Query::parse(&input); // must not panic
+    }
+
+    /// Normalized text is a fixed point: parsing it again gives the same
+    /// structure.
+    #[test]
+    fn parser_normalization_fixed_point(
+        col in "[a-z]{1,8}",
+        v in -1000i64..1000,
+        spaces in 1usize..5,
+    ) {
+        let pad = " ".repeat(spaces);
+        let sql = format!("SELECT{pad}COUNT(*){pad}FROM{pad}T{pad}WHERE{pad}{col}{pad}<{pad}{v}");
+        let q1 = seaweed_store::Query::parse(&sql).expect("valid");
+        let q2 = seaweed_store::Query::parse(&q1.text).expect("normalized reparses");
+        prop_assert_eq!(&q1.agg, &q2.agg);
+        prop_assert_eq!(&q1.predicates, &q2.predicates);
+        prop_assert_eq!(&q1.text, &q2.text);
+    }
+}

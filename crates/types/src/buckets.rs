@@ -1,0 +1,179 @@
+//! Logarithmic time buckets.
+//!
+//! Completeness predictors keep "a cumulative distribution of row counts
+//! against predicted time of availability, where time is on a log scale to
+//! accommodate wide variations in availability ranging from seconds to
+//! days" (§3.3). The availability model's down-duration distribution uses
+//! the same shape. [`LogBuckets`] is the shared bucketing scheme: a fixed
+//! number of geometrically spaced buckets between a minimum and maximum
+//! duration, with an underflow bucket (index 0) and an implicit overflow
+//! (last index).
+
+use crate::time::Duration;
+
+/// Geometrically spaced duration buckets.
+///
+/// Bucket 0 holds durations `< min`; buckets `1..=n` hold geometric spans
+/// of `[min, max)`; bucket `n + 1` holds durations `>= max`. Total bucket
+/// count is therefore `n + 2`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogBuckets {
+    min_us: u64,
+    max_us: u64,
+    n: usize,
+    /// ln(max/min) / n, cached.
+    step: f64,
+}
+
+impl LogBuckets {
+    /// # Panics
+    /// Panics unless `0 < min < max` and `n >= 1`.
+    #[must_use]
+    pub fn new(min: Duration, max: Duration, n: usize) -> Self {
+        assert!(
+            min.as_micros() > 0 && min < max && n >= 1,
+            "invalid bucket spec"
+        );
+        let step = ((max.as_micros() as f64) / (min.as_micros() as f64)).ln() / n as f64;
+        LogBuckets {
+            min_us: min.as_micros(),
+            max_us: max.as_micros(),
+            n,
+            step,
+        }
+    }
+
+    /// The standard predictor bucketing: 1 second to 14 days over 48
+    /// geometric buckets (50 total with under/overflow) — seconds through
+    /// days resolution as the paper requires.
+    #[must_use]
+    pub fn standard() -> Self {
+        LogBuckets::new(Duration::SECOND, Duration::from_days(14), 48)
+    }
+
+    /// Total number of buckets including underflow and overflow.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n + 2
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the bucket containing `d`.
+    #[must_use]
+    pub fn index(&self, d: Duration) -> usize {
+        let us = d.as_micros();
+        if us < self.min_us {
+            return 0;
+        }
+        if us >= self.max_us {
+            return self.n + 1;
+        }
+        let pos = ((us as f64 / self.min_us as f64).ln() / self.step) as usize;
+        // Floating point can land exactly on the upper edge; clamp.
+        1 + pos.min(self.n - 1)
+    }
+
+    /// Lower edge of bucket `i` (bucket 0's lower edge is zero).
+    #[must_use]
+    pub fn lower_edge(&self, i: usize) -> Duration {
+        assert!(i < self.len());
+        if i == 0 {
+            return Duration::ZERO;
+        }
+        if i == self.n + 1 {
+            return Duration::from_micros(self.max_us);
+        }
+        Duration::from_micros(
+            (self.min_us as f64 * (self.step * (i - 1) as f64).exp()).round() as u64,
+        )
+    }
+
+    /// Upper edge of bucket `i`; the overflow bucket reports `u64::MAX`.
+    #[must_use]
+    pub fn upper_edge(&self, i: usize) -> Duration {
+        assert!(i < self.len());
+        if i == 0 {
+            return Duration::from_micros(self.min_us);
+        }
+        if i == self.n + 1 {
+            return Duration::from_micros(u64::MAX);
+        }
+        Duration::from_micros((self.min_us as f64 * (self.step * i as f64).exp()).round() as u64)
+    }
+
+    /// A representative duration for bucket `i`: the geometric midpoint
+    /// (arithmetic midpoint for the underflow, lower edge ×2 for the
+    /// overflow).
+    #[must_use]
+    pub fn midpoint(&self, i: usize) -> Duration {
+        assert!(i < self.len());
+        if i == 0 {
+            return Duration::from_micros(self.min_us / 2);
+        }
+        if i == self.n + 1 {
+            return Duration::from_micros(self.max_us.saturating_mul(2));
+        }
+        let lo = self.lower_edge(i).as_micros() as f64;
+        let hi = self.upper_edge(i).as_micros() as f64;
+        Duration::from_micros((lo * hi).sqrt().round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_monotone_and_cover() {
+        let b = LogBuckets::standard();
+        assert_eq!(b.len(), 50);
+        assert_eq!(b.index(Duration::ZERO), 0);
+        assert_eq!(b.index(Duration::from_millis(999)), 0);
+        assert_eq!(b.index(Duration::SECOND), 1);
+        assert_eq!(b.index(Duration::from_days(14)), 49);
+        assert_eq!(b.index(Duration::from_days(100)), 49);
+        // Index is monotone in the duration.
+        let mut samples: Vec<u64> = (0..2000u64).map(|k| k * k * 700_000 + k).collect();
+        samples.sort_unstable();
+        let mut prev = 0;
+        for us in samples {
+            let i = b.index(Duration::from_micros(us));
+            assert!(i >= prev, "non-monotone at {us}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn edges_bracket_their_bucket() {
+        let b = LogBuckets::new(Duration::SECOND, Duration::from_hours(1), 10);
+        for i in 0..b.len() {
+            let mid = b.midpoint(i);
+            assert_eq!(b.index(mid), i, "midpoint of bucket {i} maps back");
+            if i > 0 && i < b.len() - 1 {
+                assert!(b.lower_edge(i) <= mid && mid < b.upper_edge(i));
+            }
+        }
+    }
+
+    #[test]
+    fn lower_edge_of_bucket_maps_to_bucket() {
+        let b = LogBuckets::new(Duration::SECOND, Duration::from_hours(1), 10);
+        // Geometric edges may round; allow index to land in i-1 or i for
+        // the rounded edge, but bucket 1's lower edge is exact.
+        assert_eq!(b.index(Duration::SECOND), 1);
+        assert_eq!(b.lower_edge(0), Duration::ZERO);
+        assert_eq!(b.upper_edge(0), Duration::SECOND);
+    }
+
+    #[test]
+    fn two_buckets() {
+        let b = LogBuckets::new(Duration::SECOND, Duration::from_secs(4), 2);
+        assert_eq!(b.index(Duration::from_millis(1500)), 1);
+        assert_eq!(b.index(Duration::from_secs(3)), 2);
+        assert_eq!(b.upper_edge(1), Duration::from_secs(2));
+    }
+}

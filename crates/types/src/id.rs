@@ -1,0 +1,306 @@
+//! 128-bit identifiers in a circular namespace, à la Pastry.
+//!
+//! Identifiers are unsigned 128-bit integers interpreted as points on a
+//! circle of circumference 2^128. Both endsystems and objects (queries,
+//! aggregation-tree vertices) live in the same namespace. For routing the id
+//! is viewed as a sequence of digits in base 2^b, most significant digit
+//! first, where `b` is the Pastry configuration parameter (typically 4).
+
+use std::fmt;
+
+/// A digit of an [`Id`] in base 2^b. Always fits in a `u8` because b <= 8.
+pub type Digit = u8;
+
+/// Maximum number of digits an id can have (b = 1 => 128 one-bit digits).
+pub const MAX_DIGITS: usize = 128;
+
+/// A 128-bit identifier in the circular Pastry namespace.
+///
+/// `Ord` is the plain numeric order (used for sorting and range math); ring
+/// proximity comparisons go through [`Id::ring_dist`] and friends.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(pub u128);
+
+impl Id {
+    /// The numerically smallest id.
+    pub const ZERO: Id = Id(0);
+    /// The numerically largest id.
+    pub const MAX: Id = Id(u128::MAX);
+
+    /// Builds an id from big-endian bytes (the first byte becomes the most
+    /// significant 8 bits).
+    #[must_use]
+    pub fn from_be_bytes(bytes: [u8; 16]) -> Self {
+        Id(u128::from_be_bytes(bytes))
+    }
+
+    /// Returns the id as big-endian bytes.
+    #[must_use]
+    pub fn to_be_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Draws a uniformly random id.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Id(rng.gen())
+    }
+
+    /// Number of digits when the namespace is viewed in base 2^b.
+    ///
+    /// # Panics
+    /// Panics if `b` is 0, greater than 8, or does not divide 128.
+    #[must_use]
+    pub fn num_digits(b: u8) -> usize {
+        assert!(
+            (1..=8).contains(&b) && 128 % (b as usize) == 0,
+            "invalid digit width b={b}"
+        );
+        128 / b as usize
+    }
+
+    /// The `i`-th digit (0 = most significant) in base 2^b.
+    #[must_use]
+    pub fn digit(self, i: usize, b: u8) -> Digit {
+        let n = Self::num_digits(b);
+        assert!(i < n, "digit index {i} out of range for b={b}");
+        let shift = (n - 1 - i) as u32 * b as u32;
+        ((self.0 >> shift) & ((1u128 << b) - 1)) as Digit
+    }
+
+    /// Returns a copy with the `i`-th digit (base 2^b) replaced by `d`.
+    #[must_use]
+    pub fn with_digit(self, i: usize, b: u8, d: Digit) -> Self {
+        let n = Self::num_digits(b);
+        assert!(i < n, "digit index {i} out of range for b={b}");
+        assert!((d as u16) < (1u16 << b), "digit {d} out of range for b={b}");
+        let shift = (n - 1 - i) as u32 * b as u32;
+        let mask = ((1u128 << b) - 1) << shift;
+        Id((self.0 & !mask) | ((d as u128) << shift))
+    }
+
+    /// Length of the common prefix of `self` and `other` in base-2^b digits.
+    /// This is the paper's `PREFIXLENGTH(idA, idB)`.
+    #[must_use]
+    pub fn prefix_len(self, other: Id, b: u8) -> usize {
+        let xor = self.0 ^ other.0;
+        if xor == 0 {
+            return Self::num_digits(b);
+        }
+        (xor.leading_zeros() as usize) / b as usize
+    }
+
+    /// The paper's `PREFIX(id, count)`: keeps the first `count` base-2^b
+    /// digits of `self` and zeroes the rest. Represented as a full id whose
+    /// low digits are zero; combine with [`Id::concat`].
+    #[must_use]
+    pub fn prefix(self, count: usize, b: u8) -> Id {
+        let n = Self::num_digits(b);
+        assert!(count <= n, "prefix count {count} out of range");
+        if count == 0 {
+            return Id::ZERO;
+        }
+        let keep_bits = count as u32 * b as u32;
+        if keep_bits >= 128 {
+            return self;
+        }
+        Id(self.0 & !((1u128 << (128 - keep_bits)) - 1))
+    }
+
+    /// The paper's `SUFFIX(id, count)`: the last `count` base-2^b digits of
+    /// `self`, right-aligned in the returned id.
+    #[must_use]
+    pub fn suffix(self, count: usize, b: u8) -> Id {
+        let n = Self::num_digits(b);
+        assert!(count <= n, "suffix count {count} out of range");
+        let keep_bits = count as u32 * b as u32;
+        if keep_bits == 0 {
+            return Id::ZERO;
+        }
+        if keep_bits >= 128 {
+            return self;
+        }
+        Id(self.0 & ((1u128 << keep_bits) - 1))
+    }
+
+    /// The paper's `+` operator: concatenates the first `prefix_digits`
+    /// digits of `self` with the last `128/b - prefix_digits` digits of
+    /// `suffix_src` to form a new id.
+    #[must_use]
+    pub fn concat(self, prefix_digits: usize, suffix_src: Id, b: u8) -> Id {
+        let n = Self::num_digits(b);
+        assert!(prefix_digits <= n);
+        let suffix_digits = n - prefix_digits;
+        Id(self.prefix(prefix_digits, b).0 | suffix_src.suffix(suffix_digits, b).0)
+    }
+
+    /// Clockwise (increasing-id, wrapping) distance from `self` to `other`.
+    #[must_use]
+    pub fn cw_dist(self, other: Id) -> u128 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Counter-clockwise (decreasing-id, wrapping) distance from `self` to
+    /// `other`.
+    #[must_use]
+    pub fn ccw_dist(self, other: Id) -> u128 {
+        self.0.wrapping_sub(other.0)
+    }
+
+    /// Ring distance: the shorter way around the circle between two ids.
+    #[must_use]
+    pub fn ring_dist(self, other: Id) -> u128 {
+        let cw = self.cw_dist(other);
+        let ccw = self.ccw_dist(other);
+        cw.min(ccw)
+    }
+
+    /// True if `self` is strictly closer to `key` on the ring than `other`
+    /// is. Ties (exactly opposite points) are broken in favour of the
+    /// numerically smaller id so that "closest" is always unique.
+    #[must_use]
+    pub fn closer_to(self, key: Id, other: Id) -> bool {
+        let da = self.ring_dist(key);
+        let db = other.ring_dist(key);
+        da < db || (da == db && self.0 < other.0)
+    }
+
+    /// Offsets the id clockwise by `delta`, wrapping around the namespace.
+    #[must_use]
+    pub fn wrapping_add(self, delta: u128) -> Id {
+        Id(self.0.wrapping_add(delta))
+    }
+
+    /// Offsets the id counter-clockwise by `delta`, wrapping around.
+    #[must_use]
+    pub fn wrapping_sub(self, delta: u128) -> Id {
+        Id(self.0.wrapping_sub(delta))
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Abbreviated form: first 8 hex digits, enough to tell nodes apart
+        // in logs while staying readable.
+        write!(f, "{:08x}", (self.0 >> 96) as u32)
+    }
+}
+
+impl From<u128> for Id {
+    fn from(v: u128) -> Self {
+        Id(v)
+    }
+}
+
+/// Returns the index (into `candidates`) of the id ring-closest to `key`,
+/// or `None` if `candidates` is empty. Ties break toward the numerically
+/// smaller id, consistent with [`Id::closer_to`].
+pub fn closest_to<'a, I>(key: Id, candidates: I) -> Option<usize>
+where
+    I: IntoIterator<Item = &'a Id>,
+{
+    let mut best: Option<(usize, Id)> = None;
+    for (i, &c) in candidates.into_iter().enumerate() {
+        match best {
+            None => best = Some((i, c)),
+            Some((_, b)) if c.closer_to(key, b) => best = Some((i, c)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_roundtrip_b4() {
+        let id = Id(0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978);
+        assert_eq!(id.digit(0, 4), 0x0);
+        assert_eq!(id.digit(1, 4), 0x1);
+        assert_eq!(id.digit(15, 4), 0xf);
+        assert_eq!(id.digit(31, 4), 0x8);
+    }
+
+    #[test]
+    fn digit_b1_is_bits() {
+        let id = Id(1u128 << 127);
+        assert_eq!(id.digit(0, 1), 1);
+        assert_eq!(id.digit(1, 1), 0);
+        assert_eq!(id.digit(127, 1), 0);
+        assert_eq!(Id(1).digit(127, 1), 1);
+    }
+
+    #[test]
+    fn with_digit_sets_and_clears() {
+        let id = Id::ZERO.with_digit(0, 4, 0xa);
+        assert_eq!(id.digit(0, 4), 0xa);
+        assert_eq!(id.0 >> 124, 0xa);
+        let id2 = id.with_digit(0, 4, 0x3);
+        assert_eq!(id2.digit(0, 4), 0x3);
+    }
+
+    #[test]
+    fn prefix_len_cases() {
+        let a = Id(0xaaaa_0000_0000_0000_0000_0000_0000_0000);
+        let b = Id(0xaaab_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.prefix_len(b, 4), 3);
+        assert_eq!(a.prefix_len(a, 4), 32);
+        assert_eq!(Id::ZERO.prefix_len(Id::MAX, 4), 0);
+    }
+
+    #[test]
+    fn prefix_suffix_concat() {
+        let id = Id(0x1122_3344_5566_7788_99aa_bbcc_ddee_ff00);
+        assert_eq!(id.prefix(4, 4).0, 0x1122_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(id.suffix(4, 4).0, 0xff00);
+        assert_eq!(id.prefix(0, 4), Id::ZERO);
+        assert_eq!(id.prefix(32, 4), id);
+        assert_eq!(id.suffix(32, 4), id);
+        let joined = id.concat(4, Id(0x42), 4);
+        assert_eq!(joined.0, 0x1122_0000_0000_0000_0000_0000_0000_0042);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let a = Id(u128::MAX);
+        let b = Id(0);
+        assert_eq!(a.ring_dist(b), 1);
+        assert_eq!(b.ring_dist(a), 1);
+        assert_eq!(a.cw_dist(b), 1);
+        assert_eq!(b.ccw_dist(a), 1);
+    }
+
+    #[test]
+    fn closer_to_tie_break() {
+        // a and b are equidistant (opposite sides) from key.
+        let key = Id(100);
+        let a = Id(90);
+        let b = Id(110);
+        assert!(a.closer_to(key, b));
+        assert!(!b.closer_to(key, a));
+    }
+
+    #[test]
+    fn closest_to_picks_ring_minimum() {
+        let ids = [Id(10), Id(250), Id(100)];
+        // key 0: Id(250) is only 6 away counter-clockwise in a 256-wide ring?
+        // No: ring is 2^128 wide so 250 is 250 away. Id(10) wins.
+        assert_eq!(closest_to(Id(0), ids.iter()), Some(0));
+        assert_eq!(closest_to(Id(240), ids.iter()), Some(1));
+        assert_eq!(closest_to(Id(u128::MAX - 5), ids.iter()), Some(0));
+        assert_eq!(closest_to(Id(0), [].iter()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid digit width")]
+    fn bad_digit_width_panics() {
+        let _ = Id::ZERO.digit(0, 3);
+    }
+}

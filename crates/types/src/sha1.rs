@@ -1,0 +1,204 @@
+//! A from-scratch SHA-1 (FIPS 180-1), used to derive `queryId`s.
+//!
+//! The paper assigns each query a key equal to the SHA-1 hash of the query
+//! (§3.3). The permitted dependency set contains no hashing crate, so this
+//! is a small, well-tested implementation. SHA-1 is cryptographically broken
+//! for collision resistance but that is irrelevant here: it is only used to
+//! spread query keys uniformly over the namespace, exactly as in the paper.
+
+use crate::id::Id;
+
+/// Streaming SHA-1 state.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes buffered toward the next 64-byte block.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bytes.
+    len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    #[must_use]
+    pub fn new() -> Self {
+        Sha1 {
+            h: [
+                0x6745_2301,
+                0xefcd_ab89,
+                0x98ba_dcfe,
+                0x1032_5476,
+                0xc3d2_e1f0,
+            ],
+            buf: [0u8; 64],
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes the hash and returns the 20-byte digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manually absorb the length without disturbing `self.len`.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 digest of `data`.
+#[must_use]
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut s = Sha1::new();
+    s.update(data);
+    s.finalize()
+}
+
+/// Derives a namespace [`Id`] from arbitrary bytes: the first 128 bits of
+/// the SHA-1 digest. This is how `queryId = SHA1(query text)` is computed.
+#[must_use]
+pub fn id_of(data: &[u8]) -> Id {
+    let d = sha1(data);
+    let mut bytes = [0u8; 16];
+    bytes.copy_from_slice(&d[..16]);
+    Id::from_be_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn vector_abc() {
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn vector_empty() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn vector_448_bits() {
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn vector_million_a() {
+        let a = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&a)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = sha1(&data);
+        for chunk in [1usize, 3, 63, 64, 65, 100] {
+            let mut s = Sha1::new();
+            for piece in data.chunks(chunk) {
+                s.update(piece);
+            }
+            assert_eq!(s.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn id_of_is_prefix_of_digest() {
+        let digest = sha1(b"SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80");
+        let id = id_of(b"SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80");
+        assert_eq!(&id.to_be_bytes()[..], &digest[..16]);
+    }
+}

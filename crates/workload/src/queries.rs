@@ -1,0 +1,81 @@
+//! The paper's four evaluation queries (Figures 5–8).
+
+/// Figure 5: total web traffic — "the amount of http traffic in the
+/// network".
+pub const QUERY_HTTP_BYTES: &str = "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80";
+
+/// Figure 6: "the number of flows with significant amounts of traffic".
+pub const QUERY_LARGE_FLOWS: &str = "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000";
+
+/// Figure 7: "the average per-host SMB traffic".
+pub const QUERY_SMB_AVG: &str = "SELECT AVG(Bytes) FROM Flow WHERE App='SMB'";
+
+/// Figure 8: "the number of packets with privileged port numbers".
+pub const QUERY_PRIV_PACKETS: &str = "SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024";
+
+/// One evaluation query with its paper provenance.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperQuery {
+    /// Which figure the query reproduces.
+    pub figure: u32,
+    pub sql: &'static str,
+    pub label: &'static str,
+}
+
+/// All four queries, in figure order.
+#[must_use]
+pub fn paper_queries() -> [PaperQuery; 4] {
+    [
+        PaperQuery {
+            figure: 5,
+            sql: QUERY_HTTP_BYTES,
+            label: "SUM(Bytes) SrcPort=80",
+        },
+        PaperQuery {
+            figure: 6,
+            sql: QUERY_LARGE_FLOWS,
+            label: "COUNT(*) Bytes>20000",
+        },
+        PaperQuery {
+            figure: 7,
+            sql: QUERY_SMB_AVG,
+            label: "AVG(Bytes) App='SMB'",
+        },
+        PaperQuery {
+            figure: 8,
+            sql: QUERY_PRIV_PACKETS,
+            label: "SUM(Packets) LocalPort<1024",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_schema;
+    use seaweed_store::Query;
+
+    #[test]
+    fn all_paper_queries_parse_and_bind() {
+        let schema = flow_schema();
+        for pq in paper_queries() {
+            let q = Query::parse(pq.sql).unwrap_or_else(|e| panic!("{}: {e}", pq.sql));
+            q.bind(&schema, 1_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", pq.sql));
+        }
+    }
+
+    #[test]
+    fn queries_have_distinct_ids() {
+        use seaweed_types::sha1::id_of;
+        let ids: Vec<_> = paper_queries()
+            .iter()
+            .map(|p| id_of(p.sql.as_bytes()))
+            .collect();
+        for i in 0..ids.len() {
+            for j in 0..i {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+    }
+}

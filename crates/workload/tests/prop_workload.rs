@@ -1,0 +1,75 @@
+//! Property-based tests for the Anemone workload generator.
+
+use proptest::prelude::*;
+use seaweed_store::exec::count_matching;
+use seaweed_store::{DataSummary, Query};
+use seaweed_types::{Duration, Time};
+use seaweed_workload::{flow_schema, paper_queries, AnemoneConfig};
+
+fn small(hours: u64) -> AnemoneConfig {
+    AnemoneConfig {
+        horizon: Duration::from_hours(hours),
+        ..AnemoneConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated row is schema-valid with sane domains, regardless
+    /// of seed/node/gating.
+    #[test]
+    fn rows_are_sane(seed in 0u64..300, node in 0usize..50, gate_hours in 1u64..24) {
+        let cfg = small(24);
+        let gate = vec![(Time::ZERO, Time::ZERO + Duration::from_hours(gate_hours))];
+        let t = cfg.generate_flow_table(seed, node, &gate);
+        let schema = flow_schema();
+        prop_assert_eq!(t.schema(), &schema);
+        let n = t.num_rows() as u64;
+        let check = |sql: &str| {
+            let q = Query::parse(sql).unwrap().bind(&schema, 0).unwrap();
+            count_matching(&q, &t)
+        };
+        // Timestamps respect the gate.
+        prop_assert_eq!(check(&format!("SELECT COUNT(*) FROM Flow WHERE ts < {}", gate_hours * 3600)), n);
+        prop_assert_eq!(check("SELECT COUNT(*) FROM Flow WHERE ts >= 0"), n);
+        // Ports are valid; packets positive; bytes non-negative.
+        prop_assert_eq!(check("SELECT COUNT(*) FROM Flow WHERE SrcPort >= 1 AND SrcPort <= 65535"), n);
+        prop_assert_eq!(check("SELECT COUNT(*) FROM Flow WHERE LocalPort >= 1 AND LocalPort <= 65535"), n);
+        prop_assert_eq!(check("SELECT COUNT(*) FROM Flow WHERE Packets >= 1"), n);
+        prop_assert_eq!(check("SELECT COUNT(*) FROM Flow WHERE Bytes >= 0"), n);
+    }
+
+    /// Generation is a pure function of (seed, node, gate).
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..300, node in 0usize..50) {
+        let cfg = small(12);
+        let a = cfg.generate_flow_table(seed, node, &[]);
+        let b = cfg.generate_flow_table(seed, node, &[]);
+        prop_assert_eq!(a.num_rows(), b.num_rows());
+        for r in (0..a.num_rows()).step_by(7) {
+            for c in 0..a.schema().num_columns() {
+                prop_assert_eq!(a.get(r, c), b.get(r, c));
+            }
+        }
+    }
+
+    /// Summary-based estimates of the paper's queries stay within a few
+    /// per cent of exact counts on any fragment (not just the test seeds
+    /// used elsewhere).
+    #[test]
+    fn estimates_track_exact_counts(seed in 0u64..100, node in 0usize..30) {
+        let cfg = small(48);
+        let t = cfg.generate_flow_table(seed, node, &[]);
+        prop_assume!(t.num_rows() >= 200);
+        let schema = flow_schema();
+        let summary = DataSummary::build(&t);
+        for pq in paper_queries() {
+            let b = Query::parse(pq.sql).unwrap().bind(&schema, 0).unwrap();
+            let exact = count_matching(&b, &t) as f64;
+            let est = summary.estimate_rows(&b);
+            let err = (est - exact).abs() / t.num_rows() as f64;
+            prop_assert!(err < 0.05, "{}: est {est:.1} exact {exact} ({err:.3})", pq.sql);
+        }
+    }
+}

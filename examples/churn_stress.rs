@@ -1,0 +1,118 @@
+//! Seaweed under peer-to-peer churn (the paper's Figure 10 scenario).
+//!
+//! Replays a Gnutella-like availability trace — departures 23× the
+//! enterprise rate — and reports the maintenance overhead breakdown and
+//! how query completeness behaves when a third of the network flaps
+//! every few hours.
+//!
+//! Run with: `cargo run --release --example churn_stress`
+
+use seaweed::harness::{Availability, WorldConfig};
+use seaweed_availability::GnutellaConfig;
+use seaweed_sim::TrafficClass;
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+fn main() {
+    let n = 500;
+    let seed = 99;
+    let hours = 24u64;
+
+    let trace = GnutellaConfig::small(n, hours).generate(seed);
+    let stats = trace.stats();
+    println!(
+        "gnutella-like trace: availability {:.1}%, departures {:.2e}/online/s, mean session {}",
+        stats.mean_availability * 100.0,
+        stats.departure_rate_per_online_sec,
+        stats.mean_session,
+    );
+
+    // Every peer shares a tiny table of items it hosts.
+    let schema = Schema::new(
+        "Items",
+        vec![
+            ColumnDef::new("kind", DataType::Int, true),
+            ColumnDef::new("size_kb", DataType::Int, true),
+        ],
+    );
+    let tables: Vec<Table> = (0..n)
+        .map(|node| {
+            let mut t = Table::new(schema.clone());
+            for i in 0..20i64 {
+                t.insert(vec![
+                    Value::Int(i % 4),
+                    Value::Int((node as i64 * 7 + i * 13) % 5000),
+                ])
+                .unwrap();
+            }
+            t
+        })
+        .collect();
+
+    let mut cfg = WorldConfig::new(n, seed);
+    cfg.collect_cdf = true;
+    let (mut eng, mut sw) = cfg.build_with_tables(tables, Availability::Trace(&trace));
+
+    // Warm up half the trace, then query.
+    sw.run_until(&mut eng, Time::ZERO + Duration::from_hours(hours / 2));
+    let origin = eng.up_nodes().next().expect("some peer up");
+    let h = sw
+        .inject_query(
+            &mut eng,
+            origin,
+            "SELECT COUNT(*) FROM Items WHERE kind = 1",
+            Duration::from_hours(hours / 2),
+            &schema,
+        )
+        .expect("valid query");
+    println!(
+        "\ninjected COUNT query at t={} from peer {origin:?} ({} peers up)",
+        eng.now(),
+        eng.num_up()
+    );
+
+    for after in [0u64, 1, 2, 4, 8] {
+        let t = Time::ZERO + Duration::from_hours(hours / 2 + after) + Duration::from_mins(2);
+        sw.run_until(&mut eng, t);
+        let q = sw.query(h);
+        let predicted = q
+            .predictor
+            .as_ref()
+            .map(|p| 100.0 * p.completeness_at(Duration::from_hours(after)));
+        println!(
+            "  +{after:>2}h: rows {:>5}  actual {:>5.1}%  predicted {:>5.1}%  (peers up: {})",
+            q.rows(),
+            q.completeness().map_or(0.0, |c| c * 100.0),
+            predicted.unwrap_or(0.0),
+            eng.num_up(),
+        );
+    }
+
+    // Finish the trace and report the overhead breakdown (Figure 10's
+    // metric: bytes/sec per online endsystem).
+    sw.run_until(&mut eng, trace.horizon());
+    println!("\nprotocol counters: {:?}", sw.stats);
+    println!("overlay routing: {:?}", sw.overlay.stats);
+    let report = eng.finish();
+    println!("\nmean tx bandwidth per online peer:");
+    for (label, class) in [
+        ("pastry (heartbeats/joins)", TrafficClass::Overlay),
+        ("seaweed maintenance", TrafficClass::Maintenance),
+        ("query traffic", TrafficClass::Query),
+    ] {
+        println!(
+            "  {label:<28}{:>8.1} B/s",
+            report.mean_tx_per_online_bps(class)
+        );
+    }
+    println!(
+        "  {:<28}{:>8.1} B/s",
+        "total",
+        report.mean_tx_total_per_online_bps()
+    );
+    println!(
+        "  99th percentile (node-hour):{:>8.1} B/s; zero-hours fraction {:.2}",
+        report.tx_percentile(99.0),
+        report.tx_zero_fraction(),
+    );
+}

@@ -1,0 +1,110 @@
+//! Enterprise network monitoring — the paper's motivating scenario.
+//!
+//! Endsystems record their own traffic into Anemone `Flow` tables;
+//! availability follows a Farsite-like enterprise trace (diurnal office
+//! machines, always-on servers). A network operator injects the paper's
+//! headline query overnight and uses the completeness predictor to decide
+//! how long to wait: most machines are off until morning, and the
+//! predictor says exactly that.
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use seaweed::harness::{Availability, WorldConfig};
+use seaweed_availability::FarsiteConfig;
+use seaweed_types::{Duration, Time};
+use seaweed_workload::{flow_schema, AnemoneConfig, QUERY_HTTP_BYTES};
+
+fn main() {
+    let n = 300;
+    let weeks = 2;
+    let seed = 21;
+
+    println!("generating {n} endsystems with {weeks} weeks of traffic and availability...");
+    let (trace, _profiles) = FarsiteConfig::small(n, weeks).generate(seed);
+    let stats = trace.stats();
+    println!(
+        "trace: mean availability {:.1}%, departure rate {:.2e}/online/s",
+        stats.mean_availability * 100.0,
+        stats.departure_rate_per_online_sec,
+    );
+
+    let anemone = AnemoneConfig {
+        horizon: Duration::WEEK * weeks,
+        ..AnemoneConfig::default()
+    };
+    let cfg = WorldConfig::new(n, seed);
+    let (mut eng, mut sw) = cfg.build_anemone(&anemone, Availability::Trace(&trace));
+
+    // Warm up for a week so endsystems learn their availability models.
+    let inject_at = Time::ZERO + Duration::from_days(8) + Duration::from_hours(22); // Tue 22:00
+    sw.run_until(&mut eng, inject_at);
+    println!(
+        "\nTuesday 22:00 of week 2: {} of {n} endsystems online",
+        eng.num_up()
+    );
+
+    // Find a live origin and ask: how much web traffic was there?
+    let origin = eng.up_nodes().next().expect("some endsystem is up");
+    let schema = flow_schema();
+    let h = sw
+        .inject_query(
+            &mut eng,
+            origin,
+            QUERY_HTTP_BYTES,
+            Duration::from_days(2),
+            &schema,
+        )
+        .expect("valid query");
+    println!("operator injects: {QUERY_HTTP_BYTES}");
+
+    let predictor_wait = eng.now() + Duration::from_mins(1);
+    sw.run_until(&mut eng, predictor_wait);
+
+    let q = sw.query(h);
+    let p = q.predictor.as_ref().expect("predictor");
+    println!("\ncompleteness predictor (seconds after injection):");
+    println!(
+        "  available now:        {:>6.1}% of ~{:.0} relevant rows",
+        100.0 * p.completeness_at(Duration::ZERO),
+        p.total_rows(),
+    );
+    for (label, d) in [
+        ("within 1 hour", Duration::from_hours(1)),
+        ("within 4 hours", Duration::from_hours(4)),
+        ("within 12 hours (morning)", Duration::from_hours(12)),
+        ("within 2 days", Duration::from_days(2)),
+    ] {
+        println!("  {label:<26}{:>6.1}%", 100.0 * p.completeness_at(d));
+    }
+    if let Some(d) = p.delay_for_completeness(0.99) {
+        println!("  predicted wait for 99%:   {d}");
+    }
+
+    // Watch actual completeness vs the prediction as the night passes and
+    // people arrive at work.
+    println!(
+        "\n{:<24}{:>12}{:>12}{:>12}",
+        "time", "rows", "actual %", "predicted %"
+    );
+    let total = p.total_rows();
+    for hours in [0u64, 1, 2, 4, 8, 10, 12, 16, 24] {
+        let t = inject_at + Duration::from_hours(hours) + Duration::from_mins(1);
+        sw.run_until(&mut eng, t);
+        let q = sw.query(h);
+        let p = q.predictor.as_ref().expect("predictor");
+        println!(
+            "{:<24}{:>12}{:>11.1}%{:>11.1}%",
+            format!("{}", t),
+            q.rows(),
+            100.0 * q.rows() as f64 / total,
+            100.0 * p.completeness_at(Duration::from_hours(hours)),
+        );
+    }
+
+    let q = sw.query(h);
+    println!(
+        "\nfinal answer: SUM(Bytes) = {:.3e} over {} flow records",
+        q.latest.and_then(|a| a.finish()).unwrap_or(0.0),
+        q.rows(),
+    );
+}

@@ -1,0 +1,264 @@
+//! Interactive Seaweed demo — the "standalone" face of the codebase.
+//!
+//! The paper's prototype "can be compiled to run in the simulator or
+//! stand-alone" from one codebase; ours is the same protocol stack driven
+//! either by experiment binaries or, here, interactively. A simulated
+//! network of endsystems with Anemone data runs under your control:
+//!
+//! ```text
+//! > help
+//! > advance 10m                 # move simulated time forward
+//! > down 3 4 5                  # power endsystems off
+//! > query SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80
+//! > status 0                    # predictor + incremental result
+//! > up 3 4 5
+//! > advance 1h
+//! > status 0
+//! ```
+//!
+//! Run with: `cargo run --release --bin seaweed-demo [-- --n 100]`
+//! Commands can also be piped on stdin for scripted demos.
+
+use std::io::{BufRead, Write};
+
+use seaweed::harness::{Availability, WorldConfig};
+use seaweed_core::{LiveTables, QueryHandle, Seaweed, SeaweedEngine};
+use seaweed_sim::NodeIdx;
+use seaweed_types::{Duration, Time};
+use seaweed_workload::{flow_schema, AnemoneConfig};
+
+struct Demo {
+    eng: SeaweedEngine,
+    sw: Seaweed<LiveTables>,
+    schema: seaweed_store::Schema,
+    queries: Vec<QueryHandle>,
+    n: usize,
+}
+
+fn main() {
+    let mut n = 80usize;
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--n" => n = args.next().and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => eprintln!("ignoring {other}"),
+        }
+    }
+
+    println!("building {n} endsystems with Anemone flow data (seed {seed})...");
+    let anemone = AnemoneConfig {
+        horizon: Duration::from_days(3),
+        ..AnemoneConfig::default()
+    };
+    let cfg = WorldConfig::new(n, seed);
+    let (mut eng, mut sw) = cfg.build_anemone(
+        &anemone,
+        Availability::AllUp {
+            stagger: Duration::from_millis(200),
+        },
+    );
+    sw.run_until(&mut eng, Time::ZERO + Duration::from_mins(5));
+    println!(
+        "{} endsystems joined; simulated clock at {}",
+        sw.overlay.num_joined(),
+        eng.now()
+    );
+    println!("type `help` for commands\n");
+
+    let mut demo = Demo {
+        eng,
+        sw,
+        schema: flow_schema(),
+        queries: Vec::new(),
+        n,
+    };
+    let stdin = std::io::stdin();
+    loop {
+        print!("seaweed> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        if !demo.dispatch(line.trim()) {
+            break;
+        }
+    }
+    println!("bye");
+}
+
+impl Demo {
+    /// Returns false to quit.
+    fn dispatch(&mut self, line: &str) -> bool {
+        let (cmd, rest) = match line.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "" => {}
+            "help" => help(),
+            "quit" | "exit" => return false,
+            "advance" => self.advance(rest),
+            "up" => self.toggle(rest, true),
+            "down" => self.toggle(rest, false),
+            "query" => self.query(rest),
+            "status" => self.status(rest),
+            "stats" => {
+                println!("{:?}", self.sw.stats);
+                println!("{:?}", self.sw.overlay.stats);
+                println!(
+                    "clock {}, {} of {} endsystems up",
+                    self.eng.now(),
+                    self.eng.num_up(),
+                    self.n
+                );
+            }
+            other => println!("unknown command {other:?}; try `help`"),
+        }
+        true
+    }
+
+    fn advance(&mut self, spec: &str) {
+        let Some(d) = parse_duration(spec) else {
+            println!("usage: advance <number>(s|m|h|d), e.g. `advance 90m`");
+            return;
+        };
+        let until = self.eng.now() + d;
+        self.sw.run_until(&mut self.eng, until);
+        println!(
+            "clock now {} ({} endsystems up)",
+            self.eng.now(),
+            self.eng.num_up()
+        );
+    }
+
+    fn toggle(&mut self, rest: &str, up: bool) {
+        let mut any = false;
+        for tok in rest.split_whitespace() {
+            match tok.parse::<u32>() {
+                Ok(i) if (i as usize) < self.n => {
+                    let at = self.eng.now() + Duration::from_millis(1);
+                    if up {
+                        self.eng.schedule_up(at, NodeIdx(i));
+                    } else {
+                        self.eng.schedule_down(at, NodeIdx(i));
+                    }
+                    any = true;
+                }
+                _ => println!("bad endsystem index {tok:?}"),
+            }
+        }
+        if any {
+            let until = self.eng.now() + Duration::from_secs(1);
+            self.sw.run_until(&mut self.eng, until);
+            println!("{} endsystems up", self.eng.num_up());
+        } else {
+            println!(
+                "usage: {} <idx> [<idx> ...]",
+                if up { "up" } else { "down" }
+            );
+        }
+    }
+
+    fn query(&mut self, sql: &str) {
+        if sql.is_empty() {
+            println!(
+                "usage: query <SQL>  (e.g. query SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80)"
+            );
+            return;
+        }
+        let Some(origin) = self.eng.up_nodes().next() else {
+            println!("no endsystem is available to originate the query");
+            return;
+        };
+        match self.sw.inject_query(
+            &mut self.eng,
+            origin,
+            sql,
+            Duration::from_days(7),
+            &self.schema,
+        ) {
+            Ok(h) => {
+                // Let the predictor come back.
+                let until = self.eng.now() + Duration::from_mins(1);
+                self.sw.run_until(&mut self.eng, until);
+                self.queries.push(h);
+                println!(
+                    "query #{} injected from endsystem {origin:?}",
+                    self.queries.len() - 1
+                );
+                self.print_status(h);
+            }
+            Err(e) => println!("rejected: {e}"),
+        }
+    }
+
+    fn status(&mut self, rest: &str) {
+        let idx = rest
+            .trim()
+            .parse::<usize>()
+            .unwrap_or(self.queries.len().saturating_sub(1));
+        match self.queries.get(idx) {
+            None => println!("no such query; `query <sql>` first"),
+            Some(&h) => self.print_status(h),
+        }
+    }
+
+    fn print_status(&self, h: QueryHandle) {
+        let q = self.sw.query(h);
+        println!("  {}", q.text);
+        match &q.predictor {
+            None => println!("  predictor: pending"),
+            Some(p) => {
+                println!(
+                    "  predictor: {:.0} rows total; {:.1}% now, {:.1}% +1h, {:.1}% +12h",
+                    p.total_rows(),
+                    100.0 * p.completeness_at(Duration::ZERO),
+                    100.0 * p.completeness_at(Duration::from_hours(1)),
+                    100.0 * p.completeness_at(Duration::from_hours(12)),
+                );
+            }
+        }
+        match q.latest {
+            None => println!("  result: none yet"),
+            Some(a) => println!(
+                "  result: {:?} over {} rows ({:.1}% complete){}",
+                a.finish(),
+                a.rows,
+                100.0 * q.completeness().unwrap_or(0.0),
+                if q.active { "" } else { "  [expired]" },
+            ),
+        }
+    }
+}
+
+fn help() {
+    println!(
+        "\
+  advance <dur>      run the simulation forward (e.g. `advance 30m`, `advance 2h`)
+  down <i> [...]     power endsystems off
+  up <i> [...]       power endsystems back on
+  query <sql>        inject a one-shot aggregate query from a live endsystem
+  status [k]         show query k's predictor and incremental result (default: last)
+  stats              protocol counters and clock
+  quit               leave"
+    );
+}
+
+fn parse_duration(spec: &str) -> Option<Duration> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return None;
+    }
+    let (num, unit) = spec.split_at(spec.len() - 1);
+    let v: u64 = num.parse().ok()?;
+    match unit {
+        "s" => Some(Duration::from_secs(v)),
+        "m" => Some(Duration::from_mins(v)),
+        "h" => Some(Duration::from_hours(v)),
+        "d" => Some(Duration::from_days(v)),
+        _ => None,
+    }
+}

@@ -1,0 +1,128 @@
+//! Convenience harness for assembling a full Seaweed world:
+//! engine + topology + availability trace + workload + overlay + protocol
+//! stack. Examples, integration tests and experiment binaries all build
+//! on this.
+
+use seaweed_availability::AvailabilityTrace;
+use seaweed_core::{LiveTables, Seaweed, SeaweedConfig, SeaweedEngine};
+use seaweed_overlay::{Overlay, OverlayConfig};
+use seaweed_sim::{CorpNetTopology, Engine, NodeIdx, SimConfig, Topology, UniformTopology};
+use seaweed_store::Table;
+use seaweed_types::{Duration, Time};
+use seaweed_workload::AnemoneConfig;
+
+/// How endsystem availability is driven.
+pub enum Availability<'a> {
+    /// Everyone comes up near t=0 (staggered by `stagger` per node) and
+    /// stays up.
+    AllUp { stagger: Duration },
+    /// Replay a trace (Farsite-like, Gnutella-like, or custom).
+    Trace(&'a AvailabilityTrace),
+}
+
+/// World construction knobs.
+pub struct WorldConfig {
+    pub n: usize,
+    pub seed: u64,
+    /// Use the CorpNet-like router topology (packet-level experiments);
+    /// otherwise a uniform-latency fabric.
+    pub corpnet: bool,
+    /// One-way latency for the uniform fabric.
+    pub uniform_latency: Duration,
+    /// Collect per-(node,hour) bandwidth samples for CDFs.
+    pub collect_cdf: bool,
+    /// Uniform network message loss rate.
+    pub loss_rate: f64,
+    pub overlay: OverlayConfig,
+    pub seaweed: SeaweedConfig,
+}
+
+impl WorldConfig {
+    /// Sensible defaults for `n` endsystems under `seed`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        WorldConfig {
+            n,
+            seed,
+            corpnet: false,
+            uniform_latency: Duration::from_millis(5),
+            collect_cdf: false,
+            loss_rate: 0.0,
+            overlay: OverlayConfig {
+                seed,
+                ..Default::default()
+            },
+            seaweed: SeaweedConfig {
+                seed,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn topology(&self) -> Box<dyn Topology> {
+        if self.corpnet {
+            Box::new(CorpNetTopology::new(self.n, self.seed))
+        } else {
+            Box::new(UniformTopology::new(self.n, self.uniform_latency))
+        }
+    }
+
+    /// Builds a world over explicit per-endsystem tables.
+    #[must_use]
+    pub fn build_with_tables(
+        &self,
+        tables: Vec<Table>,
+        availability: Availability<'_>,
+    ) -> (SeaweedEngine, Seaweed<LiveTables>) {
+        assert_eq!(tables.len(), self.n);
+        let mut eng: SeaweedEngine = Engine::new(
+            self.topology(),
+            SimConfig {
+                seed: self.seed,
+                loss_rate: self.loss_rate,
+                collect_cdf: self.collect_cdf,
+            },
+        );
+        let overlay = Overlay::new(Overlay::random_ids(self.n, self.seed), self.overlay.clone());
+        let provider = LiveTables::new(tables);
+        let sw = Seaweed::new(overlay, provider, self.seaweed.clone());
+        match availability {
+            Availability::AllUp { stagger } => {
+                for i in 0..self.n {
+                    eng.schedule_up(
+                        Time::from_micros(1 + i as u64 * stagger.as_micros()),
+                        NodeIdx(i as u32),
+                    );
+                }
+            }
+            Availability::Trace(trace) => trace.replay_into(&mut eng),
+        }
+        (eng, sw)
+    }
+
+    /// Builds a world whose endsystems hold Anemone `Flow` fragments.
+    /// When a trace is supplied, traffic is gated on each endsystem's
+    /// uptime (machines generate no data while off).
+    #[must_use]
+    pub fn build_anemone(
+        &self,
+        anemone: &AnemoneConfig,
+        availability: Availability<'_>,
+    ) -> (SeaweedEngine, Seaweed<LiveTables>) {
+        let tables: Vec<Table> = (0..self.n)
+            .map(|node| {
+                let intervals = match &availability {
+                    Availability::Trace(t) => t.intervals(node).to_vec(),
+                    Availability::AllUp { .. } => Vec::new(),
+                };
+                anemone.generate_flow_table(self.seed, node, &intervals)
+            })
+            .collect();
+        self.build_with_tables(tables, availability)
+    }
+}
+
+/// Runs the world until the engine clock reaches `until`.
+pub fn run_until(eng: &mut SeaweedEngine, sw: &mut Seaweed<LiveTables>, until: Time) {
+    sw.run_until(eng, until);
+}

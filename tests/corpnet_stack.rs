@@ -1,0 +1,88 @@
+//! Full stack over the CorpNet-like router topology (rather than the
+//! uniform test fabric): latencies now span sub-millisecond LAN to
+//! intercontinental WAN, which exercises timeout/reissue margins and the
+//! proximity structure of routing.
+
+use seaweed::harness::{Availability, WorldConfig};
+use seaweed_sim::NodeIdx;
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+#[test]
+fn query_over_corpnet_topology() {
+    let n = 120;
+    let seed = 23;
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let tables: Vec<Table> = (0..n)
+        .map(|node| {
+            let mut t = Table::new(schema.clone());
+            t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+                .unwrap();
+            t
+        })
+        .collect();
+    let mut cfg = WorldConfig::new(n, seed);
+    cfg.corpnet = true;
+    let (mut eng, mut sw) = cfg.build_with_tables(
+        tables,
+        Availability::AllUp {
+            stagger: Duration::from_millis(300),
+        },
+    );
+    sw.run_until(&mut eng, Time::ZERO + Duration::from_mins(10));
+    assert_eq!(sw.overlay.num_joined(), n);
+
+    // Take a fifth down, query, and verify the usual guarantees hold with
+    // realistic WAN latencies.
+    let t0 = eng.now();
+    for i in 0..n / 5 {
+        eng.schedule_down(t0 + Duration::from_secs(i as u64), NodeIdx((i * 5) as u32));
+    }
+    sw.run_until(&mut eng, t0 + Duration::from_mins(5));
+
+    let origin = NodeIdx((n - 1) as u32);
+    let injected = eng.now();
+    let h = sw
+        .inject_query(
+            &mut eng,
+            origin,
+            "SELECT SUM(v) FROM T WHERE flag = 1",
+            Duration::from_hours(4),
+            &schema,
+        )
+        .unwrap();
+    let hz = eng.now() + Duration::from_mins(3);
+    sw.run_until(&mut eng, hz);
+
+    let q = sw.query(h);
+    let p = q.predictor.as_ref().expect("predictor over WAN");
+    // WAN latency: predictor still arrives within seconds.
+    let latency = q.predictor_at.unwrap().since(injected);
+    assert!(latency < Duration::from_secs(30), "latency {latency}");
+    assert!(
+        latency > Duration::from_millis(2),
+        "suspiciously instant over a WAN"
+    );
+    assert!((p.total_rows() - n as f64).abs() <= 2.0);
+    assert_eq!(q.rows(), (n - n / 5) as u64);
+
+    // Bring the missing endsystems back; exactly-once convergence.
+    let t1 = eng.now();
+    for i in 0..n / 5 {
+        eng.schedule_up(
+            t1 + Duration::from_mins(i as u64 + 1),
+            NodeIdx((i * 5) as u32),
+        );
+    }
+    sw.run_until(&mut eng, t1 + Duration::from_hours(1));
+    let q = sw.query(h);
+    assert_eq!(q.rows(), n as u64);
+    let expected: f64 = (1..=n as i64).map(|v| v as f64).sum();
+    assert_eq!(q.latest.unwrap().finish(), Some(expected));
+}
