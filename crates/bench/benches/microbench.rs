@@ -11,7 +11,9 @@ use seaweed_availability::ReturnPrediction;
 use seaweed_core::predictor::Predictor;
 use seaweed_core::vertex::chain_to_root;
 use seaweed_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
-use seaweed_sim::{Engine, Event, NodeIdx, SimConfig, TrafficClass, UniformTopology};
+use seaweed_sim::{
+    Engine, Event, NodeIdx, SchedulerKind, SimConfig, TrafficClass, UniformTopology,
+};
 use seaweed_store::histogram::NumericHistogram;
 use seaweed_store::{AggFunc, Aggregate, CmpOp, Query};
 use seaweed_types::{sha1, Duration, Id, Time};
@@ -194,6 +196,59 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// Timer-heavy scheduler comparison: the hierarchical wheel vs the
+/// reference binary heap on the protocol's dominant event pattern —
+/// short-lived heartbeat timers, half of them cancelled before firing,
+/// re-armed from inside the event loop.
+fn bench_des_event_throughput(c: &mut Criterion) {
+    const TIMERS: u64 = 100_000;
+
+    fn run(scheduler: SchedulerKind) -> u64 {
+        let mut eng: Engine<u64> = Engine::new(
+            Box::new(UniformTopology::new(8, Duration::MILLISECOND)),
+            SimConfig {
+                scheduler,
+                ..SimConfig::default()
+            },
+        );
+        for i in 0..8u64 {
+            eng.schedule_up(Time(i), NodeIdx(i as u32));
+        }
+        while eng.next_event_before(Time(100)).is_some() {}
+        let mut handles = Vec::with_capacity(TIMERS as usize);
+        for i in 0..TIMERS {
+            let node = NodeIdx((i % 8) as u32);
+            handles.push(eng.set_timer(node, Duration::from_micros(i % 50_000 + 10), i));
+        }
+        // Half the timers are cancelled before they fire, like heartbeats
+        // rescinded by a node restart.
+        for h in handles.iter().step_by(2) {
+            eng.cancel_timer(*h);
+        }
+        let mut fired = 0u64;
+        let mut rearmed = 0u64;
+        while let Some((_, ev)) = eng.next_event_before(Time::ZERO + Duration::from_secs(60)) {
+            fired += 1;
+            if let Event::Timer { node, tag } = ev {
+                if rearmed < TIMERS {
+                    rearmed += 1;
+                    let h = eng.set_timer(node, Duration::from_micros(tag % 3_000 + 5), tag);
+                    if tag % 3 == 0 {
+                        eng.cancel_timer(h);
+                    }
+                }
+            }
+        }
+        fired
+    }
+
+    let mut g = c.benchmark_group("des_event_throughput");
+    g.throughput(Throughput::Elements(TIMERS));
+    g.bench_function("wheel", |b| b.iter(|| black_box(run(SchedulerKind::Wheel))));
+    g.bench_function("heap", |b| b.iter(|| black_box(run(SchedulerKind::Heap))));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha1,
@@ -204,5 +259,6 @@ criterion_group!(
     bench_sql,
     bench_routing,
     bench_engine,
+    bench_des_event_throughput,
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use seaweed_availability::FarsiteConfig;
 use seaweed_bench::fullsim::{run_full, FullSimConfig};
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_sim::TrafficClass;
 use seaweed_types::{Duration, Time};
 
@@ -17,15 +17,23 @@ fn main() {
     let seed = args.get("seed", 14u64);
     let weeks = 1u64;
 
-    println!("Ablation: metadata replication factor k ({n} endsystems, {weeks} week)");
+    let ks = vec![1usize, 2, 4, 8];
+    let workers = jobs(&args, ks.len());
+    println!(
+        "Ablation: metadata replication factor k \
+         ({n} endsystems, {weeks} week, {workers} threads)"
+    );
     let (trace, _) = FarsiteConfig::small(n, weeks).generate(seed);
-    let mut rows = Vec::new();
-    let mut t = OutTable::new(&["k", "maintenance B/s", "coverage %", "meta repairs"]);
-    for k in [1usize, 2, 4, 8] {
+    let results = run_sweep(ks, workers, |_, &k| {
         let mut cfg = FullSimConfig::new(seed);
         cfg.seaweed.k_metadata = k;
         cfg.injections = vec![(0, Time::ZERO + Duration::from_days(4))];
-        let result = run_full(&cfg, &trace);
+        (k, run_full(&cfg, &trace))
+    });
+    let mut rows = Vec::new();
+    let mut t = OutTable::new(&["k", "maintenance B/s", "coverage %", "meta repairs"]);
+    for (k, result) in &results {
+        let k = *k;
         let covered = result.seaweed_stats.predictions_for_unavailable as f64;
         let uncovered = result.seaweed_stats.uncovered_unavailable as f64;
         let coverage = if covered + uncovered > 0.0 {

@@ -4,7 +4,7 @@
 //! number of histogram buckets; this sweep quantifies the trade-off on
 //! real Anemone fragments for all four paper queries.
 
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_store::exec::count_matching;
 use seaweed_store::{DataSummary, Query};
 use seaweed_types::Duration;
@@ -33,14 +33,9 @@ fn main() {
         .map(|b| tables.iter().map(|t| count_matching(b, t)).sum())
         .collect();
 
-    let mut rows = Vec::new();
-    let mut out = OutTable::new(&[
-        "buckets",
-        "h (bytes)",
-        "mean |error| %",
-        "worst query |error| %",
-    ]);
-    for buckets in [2usize, 4, 8, 16, 32, 64, 128, 200] {
+    let bucket_counts = vec![2usize, 4, 8, 16, 32, 64, 128, 200];
+    let workers = jobs(&args, bucket_counts.len());
+    let sweep = run_sweep(bucket_counts, workers, |_, &buckets| {
         let summaries: Vec<_> = tables
             .iter()
             .map(|t| DataSummary::build_with_buckets(t, buckets))
@@ -58,6 +53,16 @@ fn main() {
         }
         let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
         let worst = errs.iter().copied().fold(0.0f64, f64::max);
+        (buckets, h_mean, mean_err, worst)
+    });
+    let mut rows = Vec::new();
+    let mut out = OutTable::new(&[
+        "buckets",
+        "h (bytes)",
+        "mean |error| %",
+        "worst query |error| %",
+    ]);
+    for (buckets, h_mean, mean_err, worst) in sweep {
         rows.push(vec![buckets as f64, h_mean, mean_err, worst]);
         out.row(vec![
             format!("{buckets}"),

@@ -6,7 +6,7 @@
 
 use seaweed_availability::FarsiteConfig;
 use seaweed_bench::fullsim::{run_full, FullSimConfig};
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_types::{Duration, Time};
 
 fn main() {
@@ -20,6 +20,14 @@ fn main() {
         fc.horizon = Duration::from_days(3);
         fc.generate(seed)
     };
+    let widths = vec![1u8, 2, 4, 8];
+    let workers = jobs(&args, widths.len());
+    let results = run_sweep(widths, workers, |_, &b| {
+        let mut cfg = FullSimConfig::new(seed);
+        cfg.overlay.b = b;
+        cfg.injections = vec![(0, Time::ZERO + Duration::from_days(1))];
+        (b, run_full(&cfg, &trace))
+    });
     let mut rows = Vec::new();
     let mut t = OutTable::new(&[
         "b",
@@ -29,11 +37,8 @@ fn main() {
         "predictor latency",
         "mean route hops",
     ]);
-    for b in [1u8, 2, 4, 8] {
-        let mut cfg = FullSimConfig::new(seed);
-        cfg.overlay.b = b;
-        cfg.injections = vec![(0, Time::ZERO + Duration::from_days(1))];
-        let result = run_full(&cfg, &trace);
+    for (b, result) in &results {
+        let b = *b;
         let latency = result.queries[0]
             .predictor_latency
             .expect("predictor arrives");

@@ -7,7 +7,7 @@
 
 use seaweed_availability::{FarsiteConfig, ModelConfig};
 use seaweed_bench::predsim::PredictionSetup;
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_types::{Duration, Time};
 use seaweed_workload::{AnemoneConfig, QUERY_HTTP_BYTES};
 
@@ -30,16 +30,16 @@ fn main() {
         .collect();
     let checkpoints = [1u64, 2, 4, 8, 12, 24];
 
-    let mut rows = Vec::new();
-    let mut t = OutTable::new(&["threshold", "min obs", "mean |error| %", "worst |error| %"]);
-    for (threshold, min_obs) in [
+    let settings = vec![
         (1.0, 0u32),
         (2.0, 0),
         (2.0, 8),
         (3.0, 8),
         (5.0, 8),
         (1e9, 0), // periodic classification disabled entirely
-    ] {
+    ];
+    let workers = jobs(&args, settings.len());
+    let sweep = run_sweep(settings, workers, |_, &(threshold, min_obs)| {
         let cfg = ModelConfig {
             periodic_threshold: threshold,
             min_periodic_observations: min_obs,
@@ -54,6 +54,11 @@ fn main() {
         }
         let mean = errs.iter().sum::<f64>() / errs.len() as f64;
         let worst = errs.iter().copied().fold(0.0f64, f64::max);
+        (threshold, min_obs, mean, worst)
+    });
+    let mut rows = Vec::new();
+    let mut t = OutTable::new(&["threshold", "min obs", "mean |error| %", "worst |error| %"]);
+    for (threshold, min_obs, mean, worst) in sweep {
         rows.push(vec![threshold.min(1e6), f64::from(min_obs), mean, worst]);
         let label = if threshold > 1e6 {
             "disabled".to_owned()

@@ -10,7 +10,7 @@
 
 use seaweed_availability::{FarsiteConfig, HourOfWeekModel, ModelConfig, ReturnPrediction};
 use seaweed_bench::predsim::PredictionSetup;
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_types::{Duration, Time};
 use seaweed_workload::{AnemoneConfig, QUERY_HTTP_BYTES};
 
@@ -47,46 +47,59 @@ fn main() {
     ];
     let checkpoints = [1u64, 2, 4, 8, 12, 24, 48];
 
+    enum Predictor {
+        Paper,
+        HourOfWeek,
+        FixedDelay,
+    }
+    let specs = vec![
+        ("paper model (48 B)", Predictor::Paper),
+        ("hour-of-week profile (336 B)", Predictor::HourOfWeek),
+        ("fixed 8 h baseline", Predictor::FixedDelay),
+    ];
+    let workers = jobs(&args, specs.len());
+    let sweep = run_sweep(specs, workers, |idx, &(name, ref kind)| {
+        let run_one = |inject: Time| match kind {
+            Predictor::Paper => {
+                setup.run_with_model(0, inject, Duration::from_hours(48), ModelConfig::default())
+            }
+            Predictor::HourOfWeek => setup.run_with_return_predictor(
+                0,
+                inject,
+                Duration::from_hours(48),
+                |trace, node, _ds, now| {
+                    HourOfWeekModel::learn_from_trace(trace, node, now).predict_return(now)
+                },
+            ),
+            Predictor::FixedDelay => setup.run_with_return_predictor(
+                0,
+                inject,
+                Duration::from_hours(48),
+                |_t, _n, _ds, _now| ReturnPrediction::point(Duration::from_hours(8)),
+            ),
+        };
+        let mut errs = Vec::new();
+        for &(_, inject) in &injections {
+            let run = run_one(inject);
+            for &h in &checkpoints {
+                errs.push(run.error_pct_at(Duration::from_hours(h)).abs());
+            }
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let worst = errs.iter().copied().fold(0.0f64, f64::max);
+        (name, idx as f64, mean, worst)
+    });
+
     let mut table = OutTable::new(&["predictor", "mean |error| %", "worst |error| %"]);
     let mut rows = Vec::new();
-
-    let mut evaluate =
-        |name: &str, idx: f64, run_one: &dyn Fn(Time) -> seaweed_bench::predsim::PredictionRun| {
-            let mut errs = Vec::new();
-            for &(_, inject) in &injections {
-                let run = run_one(inject);
-                for &h in &checkpoints {
-                    errs.push(run.error_pct_at(Duration::from_hours(h)).abs());
-                }
-            }
-            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-            let worst = errs.iter().copied().fold(0.0f64, f64::max);
-            table.row(vec![
-                name.into(),
-                format!("{mean:.2}"),
-                format!("{worst:.2}"),
-            ]);
-            rows.push(vec![idx, mean, worst]);
-        };
-
-    evaluate("paper model (48 B)", 0.0, &|inject| {
-        setup.run_with_model(0, inject, Duration::from_hours(48), ModelConfig::default())
-    });
-    evaluate("hour-of-week profile (336 B)", 1.0, &|inject| {
-        setup.run_with_return_predictor(
-            0,
-            inject,
-            Duration::from_hours(48),
-            |trace, node, _ds, now| {
-                HourOfWeekModel::learn_from_trace(trace, node, now).predict_return(now)
-            },
-        )
-    });
-    evaluate("fixed 8 h baseline", 2.0, &|inject| {
-        setup.run_with_return_predictor(0, inject, Duration::from_hours(48), |_t, _n, _ds, _now| {
-            ReturnPrediction::point(Duration::from_hours(8))
-        })
-    });
+    for (name, idx, mean, worst) in sweep {
+        table.row(vec![
+            name.into(),
+            format!("{mean:.2}"),
+            format!("{worst:.2}"),
+        ]);
+        rows.push(vec![idx, mean, worst]);
+    }
 
     write_csv(
         "results/abl05_predictors.csv",

@@ -5,7 +5,7 @@
 //! histogram." Grows each endsystem's Flow table day by day and compares
 //! the cumulative bytes of pushing full summaries vs deltas.
 
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_store::DataSummary;
 use seaweed_types::{Duration, Time};
 use seaweed_workload::AnemoneConfig;
@@ -25,28 +25,38 @@ fn main() {
         ..AnemoneConfig::default()
     };
 
-    let mut rows = Vec::new();
-    let mut t = OutTable::new(&["day", "full push B (mean)", "delta push B (mean)", "saving"]);
-    let mut prev: Vec<Option<DataSummary>> = vec![None; n];
-    let mut cum_full = 0u64;
-    let mut cum_delta = 0u64;
-    for day in 1..=days {
-        let mut full = 0u64;
-        let mut delta = 0u64;
-        #[allow(clippy::needless_range_loop)]
-        for node in 0..n {
+    // Each endsystem's day-by-day sequence depends only on its own
+    // previous summary, so nodes sweep in parallel and days stay
+    // sequential inside each node.
+    let workers = jobs(&args, n);
+    let per_node: Vec<Vec<(u64, u64)>> = run_sweep((0..n).collect(), workers, |_, &node| {
+        let mut prev: Option<DataSummary> = None;
+        let mut daily = Vec::with_capacity(days as usize);
+        for day in 1..=days {
             // The fragment as of `day` days: restrict generation to the
             // first `day` days via the uptime gate.
             let upto = vec![(Time::ZERO, Time::ZERO + Duration::from_days(day))];
             let table = anemone.generate_flow_table(seed, node, &upto);
             let summary = DataSummary::build(&table);
-            full += u64::from(summary.wire_size());
-            delta += u64::from(match &prev[node] {
+            let full = u64::from(summary.wire_size());
+            let delta = u64::from(match &prev {
                 Some(p) => summary.delta_wire_size(p),
                 None => summary.wire_size(),
             });
-            prev[node] = Some(summary);
+            prev = Some(summary);
+            daily.push((full, delta));
         }
+        daily
+    });
+
+    let mut rows = Vec::new();
+    let mut t = OutTable::new(&["day", "full push B (mean)", "delta push B (mean)", "saving"]);
+    let mut cum_full = 0u64;
+    let mut cum_delta = 0u64;
+    for day in 1..=days {
+        let di = (day - 1) as usize;
+        let full: u64 = per_node.iter().map(|d| d[di].0).sum();
+        let delta: u64 = per_node.iter().map(|d| d[di].1).sum();
         cum_full += full;
         cum_delta += delta;
         let saving = 100.0 * (1.0 - delta as f64 / full as f64);
@@ -79,36 +89,42 @@ fn main() {
     // Second phase: the paper's actual push granularity (~17.5 min).
     // Many windows add no rows at night, so their pushes delta to almost
     // nothing; daytime windows still shift most equi-depth boundaries.
-    let mut full_b = 0u64;
-    let mut delta_b = 0u64;
-    let mut unchanged = 0u64;
-    let mut pushes = 0u64;
     let sample_nodes = n.min(15);
-    for node in 0..sample_nodes {
-        let mut prev: Option<DataSummary> = None;
-        let mut t_us = Duration::from_mins(1050 / 60).as_micros(); // 17.5 min
-        let step = Duration::from_secs(1050).as_micros();
-        while t_us <= Duration::from_days(1).as_micros() {
-            let upto = vec![(Time::ZERO, Time::from_micros(t_us))];
-            let table = anemone.generate_flow_table(seed, node, &upto);
-            let summary = DataSummary::build(&table);
-            full_b += u64::from(summary.wire_size());
-            let d = match &prev {
-                Some(p) => {
-                    let d = summary.delta_wire_size(p);
-                    if *p == summary {
-                        unchanged += 1;
+    let fine = run_sweep(
+        (0..sample_nodes).collect(),
+        jobs(&args, sample_nodes),
+        |_, &node| {
+            let (mut full_b, mut delta_b, mut unchanged, mut pushes) = (0u64, 0u64, 0u64, 0u64);
+            let mut prev: Option<DataSummary> = None;
+            let mut t_us = Duration::from_mins(1050 / 60).as_micros(); // 17.5 min
+            let step = Duration::from_secs(1050).as_micros();
+            while t_us <= Duration::from_days(1).as_micros() {
+                let upto = vec![(Time::ZERO, Time::from_micros(t_us))];
+                let table = anemone.generate_flow_table(seed, node, &upto);
+                let summary = DataSummary::build(&table);
+                full_b += u64::from(summary.wire_size());
+                let d = match &prev {
+                    Some(p) => {
+                        let d = summary.delta_wire_size(p);
+                        if *p == summary {
+                            unchanged += 1;
+                        }
+                        d
                     }
-                    d
-                }
-                None => summary.wire_size(),
-            };
-            delta_b += u64::from(d);
-            prev = Some(summary);
-            pushes += 1;
-            t_us += step;
-        }
-    }
+                    None => summary.wire_size(),
+                };
+                delta_b += u64::from(d);
+                prev = Some(summary);
+                pushes += 1;
+                t_us += step;
+            }
+            (full_b, delta_b, unchanged, pushes)
+        },
+    );
+    let full_b: u64 = fine.iter().map(|r| r.0).sum();
+    let delta_b: u64 = fine.iter().map(|r| r.1).sum();
+    let unchanged: u64 = fine.iter().map(|r| r.2).sum();
+    let pushes: u64 = fine.iter().map(|r| r.3).sum();
     println!(
         "  at the paper's 17.5-min push period (day 1, {sample_nodes} endsystems): \
          full {:.1} kB vs delta {:.1} kB ({:.1}% saved; {:.0}% of pushes unchanged)",

@@ -15,7 +15,7 @@
 
 use seaweed_availability::FarsiteConfig;
 use seaweed_bench::fullsim::{run_full, FullSimConfig};
-use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
 use seaweed_sim::TrafficClass;
 use seaweed_types::{Duration, Time};
 
@@ -137,13 +137,19 @@ fn part_c(args: &Args, full: bool) {
     let n = args.get("n", if full { 8_000 } else { 800 });
     let weeks = 1u64;
     let seed = args.get("seed", 9u64);
+    let id_seeds: Vec<u64> = (0..5u64).map(|s| 1_000 + s).collect();
+    let workers = jobs(args, id_seeds.len());
     println!(
-        "\nFigure 9(c): sensitivity to endsystemId assignment ({n} endsystems, 5 assignments)"
+        "\nFigure 9(c): sensitivity to endsystemId assignment \
+         ({n} endsystems, {} assignments, {workers} threads)",
+        id_seeds.len()
     );
+    let results = run_sweep(id_seeds, workers, |_, &id_seed| {
+        simulate(n, weeks, seed, id_seed, true)
+    });
     let mut curves: Vec<Vec<f64>> = Vec::new();
     let mut means = Vec::new();
-    for id_seed in 0..5u64 {
-        let result = simulate(n, weeks, seed, 1_000 + id_seed, true);
+    for result in &results {
         means.push(result.report.mean_tx_total_per_online_bps());
         let curve: Vec<f64> = (0..=100)
             .map(|p| f64::from(result.report.tx_percentile(f64::from(p))))
@@ -180,17 +186,20 @@ fn part_d(args: &Args, full: bool) {
     } else {
         vec![250, 500, 1_000, 2_000, 4_000]
     };
-    println!("\nFigure 9(d): overhead vs network size {sizes:?}");
+    let workers = jobs(args, sizes.len());
+    println!("\nFigure 9(d): overhead vs network size {sizes:?} ({workers} threads)");
+    let results = run_sweep(sizes, workers, |_, &n| {
+        (n, simulate(n, weeks, seed, seed, false))
+    });
     let mut rows = Vec::new();
     let mut t = OutTable::new(&["N", "pastry B/s", "maintenance B/s", "query B/s"]);
-    for &n in &sizes {
-        let result = simulate(n, weeks, seed, seed, false);
+    for (n, result) in &results {
         let overlay = result.report.mean_tx_per_online_bps(TrafficClass::Overlay);
         let maint = result
             .report
             .mean_tx_per_online_bps(TrafficClass::Maintenance);
         let query = result.report.mean_tx_per_online_bps(TrafficClass::Query);
-        rows.push(vec![n as f64, overlay, maint, query]);
+        rows.push(vec![*n as f64, overlay, maint, query]);
         t.row(vec![
             format!("{n}"),
             format!("{overlay:.2}"),

@@ -122,7 +122,9 @@ pub fn run_full(cfg: &FullSimConfig, trace: &AvailabilityTrace) -> FullSimResult
             &[]
         };
         let table = cfg.anemone.generate_flow_table(cfg.seed, node, gate);
-        provider.record_fragment(node, &table, &bound);
+        provider
+            .record_fragment(node, &table, &bound)
+            .expect("experiment queries execute against generated fragments");
         for (qi, b) in bound.iter().enumerate() {
             population_rows[qi] += seaweed_store::exec::count_matching(b, &table);
         }
@@ -139,6 +141,7 @@ pub fn run_full(cfg: &FullSimConfig, trace: &AvailabilityTrace) -> FullSimResult
             seed: cfg.seed,
             loss_rate: cfg.loss_rate,
             collect_cdf: cfg.collect_cdf,
+            ..SimConfig::default()
         },
     );
     let overlay = Overlay::new(Overlay::random_ids(n, cfg.id_seed), cfg.overlay.clone());

@@ -12,7 +12,9 @@ pub mod cli;
 pub mod figures;
 pub mod fullsim;
 pub mod output;
+pub mod parallel;
 pub mod predsim;
 
 pub use cli::Args;
 pub use output::{write_csv, Table as OutTable};
+pub use parallel::{jobs, run_sweep};

@@ -1,0 +1,122 @@
+//! Parallel fan-out for multi-seed / multi-config sweeps.
+//!
+//! Every simulation run stays single-threaded and deterministic (the
+//! engine's contract); sweeps over seeds or parameter settings are
+//! embarrassingly parallel across runs. [`run_sweep`] distributes the
+//! items of a sweep over a fixed pool of `std::thread` workers (the
+//! dependency set has no rayon/crossbeam) and returns results in input
+//! order, so CSV output is byte-identical whatever the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use crate::cli::Args;
+
+/// Worker-thread count for a sweep of `runs` items: the `--jobs N` flag
+/// if given, else the `SEAWEED_JOBS` environment variable, else the
+/// machine's available parallelism — always clamped to `1..=runs`.
+#[must_use]
+pub fn jobs(args: &Args, runs: usize) -> usize {
+    let default = std::env::var("SEAWEED_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+    args.get("jobs", default).clamp(1, runs.max(1))
+}
+
+/// Runs `f(index, &item)` for every item, fanning out over `jobs`
+/// worker threads, and returns the results in input order. Items are
+/// handed out dynamically (work stealing by shared counter), so uneven
+/// run times do not serialize the sweep. With `jobs <= 1` everything
+/// runs on the calling thread — handy for debugging and exact baseline
+/// comparisons.
+///
+/// # Panics
+/// A panic inside `f` propagates to the caller once the sweep finishes
+/// joining its workers.
+pub fn run_sweep<T, R, F>(inputs: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = inputs.len();
+    if jobs <= 1 || n <= 1 {
+        return inputs.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let (next, inputs, f) = (&next, &inputs, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &inputs[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every sweep item completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let out = run_sweep(inputs.clone(), 8, |i, &x| {
+            // Uneven work so completion order differs from input order.
+            let spin = (x * 7919) % 97;
+            let mut acc = 0u64;
+            for k in 0..spin * 1000 {
+                acc = acc.wrapping_add(k);
+            }
+            (i as u64, x * 2, acc & 1)
+        });
+        for (i, (idx, doubled, _)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*doubled, inputs[i] * 2);
+        }
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = run_sweep(vec![1, 2, 3], 1, |_, &x| x + 10);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let inputs: Vec<u64> = (0..25).map(|i| i * 3 + 1).collect();
+        let serial = run_sweep(inputs.clone(), 1, |i, &x| x.wrapping_mul(i as u64 + 1));
+        let parallel = run_sweep(inputs, 6, |i, &x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn jobs_clamps_to_run_count() {
+        let args = Args::parse_args(["prog".to_owned()]);
+        assert_eq!(jobs(&args, 1), 1);
+        assert!(jobs(&args, 64) >= 1);
+        let forced = Args::parse_args(["prog".to_owned(), "--jobs".to_owned(), "3".to_owned()]);
+        assert_eq!(jobs(&forced, 64), 3);
+        assert_eq!(jobs(&forced, 2), 2);
+    }
+}

@@ -270,11 +270,19 @@ impl<P: DataProvider> Seaweed<P> {
         covered: &mut u64,
     ) {
         if r.contains(self.overlay.id_of(n)) {
-            let own = self
+            match self
                 .provider
-                .execute(n.idx(), &self.views[view as usize].bound);
-            acc.merge(&own);
-            *covered += 1;
+                .execute(n.idx(), &self.views[view as usize].bound)
+            {
+                Ok(own) => {
+                    acc.merge(&own);
+                    *covered += 1;
+                }
+                // The loop below only covers unavailable endsystems, so
+                // a live node that fails to execute loses its
+                // contribution for this round.
+                Err(_) => self.stats.exec_failures += 1,
+            }
         }
         for x in ids_in_range(&self.id_index, r) {
             if x == n || eng.is_up(x) {

@@ -26,7 +26,11 @@ impl<P: DataProvider> Seaweed<P> {
     /// refreshing the owner's replicated view values first.
     pub(crate) fn push_metadata(&mut self, eng: &mut SeaweedEngine, owner: NodeIdx) {
         for (v, def) in self.views.iter().enumerate() {
-            self.view_values[v][owner.idx()] = Some(self.provider.execute(owner.idx(), &def.bound));
+            match self.provider.execute(owner.idx(), &def.bound) {
+                Ok(agg) => self.view_values[v][owner.idx()] = Some(agg),
+                // Keep the previous value (if any); the next push retries.
+                Err(_) => self.stats.exec_failures += 1,
+            }
         }
         let size = self.meta_push_size(owner);
         let members = self.overlay.replica_set(owner, self.cfg.k_metadata);
@@ -47,28 +51,13 @@ impl<P: DataProvider> Seaweed<P> {
     pub(crate) fn schedule_meta_push(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) {
         let period = self.cfg.push_period.as_micros();
         let delay = Duration::from_micros(self.rng.gen_range_u64(1, 2 * period));
-        let incarnation = self.incarnation[n.idx()];
-        self.set_app_timer(
-            eng,
-            n,
-            delay,
-            TimerAction::MetaPush {
-                node: n,
-                incarnation,
-            },
-        );
+        self.set_app_timer(eng, n, delay, TimerAction::MetaPush { node: n });
     }
 
-    pub(crate) fn on_meta_push_timer(
-        &mut self,
-        eng: &mut SeaweedEngine,
-        n: NodeIdx,
-        incarnation: u64,
-    ) {
-        // Stale timer from a previous availability session?
-        if self.incarnation[n.idx()] != incarnation || !eng.is_up(n) {
-            return;
-        }
+    pub(crate) fn on_meta_push_timer(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) {
+        // The engine cancels this timer if `n` goes down, so a firing
+        // timer always belongs to the current availability session.
+        debug_assert!(eng.is_up(n));
         self.push_metadata(eng, n);
         self.schedule_meta_push(eng, n);
     }

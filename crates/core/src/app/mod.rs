@@ -242,6 +242,9 @@ pub struct SeaweedStats {
     pub uncovered_unavailable: u64,
     pub result_submissions: u64,
     pub result_retries: u64,
+    /// Local executions that failed at the provider; the contribution is
+    /// dropped (and shows up as incompleteness), never a crash.
+    pub exec_failures: u64,
     pub vertex_replications: u64,
     pub vertex_states_lost: u64,
     pub results_at_origin: u64,
@@ -252,7 +255,6 @@ pub struct SeaweedStats {
 pub(crate) enum TimerAction {
     MetaPush {
         node: NodeIdx,
-        incarnation: u64,
     },
     DissemTimeout {
         node: NodeIdx,
@@ -271,6 +273,20 @@ pub(crate) enum TimerAction {
     QueryExpire {
         query: QueryHandle,
     },
+}
+
+impl TimerAction {
+    /// The node whose liveness this action is tied to; `None` for
+    /// actions that must survive churn (query expiry).
+    fn node(&self) -> Option<NodeIdx> {
+        match *self {
+            TimerAction::MetaPush { node }
+            | TimerAction::DissemTimeout { node, .. }
+            | TimerAction::ExecuteLocal { node, .. }
+            | TimerAction::ResultRetry { node, .. } => Some(node),
+            TimerAction::QueryExpire { .. } => None,
+        }
+    }
 }
 
 /// Key of a dissemination task: (node, query, range start, range width —
@@ -359,7 +375,6 @@ pub struct Seaweed<P: DataProvider> {
     pub(crate) holders: Vec<Vec<NodeIdx>>,
     /// Reverse index: owners whose metadata each node holds.
     pub(crate) held_by: Vec<Vec<NodeIdx>>,
-    pub(crate) incarnation: Vec<u64>,
 
     // ---- query plane ----
     pub(crate) queries: Vec<QueryState>,
@@ -422,7 +437,6 @@ impl<P: DataProvider> Seaweed<P> {
             down_since: vec![Some(Time::ZERO); n],
             holders: vec![Vec::new(); n],
             held_by: vec![Vec::new(); n],
-            incarnation: vec![0; n],
             queries: Vec::new(),
             query_by_id: HashMap::new(),
             knows_query: vec![0; n],
@@ -547,7 +561,7 @@ impl<P: DataProvider> Seaweed<P> {
             progress: Vec::new(),
         });
         self.query_by_id.insert(id, handle);
-        self.set_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
+        self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
         self.start_dissemination(eng, origin, handle);
         handle
     }
@@ -596,7 +610,7 @@ impl<P: DataProvider> Seaweed<P> {
             progress: Vec::new(),
         });
         self.query_by_id.insert(id, handle);
-        self.set_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
+        self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
         self.start_dissemination(eng, origin, handle);
         Ok(handle)
     }
@@ -813,7 +827,24 @@ impl<P: DataProvider> Seaweed<P> {
         self.timer_seq += 1;
         debug_assert!(seq < (1 << 62), "timer tag space exhausted");
         self.timers.insert(seq, action);
-        eng.set_timer(node, delay, seq);
+        let _ = eng.set_timer(node, delay, seq);
+    }
+
+    /// Arms a timer that must survive `node` going down (e.g. query
+    /// expiry, which is wall-clock TTL, not tied to the origin's
+    /// session).
+    pub(crate) fn set_detached_app_timer(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        node: NodeIdx,
+        delay: Duration,
+        action: TimerAction,
+    ) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        debug_assert!(seq < (1 << 62), "timer tag space exhausted");
+        self.timers.insert(seq, action);
+        let _ = eng.set_detached_timer(node, delay, seq);
     }
 
     fn on_app_timer(&mut self, eng: &mut SeaweedEngine, node: NodeIdx, tag: u64) {
@@ -821,12 +852,9 @@ impl<P: DataProvider> Seaweed<P> {
             return; // cancelled or superseded
         };
         match action {
-            TimerAction::MetaPush {
-                node: n,
-                incarnation,
-            } => {
+            TimerAction::MetaPush { node: n } => {
                 debug_assert_eq!(n, node);
-                self.on_meta_push_timer(eng, n, incarnation);
+                self.on_meta_push_timer(eng, n);
             }
             TimerAction::DissemTimeout { node: n, task } => {
                 self.on_dissem_timeout(eng, n, task);
@@ -865,7 +893,6 @@ impl<P: DataProvider> Seaweed<P> {
     // ------------------------------------------------- lifecycle hooks
 
     fn on_node_up(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) {
-        self.incarnation[n.idx()] += 1;
         // Update the local availability model with the completed down
         // spell (the endsystem persists the model across sessions).
         if let Some(down_at) = self.down_since[n.idx()].take() {
@@ -879,6 +906,9 @@ impl<P: DataProvider> Seaweed<P> {
         // Local volatile query state dies with the node; parents reissue.
         self.tasks.retain(|&(node, _, _, _), _| node != n.0);
         self.pending_submits.retain(|&(node, _, _), _| node != n.0);
+        // The engine auto-cancelled this node's timers; drop the matching
+        // deferred actions (query expiry is detached and survives).
+        self.timers.retain(|_, a| a.node() != Some(n));
         // Un-acked local executions may be rescheduled on rejoin.
         self.exec_pending[n.idx()] = 0;
         // Vertex replicas this node held are repaired when some neighbor

@@ -48,9 +48,18 @@ impl<P: DataProvider> Seaweed<P> {
                 if self.submitted[n.idx()] & bit != 0 {
                     return;
                 }
-                let agg = self
+                let agg = match self
                     .provider
-                    .execute(n.idx(), &self.queries[h as usize].bound);
+                    .execute(n.idx(), &self.queries[h as usize].bound)
+                {
+                    Ok(agg) => agg,
+                    Err(_) => {
+                        // Dropped contribution; surfaces as incompleteness
+                        // at the origin rather than crashing the run.
+                        self.stats.exec_failures += 1;
+                        return;
+                    }
+                };
                 let my_id = self.overlay.id_of(n);
                 let target = self.leaf_vertex(n, h);
                 self.stats.result_submissions += 1;
@@ -88,14 +97,20 @@ impl<P: DataProvider> Seaweed<P> {
             let bound = seaweed_store::Query::parse(&q.text)
                 .and_then(|p| p.bind(&q.schema, now_secs))
                 .expect("continuous query re-binds (validated at injection)");
-            let agg = self.provider.execute(n.idx(), &bound);
-            self.cont_epoch.insert((n.0, h), epoch);
-            let my_id = self.overlay.id_of(n);
-            let target = self.leaf_vertex(n, h);
-            self.stats.result_submissions += 1;
-            // Version = epoch + 2 keeps continuous versions above the
-            // initial one-shot-style version space.
-            self.submit_to_vertex(eng, n, h, target, my_id, epoch + 2, agg);
+            match self.provider.execute(n.idx(), &bound) {
+                Ok(agg) => {
+                    self.cont_epoch.insert((n.0, h), epoch);
+                    let my_id = self.overlay.id_of(n);
+                    let target = self.leaf_vertex(n, h);
+                    self.stats.result_submissions += 1;
+                    // Version = epoch + 2 keeps continuous versions above
+                    // the initial one-shot-style version space.
+                    self.submit_to_vertex(eng, n, h, target, my_id, epoch + 2, agg);
+                }
+                // This epoch's contribution is lost; the next epoch's
+                // timer below retries with a fresh binding.
+                Err(_) => self.stats.exec_failures += 1,
+            }
         }
         // Arm the next epoch (with the configured jitter so epochs do not
         // synchronize network-wide).

@@ -29,8 +29,11 @@ pub trait DataProvider {
     fn estimate_rows(&self, node: usize, query: &BoundQuery) -> f64;
 
     /// Executes `query` on `node`'s fragment, returning the exact partial
-    /// aggregate.
-    fn execute(&self, node: usize, query: &BoundQuery) -> Aggregate;
+    /// aggregate. Fails if the provider cannot answer the query (e.g. a
+    /// pre-computed provider asked about an unregistered query); the
+    /// protocol layer treats that as a missing contribution, not a
+    /// crash.
+    fn execute(&self, node: usize, query: &BoundQuery) -> Result<Aggregate, StoreError>;
 
     /// Exact relevant-row count (ground truth for experiments).
     fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64;
@@ -105,8 +108,8 @@ impl DataProvider for LiveTables {
         self.summaries[node].estimate_rows(query)
     }
 
-    fn execute(&self, node: usize, query: &BoundQuery) -> Aggregate {
-        execute(query, &self.tables[node]).expect("bound query executes")
+    fn execute(&self, node: usize, query: &BoundQuery) -> Result<Aggregate, StoreError> {
+        execute(query, &self.tables[node])
     }
 
     fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64 {
@@ -160,29 +163,40 @@ impl Precomputed {
     }
 
     /// Convenience: summarize + answer a fragment for a set of queries,
-    /// then drop it.
-    pub fn record_fragment(&mut self, node: usize, table: &Table, queries: &[BoundQuery]) {
+    /// then drop it. Fails if a query cannot execute against the
+    /// fragment (nothing is recorded for this node in that case).
+    pub fn record_fragment(
+        &mut self,
+        node: usize,
+        table: &Table,
+        queries: &[BoundQuery],
+    ) -> Result<(), StoreError> {
         let summary = DataSummary::build(table);
         let answers: Vec<_> = queries
             .iter()
             .map(|q| {
-                (
+                Ok((
                     q.clone(),
                     summary.estimate_rows(q),
-                    execute(q, table).expect("bound query executes"),
+                    execute(q, table)?,
                     count_matching(q, table),
-                )
+                ))
             })
-            .collect();
+            .collect::<Result<_, StoreError>>()?;
         self.record(node, summary.wire_size(), answers);
+        Ok(())
     }
 
-    fn lookup(&self, node: usize, query: &BoundQuery) -> &(f64, Aggregate, u64) {
+    fn lookup(
+        &self,
+        node: usize,
+        query: &BoundQuery,
+    ) -> Result<&(f64, Aggregate, u64), StoreError> {
         self.answers
             .get(&key_of(query))
-            .unwrap_or_else(|| panic!("query not pre-registered: {query:?}"))
+            .ok_or_else(|| StoreError::UnknownQuery(format!("{query:?}")))?
             .get(node)
-            .expect("node in range")
+            .ok_or_else(|| StoreError::UnknownQuery(format!("node {node} out of range")))
     }
 }
 
@@ -192,15 +206,18 @@ impl DataProvider for Precomputed {
     }
 
     fn estimate_rows(&self, node: usize, query: &BoundQuery) -> f64 {
-        self.lookup(node, query).0
+        // Estimation has no error channel (it feeds predictors that must
+        // always produce a number); an unregistered query here is a
+        // harness bug.
+        self.lookup(node, query).unwrap_or_else(|e| panic!("{e}")).0
     }
 
-    fn execute(&self, node: usize, query: &BoundQuery) -> Aggregate {
-        self.lookup(node, query).1
+    fn execute(&self, node: usize, query: &BoundQuery) -> Result<Aggregate, StoreError> {
+        Ok(self.lookup(node, query)?.1)
     }
 
     fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64 {
-        self.lookup(node, query).2
+        self.lookup(node, query).unwrap_or_else(|e| panic!("{e}")).2
     }
 }
 
@@ -237,7 +254,7 @@ mod tests {
         let lt = LiveTables::new(tiny_tables(3));
         let (_, b) = lt.bind("SELECT COUNT(*) FROM T WHERE a = 2", 0).unwrap();
         assert_eq!(lt.exact_rows(1, &b), 10);
-        assert_eq!(lt.execute(1, &b).finish(), Some(10.0));
+        assert_eq!(lt.execute(1, &b).unwrap().finish(), Some(10.0));
         let est = lt.estimate_rows(1, &b);
         assert!((est - 10.0).abs() < 2.0, "estimate {est}");
         assert!(lt.summary_wire_size(0) > 0);
@@ -249,11 +266,15 @@ mod tests {
         let (_, b) = lt.bind("SELECT SUM(v) FROM T WHERE a >= 3", 0).unwrap();
         let mut pc = Precomputed::new(4);
         for node in 0..4 {
-            pc.record_fragment(node, lt.table(node), std::slice::from_ref(&b));
+            pc.record_fragment(node, lt.table(node), std::slice::from_ref(&b))
+                .unwrap();
         }
         for node in 0..4 {
             assert_eq!(pc.exact_rows(node, &b), lt.exact_rows(node, &b));
-            assert_eq!(pc.execute(node, &b).finish(), lt.execute(node, &b).finish());
+            assert_eq!(
+                pc.execute(node, &b).unwrap().finish(),
+                lt.execute(node, &b).unwrap().finish()
+            );
             assert!((pc.estimate_rows(node, &b) - lt.estimate_rows(node, &b)).abs() < 1e-9);
             assert_eq!(pc.summary_wire_size(node), lt.summary_wire_size(node));
         }
@@ -266,5 +287,18 @@ mod tests {
         let (_, b) = lt.bind("SELECT COUNT(*) FROM T WHERE a = 0", 0).unwrap();
         let pc = Precomputed::new(1);
         let _ = pc.estimate_rows(0, &b);
+    }
+
+    #[test]
+    fn precomputed_execute_errors_on_unknown_queries() {
+        let lt = LiveTables::new(tiny_tables(1));
+        let (_, b) = lt.bind("SELECT COUNT(*) FROM T WHERE a = 0", 0).unwrap();
+        let pc = Precomputed::new(1);
+        // Unlike estimation, execution has an error channel: the protocol
+        // layer drops the contribution instead of crashing the run.
+        assert!(matches!(
+            pc.execute(0, &b),
+            Err(StoreError::UnknownQuery(_))
+        ));
     }
 }

@@ -31,7 +31,7 @@ fn world(n: usize, seed: u64, loss: f64) -> (SeaweedEngine, Seaweed<LiveTables>,
         SimConfig {
             seed,
             loss_rate: loss,
-            collect_cdf: false,
+            ..SimConfig::default()
         },
     );
     let overlay = Overlay::new(

@@ -1,0 +1,265 @@
+//! Vendored stand-in for the parts of the `criterion` crate this
+//! workspace uses, so benches build without registry access.
+//!
+//! Behavior matches upstream's contract with Cargo:
+//! - `cargo bench` passes `--bench`, enabling full measurement
+//!   (warm-up, calibrated batches, median-of-samples reporting).
+//! - `cargo test` runs each benchmark body exactly once as a smoke
+//!   test, keeping the tier-1 suite fast.
+//!
+//! A positional argument filters benchmarks by substring, as upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Quantity processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One iteration per benchmark: `cargo test` smoke run.
+    Test,
+    /// Full measurement: `cargo bench`.
+    Bench,
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled in Bench mode.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, called in a loop. In smoke mode, runs it once.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Warm up and calibrate: double the batch size until one batch
+        // takes long enough to time reliably.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(60) {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+        // Measure: several batches sized for ~200ms each, report the
+        // median to shrug off scheduler noise.
+        let batch = ((2e8 / per_iter) as u64).max(1);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Test,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the harness arguments Cargo passes to `harness = false`
+    /// targets (`--bench` under `cargo bench`; a positional substring
+    /// filter under both commands).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => self.mode = Mode::Bench,
+                a if !a.starts_with('-') => self.filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run(&mut self, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Test => println!("{name}: ok (smoke)"),
+            Mode::Bench => {
+                let ns = b
+                    .ns_per_iter
+                    .expect("bench closure must call Bencher::iter");
+                let mut line = format!("{name:<45} time: [{}]", fmt_time(ns));
+                if let Some(t) = throughput {
+                    line.push_str(&format!("  thrpt: [{}]", fmt_throughput(ns, t)));
+                }
+                println!("{line}");
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run(&full, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_throughput(ns_per_iter: f64, t: Throughput) -> String {
+    let per_sec = |count: u64| count as f64 / (ns_per_iter / 1e9);
+    match t {
+        Throughput::Bytes(n) => {
+            let rate = per_sec(n);
+            if rate >= 1e9 {
+                format!("{:.3} GiB/s", rate / (1u64 << 30) as f64)
+            } else if rate >= 1e6 {
+                format!("{:.3} MiB/s", rate / f64::from(1u32 << 20))
+            } else {
+                format!("{:.3} KiB/s", rate / 1024.0)
+            }
+        }
+        Throughput::Elements(n) => {
+            let rate = per_sec(n);
+            if rate >= 1e6 {
+                format!("{:.4} Melem/s", rate / 1e6)
+            } else {
+                format!("{:.1} elem/s", rate)
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("unit/one_shot", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_filter_and_format() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("keep".to_string()),
+        };
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("keep_this", |b| b.iter(|| kept += 1));
+            g.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+            g.finish();
+        }
+        assert_eq!((kept, skipped), (1, 0));
+        assert!(fmt_time(12.3).contains("ns"));
+        assert!(fmt_time(12_300.0).contains("µs"));
+        assert!(fmt_throughput(1.0, Throughput::Elements(1)).contains("elem/s"));
+    }
+}

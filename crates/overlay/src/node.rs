@@ -10,9 +10,6 @@ pub struct NodeState {
     pub id: Id,
     /// Has the node completed the join protocol since it last came up?
     pub joined: bool,
-    /// Incarnation counter: bumped on every NodeUp, used to suppress
-    /// stale timers.
-    pub incarnation: u64,
     /// Clockwise leafset half: nearest live neighbors in increasing ring
     /// distance (at most l/2).
     pub cw: Vec<NodeIdx>,
@@ -28,7 +25,6 @@ impl NodeState {
         NodeState {
             id,
             joined: false,
-            incarnation: 0,
             cw: Vec::new(),
             ccw: Vec::new(),
             rt: vec![None; rows * cols],

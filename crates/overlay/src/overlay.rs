@@ -1,10 +1,10 @@
 //! The overlay orchestrator: join, leafset maintenance, prefix routing.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use seaweed_sim::{Engine, NodeIdx, TrafficClass};
+use seaweed_sim::{Engine, NodeIdx, TimerHandle, TrafficClass};
 use seaweed_types::{Duration, Id, IdRange};
 
 use crate::node::NodeState;
@@ -136,6 +136,19 @@ pub struct Overlay {
     /// Joined live nodes as a dense list for O(1) random bootstrap picks.
     joined_list: Vec<NodeIdx>,
     joined_pos: Vec<usize>,
+    /// Reverse leafset index: `listed_by[n]` holds every node whose
+    /// leafset currently contains `n`. Failure detection is armed from
+    /// this set — leafset views can be asymmetric, so the dead node's own
+    /// view is *not* a valid list of its watchers. BTreeSet gives
+    /// deterministic (ascending) iteration, which the per-detector jitter
+    /// draws rely on.
+    listed_by: Vec<BTreeSet<u32>>,
+    /// Pending join-retry timer per node, cancelled on join completion.
+    join_retry: Vec<Option<TimerHandle>>,
+    /// Pending failure-detection timers keyed by the *failed* node:
+    /// `(detector, handle)` pairs, cancelled if the node comes back up
+    /// before the detection delay elapses.
+    fail_timers: Vec<Vec<(u32, TimerHandle)>>,
     rng: StdRng,
     rows: usize,
     cols: usize,
@@ -165,6 +178,9 @@ impl Overlay {
             ring: BTreeMap::new(),
             joined_list: Vec::new(),
             joined_pos: vec![NO_POS; n],
+            listed_by: vec![BTreeSet::new(); n],
+            join_retry: vec![None; n],
+            fail_timers: vec![Vec::new(); n],
             rows,
             cols,
             stats: OverlayStats::default(),
@@ -317,9 +333,14 @@ impl Overlay {
 
     /// Must be called when the engine reports `NodeUp`.
     pub fn node_up<A>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) -> Vec<OverlayEvent<A>> {
-        let st = &mut self.nodes[n.idx()];
-        st.reset();
-        st.incarnation += 1;
+        // The node is back: disarm any detection timers still pending for
+        // its previous session (cancelling a handle whose detector has
+        // itself gone down is a harmless no-op).
+        for (_, h) in self.fail_timers[n.idx()].drain(..) {
+            eng.cancel_timer(h);
+        }
+        self.unlist_all(n);
+        self.nodes[n.idx()].reset();
         self.stats.joins += 1;
         if self.joined_list.is_empty() {
             // First node: instant singleton network.
@@ -338,9 +359,10 @@ impl Overlay {
             wire::JOIN_REQUEST,
             TrafficClass::Overlay,
         );
-        // Retry in case the request or reply is lost to churn.
-        let inc = self.nodes[n.idx()].incarnation & TAG_PAYLOAD_MASK;
-        eng.set_timer(n, self.cfg.heartbeat * 2, TAG_JOIN_RETRY | inc);
+        // Retry in case the request or reply is lost to churn; cancelled
+        // on join completion (the engine cancels it automatically if the
+        // node goes down first).
+        self.join_retry[n.idx()] = Some(eng.set_timer(n, self.cfg.heartbeat * 2, TAG_JOIN_RETRY));
     }
 
     /// Must be called when the engine reports `NodeDown`.
@@ -356,18 +378,25 @@ impl Overlay {
                 }
                 self.joined_pos[n.idx()] = NO_POS;
             }
-            // Leafset neighbors will notice after missing heartbeats.
-            let members = self.leafset_members(n);
-            for m in members {
-                if eng.is_up(m) {
-                    let jitter = Duration::from_micros(
-                        self.rng.gen_range(0..self.cfg.heartbeat.as_micros()),
-                    );
-                    eng.set_timer(m, self.cfg.detect_delay + jitter, TAG_FAIL | n.0 as u64);
-                }
+        }
+        // Every node whose leafset lists `n` will notice after missing
+        // heartbeats. The reverse index is authoritative here: leafset
+        // views are asymmetric under churn, so `n`'s own view may omit
+        // nodes that still list it (and would otherwise never detect).
+        let watchers: Vec<u32> = self.listed_by[n.idx()].iter().copied().collect();
+        for w in watchers {
+            let m = NodeIdx(w);
+            if eng.is_up(m) {
+                let jitter =
+                    Duration::from_micros(self.rng.gen_range(0..self.cfg.heartbeat.as_micros()));
+                let h = eng.set_timer(m, self.cfg.detect_delay + jitter, TAG_FAIL | u64::from(n.0));
+                self.fail_timers[n.idx()].push((w, h));
             }
         }
+        // The engine auto-cancels n's own timers (join retry included).
+        self.join_retry[n.idx()] = None;
         eng.set_standing(n, TrafficClass::Overlay, 0.0, 0.0);
+        self.unlist_all(n);
         self.nodes[n.idx()].reset();
     }
 
@@ -380,21 +409,24 @@ impl Overlay {
     ) -> Vec<OverlayEvent<A>> {
         if tag & TAG_FAIL == TAG_FAIL {
             let failed = NodeIdx((tag & TAG_PAYLOAD_MASK) as u32);
+            let pending = &mut self.fail_timers[failed.idx()];
+            if let Some(pos) = pending.iter().position(|&(d, _)| d == node.0) {
+                pending.swap_remove(pos);
+            }
             return self.detect_failure(eng, node, failed);
         }
         if tag & TAG_JOIN_RETRY == TAG_JOIN_RETRY {
-            let st = &self.nodes[node.idx()];
-            if !st.joined
-                && st.incarnation & TAG_PAYLOAD_MASK == tag & TAG_PAYLOAD_MASK
-                && !self.joined_list.is_empty()
-            {
-                self.stats.join_retries += 1;
-                self.start_join(eng, node);
-            } else if !st.joined && self.joined_list.is_empty() {
+            self.join_retry[node.idx()] = None;
+            // A retry firing after the join completed can't happen any
+            // more: complete_join cancels the handle.
+            debug_assert!(!self.nodes[node.idx()].joined);
+            if self.joined_list.is_empty() {
                 // Everyone else left while we were joining: become the
                 // singleton network.
                 return self.complete_join(eng, node);
             }
+            self.stats.join_retries += 1;
+            self.start_join(eng, node);
         }
         Vec::new()
     }
@@ -411,6 +443,7 @@ impl Overlay {
         if !self.nodes[detector.idx()].remove_from_leafset(failed) {
             return Vec::new(); // already repaired (or detector restarted)
         }
+        self.listed_by[failed.idx()].remove(&detector.0);
         self.stats.leafset_repairs += 1;
         // Repair: converge the leafset to ground truth, charging the pull
         // exchange the real protocol performs against the farthest
@@ -479,7 +512,16 @@ impl Overlay {
                 }
                 self.complete_join(eng, to)
             }
-            OverlayMsg::Announce => self.handle_announce(to, from),
+            OverlayMsg::Announce => {
+                // The announcer may have died while the message was in
+                // flight; inserting it would plant a leafset entry that
+                // no detection timer covers.
+                if eng.is_up(from) {
+                    self.handle_announce(to, from)
+                } else {
+                    Vec::new()
+                }
+            }
             OverlayMsg::LeafsetPull => {
                 let members = self.leafset_members(to);
                 let size = wire::leafset_msg(members.len());
@@ -584,6 +626,9 @@ impl Overlay {
     /// register heartbeat traffic.
     fn complete_join<A>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) -> Vec<OverlayEvent<A>> {
         debug_assert!(!self.nodes[n.idx()].joined);
+        if let Some(h) = self.join_retry[n.idx()].take() {
+            eng.cancel_timer(h);
+        }
         self.rebuild_leafset(n);
         self.nodes[n.idx()].joined = true;
         self.ring.insert(self.ids[n.idx()].0, n);
@@ -623,6 +668,7 @@ impl Overlay {
     /// Rebuilds `n`'s leafset from the ground-truth ring (hybrid
     /// convergence; the caller charges the protocol messages).
     fn rebuild_leafset(&mut self, n: NodeIdx) {
+        let old: Vec<NodeIdx> = self.nodes[n.idx()].leafset().collect();
         let half = self.cfg.leafset / 2;
         let id = self.ids[n.idx()];
         let cw = self.ring_neighbors_cw(id, half);
@@ -630,6 +676,29 @@ impl Overlay {
         let st = &mut self.nodes[n.idx()];
         st.cw = cw.into_iter().filter(|&m| m != n).collect();
         st.ccw = ccw.into_iter().filter(|&m| m != n).collect();
+        self.reindex_leafset(n, &old);
+    }
+
+    /// Reverse-index bookkeeping after `n`'s leafset changed: drops the
+    /// entries for the pre-change members (`old`) and records the current
+    /// ones.
+    fn reindex_leafset(&mut self, n: NodeIdx, old: &[NodeIdx]) {
+        for m in old {
+            self.listed_by[m.idx()].remove(&n.0);
+        }
+        let new: Vec<NodeIdx> = self.nodes[n.idx()].leafset().collect();
+        for m in new {
+            self.listed_by[m.idx()].insert(n.0);
+        }
+    }
+
+    /// Drops every reverse-index entry held on behalf of `n`'s leafset
+    /// (called before the leafset is cleared on restart/shutdown).
+    fn unlist_all(&mut self, n: NodeIdx) {
+        let members: Vec<NodeIdx> = self.nodes[n.idx()].leafset().collect();
+        for m in members {
+            self.listed_by[m.idx()].remove(&n.0);
+        }
     }
 
     /// Inserts `x` into `n`'s leafset halves if it is among the l/2
@@ -638,6 +707,7 @@ impl Overlay {
         if n == x {
             return false;
         }
+        let old: Vec<NodeIdx> = self.nodes[n.idx()].leafset().collect();
         let half = self.cfg.leafset / 2;
         let id = self.ids[n.idx()];
         let xid = self.ids[x.idx()];
@@ -667,6 +737,9 @@ impl Overlay {
                 st.ccw.truncate(half);
                 changed = true;
             }
+        }
+        if changed {
+            self.reindex_leafset(n, &old);
         }
         changed
     }
@@ -892,11 +965,14 @@ impl Overlay {
     /// Drops every reference `at` holds to `gone`.
     fn purge(&mut self, at: NodeIdx, gone: NodeIdx) {
         let st = &mut self.nodes[at.idx()];
-        st.remove_from_leafset(gone);
+        let removed = st.remove_from_leafset(gone);
         for e in st.rt.iter_mut() {
             if *e == Some(gone) {
                 *e = None;
             }
+        }
+        if removed {
+            self.listed_by[gone.idx()].remove(&at.0);
         }
     }
 }

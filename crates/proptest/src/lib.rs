@@ -1,0 +1,619 @@
+//! Vendored stand-in for the parts of the `proptest` crate this
+//! workspace uses, so property tests run without registry access.
+//!
+//! Scope: random generation of inputs from composable strategies, a
+//! `proptest!` macro compatible with the call sites in this repository,
+//! assumption-based rejection and deterministic per-case seeding. Not
+//! implemented: shrinking (a failing case reports its inputs instead)
+//! and persisted failure files.
+
+use std::fmt::Debug;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` — skipped, not failed.
+    Reject(String),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types generatable over their full domain via `any::<T>()`.
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u128>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u128>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag = rng.gen::<f64>() * 2e9 - 1e9;
+        mag * rng.gen::<f64>()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types usable as range-strategy bounds.
+pub trait RangeSample: Copy + PartialOrd + Debug {
+    fn sample(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    rng.gen_range(lo..=hi)
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+        }
+    )*};
+}
+impl_range_sample_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl RangeSample for f64 {
+    fn sample(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "cannot sample empty f64 range");
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+}
+
+impl<T: RangeSample> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeSample> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// `&str` strategies: the string is a regex-like pattern. Supported
+/// syntax — enough for the patterns in this repository — is a sequence
+/// of atoms (literal chars or `[...]` classes with ranges) each with an
+/// optional `{m}`, `{m,n}`, `*`, `+` or `?` quantifier.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a char class or a literal character.
+        let class: Vec<(char, char)> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated [ in pattern {pattern:?}"));
+            let mut class = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    class.push((chars[j], chars[j + 2]));
+                    j += 3;
+                } else {
+                    class.push((chars[j], chars[j]));
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            class
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![(c, c)]
+        };
+        // Parse the quantifier, if any.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("quantifier lower bound"),
+                    b.trim().parse::<usize>().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(lo..=hi);
+        let weight: u32 = class
+            .iter()
+            .map(|&(a, b)| (b as u32).saturating_sub(a as u32) + 1)
+            .sum();
+        for _ in 0..count {
+            let mut pick = rng.gen_range(0..weight);
+            for &(a, b) in &class {
+                let w = (b as u32) - (a as u32) + 1;
+                if pick < w {
+                    out.push(char::from_u32(a as u32 + pick).expect("valid char"));
+                    break;
+                }
+                pick -= w;
+            }
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty set");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Drives one property: runs `f` until `cfg.cases` cases are accepted,
+/// with a deterministic seed per (property, attempt).
+///
+/// `f` returns the rendered inputs plus the case outcome (wrapped in a
+/// `catch_unwind` result so panicking cases still report their inputs).
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> (String, std::thread::Result<TestCaseResult>),
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.cases);
+    let base = fnv1a(name.as_bytes())
+        ^ std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = cases.saturating_mul(20).max(1000);
+    while accepted < cases {
+        assert!(
+            attempts < max_attempts,
+            "{name}: gave up after {attempts} attempts with only {accepted}/{cases} cases \
+             accepted — prop_assume rejects too much"
+        );
+        let mut rng = TestRng::seed_from_u64(
+            base ^ (u64::from(attempts)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        attempts += 1;
+        let (inputs, outcome) = f(&mut rng);
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("{name}: property failed: {msg}\n  inputs: {inputs}")
+            }
+            Err(payload) => {
+                eprintln!("{name}: case panicked\n  inputs: {inputs}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                &__cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || -> $crate::TestCaseResult {
+                            $body
+                            ::core::result::Result::Ok(())
+                        }),
+                    );
+                    (__inputs, __outcome)
+                },
+            );
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (0u8..8, 0u64..100).generate(&mut rng);
+            assert!(v.0 < 8 && v.1 < 100);
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let w = (1u32..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "[ -~]{0,80}".generate(&mut rng);
+            assert!(t.len() <= 80);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..50, v in prop::collection::vec(0i64..10, 1..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.len(), v.iter().filter(|&&e| e < 10).count());
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            y in prop_oneof![
+                (0u8..4).prop_map(u32::from),
+                (10u8..14).prop_map(u32::from),
+            ],
+        ) {
+            prop_assert!(y < 4 || (10..14).contains(&y));
+        }
+    }
+}

@@ -18,9 +18,24 @@
 //! Determinism: events at equal times are delivered in the order they were
 //! scheduled (a monotone sequence number breaks ties), and all randomness
 //! (message loss) comes from a seeded RNG.
+//!
+//! Two event-queue implementations exist behind [`SchedulerKind`]: a
+//! hierarchical timer wheel (the default — O(1) schedule/cancel, no
+//! comparison sorting) and the original binary heap (kept as a baseline
+//! for equivalence testing and benchmarking). Both deliver the exact same
+//! `(time, seq)` total order, so a fixed seed produces byte-identical runs
+//! under either.
+//!
+//! Timers are first-class cancellable: [`Engine::set_timer`] returns a
+//! [`TimerHandle`], [`Engine::cancel_timer`] disarms it, and every timer a
+//! node armed with `set_timer` is cancelled automatically when the node
+//! goes down — protocol code no longer needs incarnation counters to
+//! suppress timers leaking across availability sessions. Bookkeeping
+//! timers that must survive churn (e.g. a query's TTL at its origin) use
+//! [`Engine::set_detached_timer`].
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +43,33 @@ use seaweed_types::{Duration, Time};
 
 use crate::bandwidth::{BandwidthRecorder, BandwidthReport, TrafficClass};
 use crate::topology::Topology;
+
+/// Hasher for internal `u64` sequence numbers (timer metadata,
+/// cancellation tombstones). These maps sit on the per-event hot path
+/// and their keys are trusted monotone counters, so SipHash's collision
+/// resistance buys nothing — a single multiply + rotate does.
+#[derive(Default, Clone)]
+struct SeqHasher(u64);
+
+impl std::hash::Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(31);
+    }
+}
+
+type SeqBuild = std::hash::BuildHasherDefault<SeqHasher>;
+type SeqMap<V> = HashMap<u64, V, SeqBuild>;
+type SeqSet = HashSet<u64, SeqBuild>;
 
 /// Dense index of an endsystem in the simulation (not its Pastry id).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -49,14 +91,16 @@ pub enum Event<M> {
         to: NodeIdx,
         payload: M,
     },
-    /// A timer set by `node` fired. `tag` is whatever the node passed to
-    /// [`Engine::set_timer`]; stale-timer suppression is the application's
-    /// job (check incarnation counters in the tag).
+    /// A timer fired. `tag` is whatever was passed to
+    /// [`Engine::set_timer`] / [`Engine::set_detached_timer`]. A regular
+    /// timer only fires while its node is up and is cancelled when the
+    /// node goes down, so a fired timer is never stale.
     Timer { node: NodeIdx, tag: u64 },
     /// `node` just became available (liveness already updated).
     NodeUp { node: NodeIdx },
     /// `node` just became unavailable (liveness already updated; its
-    /// queued messages and timers will be dropped on delivery).
+    /// queued messages are dropped on delivery and its regular timers
+    /// have been cancelled).
     NodeDown { node: NodeIdx },
 }
 
@@ -103,6 +147,17 @@ impl<M> Ord for Queued<M> {
     }
 }
 
+/// Which event-queue implementation the engine runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel: O(1) schedule and cancel.
+    #[default]
+    Wheel,
+    /// Binary min-heap: the original implementation, kept as an
+    /// equivalence/benchmark baseline.
+    Heap,
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -113,6 +168,8 @@ pub struct SimConfig {
     pub loss_rate: f64,
     /// Collect per-(node,hour) bandwidth samples for CDFs (Figure 9(b)).
     pub collect_cdf: bool,
+    /// Event-queue implementation; both deliver identical event orders.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -121,7 +178,357 @@ impl Default for SimConfig {
             seed: 0,
             loss_rate: 0.0,
             collect_cdf: false,
+            scheduler: SchedulerKind::Wheel,
         }
+    }
+}
+
+// ------------------------------------------------------------------ wheel
+
+const LEVEL_BITS: u32 = 6;
+const SLOTS: usize = 1 << LEVEL_BITS; // 64
+/// 11 levels × 6 bits = 66 bits, covering the full µs-time range.
+const LEVELS: usize = 11;
+
+/// A hierarchical timing wheel over microsecond timestamps.
+///
+/// Level `l` has 64 slots of width `64^l` µs. An entry lives at the
+/// highest level where its timestamp differs from the cursor — i.e. slot
+/// index `(at >> 6l) & 63` at level `l = msb(at ^ cursor) / 6` — and
+/// cascades toward level 0 as the cursor approaches it. A level-0 slot
+/// within the cursor's 64 µs window holds exactly one timestamp, so
+/// draining a slot and sorting it by sequence number yields the global
+/// `(time, seq)` delivery order the heap produced.
+struct TimerWheel<M> {
+    /// Time of the most recently drained slot; all stored entries have
+    /// `at >= cursor`.
+    cursor: u64,
+    /// Per-level occupancy bitmaps (bit = slot non-empty).
+    occ: [u64; LEVELS],
+    /// `LEVELS × SLOTS` flattened slot vectors.
+    slots: Vec<Vec<Queued<M>>>,
+    /// Entries at exactly `cursor`, sorted by seq, being handed out.
+    current: VecDeque<Queued<M>>,
+    /// Scratch buffer reused across cascades to avoid reallocating.
+    cascade_buf: Vec<Queued<M>>,
+    /// Sequence numbers cancelled while still parked in a slot. Purged
+    /// when the slot is next touched (cascade, drain or peek), so a
+    /// cancellation costs O(1) instead of a scan of an arbitrarily large
+    /// high-level slot.
+    cancelled: SeqSet,
+    /// Live entries only — tombstoned ones are already excluded.
+    len: usize,
+}
+
+impl<M> TimerWheel<M> {
+    fn new() -> Self {
+        TimerWheel {
+            cursor: 0,
+            occ: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            current: VecDeque::new(),
+            cascade_buf: Vec::new(),
+            cancelled: SeqSet::default(),
+            len: 0,
+        }
+    }
+
+    /// Drops tombstoned entries from one slot.
+    fn purge_slot(cancelled: &mut SeqSet, slot: &mut Vec<Queued<M>>) {
+        if !cancelled.is_empty() {
+            slot.retain(|e| !cancelled.remove(&e.seq));
+        }
+    }
+
+    /// (level, slot) the entry belongs to, relative to the current cursor.
+    fn level_slot(&self, at: u64) -> (usize, usize) {
+        let d = at ^ self.cursor;
+        if d == 0 {
+            (0, (at & 63) as usize)
+        } else {
+            let level = ((63 - d.leading_zeros()) / LEVEL_BITS) as usize;
+            (level, ((at >> (LEVEL_BITS as usize * level)) & 63) as usize)
+        }
+    }
+
+    fn insert_at(&mut self, e: Queued<M>) {
+        debug_assert!(e.at.0 >= self.cursor, "wheel insert into the past");
+        let (l, s) = self.level_slot(e.at.0);
+        self.slots[l * SLOTS + s].push(e);
+        self.occ[l] |= 1u64 << s;
+    }
+
+    fn push(&mut self, e: Queued<M>) {
+        self.len += 1;
+        self.insert_at(e);
+    }
+
+    fn pop(&mut self) -> Option<Queued<M>> {
+        loop {
+            if let Some(e) = self.current.pop_front() {
+                self.len -= 1;
+                return Some(e);
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Drains the earliest occupied slot into `current` (sorted by seq),
+    /// cascading higher levels as needed. Returns false when empty.
+    fn advance(&mut self) -> bool {
+        loop {
+            // Level 0. The cursor's own slot is included: pushes at
+            // exactly the current time land there after the slot was
+            // drained, and must still be delivered.
+            let idx0 = (self.cursor & 63) as u32;
+            let m = self.occ[0] & (!0u64 << idx0);
+            if m != 0 {
+                let s = m.trailing_zeros();
+                let t = (self.cursor & !63) | u64::from(s);
+                self.cursor = t;
+                self.occ[0] &= !(1u64 << s);
+                let slot = &mut self.slots[s as usize];
+                debug_assert!(slot.iter().all(|e| e.at.0 == t));
+                Self::purge_slot(&mut self.cancelled, slot);
+                self.current.extend(slot.drain(..));
+                self.current
+                    .make_contiguous()
+                    .sort_unstable_by_key(|e| e.seq);
+                if self.current.is_empty() {
+                    continue; // the slot held only tombstones
+                }
+                return true;
+            }
+            // Higher levels: jump to the next occupied slot strictly
+            // after the cursor's position and cascade it down. Everything
+            // in that slot lands at a lower level relative to the new
+            // cursor (its slot base), so the search restarts at level 0.
+            let mut cascaded = false;
+            for l in 1..LEVELS {
+                let shift = LEVEL_BITS as usize * l;
+                let idx = ((self.cursor >> shift) & 63) as u32;
+                let m = if idx >= 63 {
+                    0
+                } else {
+                    self.occ[l] & (!0u64 << (idx + 1))
+                };
+                if m == 0 {
+                    continue;
+                }
+                let s = u64::from(m.trailing_zeros());
+                let parent_shift = LEVEL_BITS as usize * (l + 1);
+                let base = if parent_shift >= 64 {
+                    0
+                } else {
+                    self.cursor & !((1u64 << parent_shift) - 1)
+                };
+                self.cursor = base | (s << shift);
+                self.occ[l] &= !(1u64 << s);
+                let mut buf = std::mem::take(&mut self.cascade_buf);
+                std::mem::swap(&mut buf, &mut self.slots[l * SLOTS + s as usize]);
+                for e in buf.drain(..) {
+                    if self.cancelled.remove(&e.seq) {
+                        continue;
+                    }
+                    self.insert_at(e);
+                }
+                self.cascade_buf = buf;
+                cascaded = true;
+                break;
+            }
+            if !cascaded {
+                return false;
+            }
+        }
+    }
+
+    /// Timestamp of the earliest live entry, without advancing the
+    /// cursor. Purges tombstones from the slots it inspects so the
+    /// reported time is exact.
+    fn peek_at(&mut self) -> Option<Time> {
+        'restart: loop {
+            if let Some(e) = self.current.front() {
+                return Some(e.at);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            let idx0 = (self.cursor & 63) as u32;
+            let mut m = self.occ[0] & (!0u64 << idx0);
+            while m != 0 {
+                let s = m.trailing_zeros();
+                let slot = &mut self.slots[s as usize];
+                Self::purge_slot(&mut self.cancelled, slot);
+                if let Some(e) = slot.first() {
+                    return Some(e.at);
+                }
+                self.occ[0] &= !(1u64 << s);
+                m &= !(1u64 << s);
+            }
+            for l in 1..LEVELS {
+                let shift = LEVEL_BITS as usize * l;
+                let idx = ((self.cursor >> shift) & 63) as u32;
+                let m = if idx >= 63 {
+                    0
+                } else {
+                    self.occ[l] & (!0u64 << (idx + 1))
+                };
+                if m != 0 {
+                    let s = m.trailing_zeros() as usize;
+                    let slot = &mut self.slots[l * SLOTS + s];
+                    Self::purge_slot(&mut self.cancelled, slot);
+                    if slot.is_empty() {
+                        self.occ[l] &= !(1u64 << s);
+                        continue 'restart;
+                    }
+                    // The slot spans 64^l µs; its earliest entry is the min.
+                    return slot.iter().map(|e| e.at).min();
+                }
+            }
+            debug_assert!(false, "len > 0 but no occupied slot");
+            return None;
+        }
+    }
+
+    /// Removes the entry `(at, seq)`. Entries already drained into the
+    /// `current` batch are removed directly; anything still parked in a
+    /// slot is tombstoned in O(1) and physically dropped the next time
+    /// its slot is cascaded, drained or peeked. The caller (the engine's
+    /// per-timer metadata) guarantees the entry is actually pending.
+    fn cancel(&mut self, at: Time, seq: u64) -> bool {
+        if at.0 == self.cursor {
+            if let Some(pos) = self.current.iter().position(|e| e.seq == seq) {
+                let _ = self.current.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        if at.0 < self.cursor {
+            return false;
+        }
+        self.cancelled.insert(seq);
+        self.len -= 1;
+        true
+    }
+}
+
+// ------------------------------------------------------------------- heap
+
+/// The original binary-heap queue. Cancellation is lazy: cancelled
+/// sequence numbers are tombstoned and skipped at the head.
+struct HeapQueue<M> {
+    heap: BinaryHeap<Reverse<Queued<M>>>,
+    cancelled: SeqSet,
+}
+
+impl<M> HeapQueue<M> {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            cancelled: SeqSet::default(),
+        }
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(Reverse(q)) = self.heap.peek() {
+            if self.cancelled.is_empty() || !self.cancelled.contains(&q.seq) {
+                return;
+            }
+            let seq = q.seq;
+            self.heap.pop();
+            self.cancelled.remove(&seq);
+        }
+    }
+
+    fn push(&mut self, e: Queued<M>) {
+        self.heap.push(Reverse(e));
+    }
+
+    fn pop(&mut self) -> Option<Queued<M>> {
+        self.drop_cancelled_head();
+        self.heap.pop().map(|Reverse(q)| q)
+    }
+
+    fn peek_at(&mut self) -> Option<Time> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|Reverse(q)| q.at)
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        self.cancelled.insert(seq)
+    }
+}
+
+/// The event queue behind a static dispatch switch. Both variants
+/// deliver the identical `(time, seq)` total order.
+enum EventQueue<M> {
+    Wheel(TimerWheel<M>),
+    Heap(HeapQueue<M>),
+}
+
+impl<M> EventQueue<M> {
+    fn push(&mut self, e: Queued<M>) {
+        match self {
+            EventQueue::Wheel(w) => w.push(e),
+            EventQueue::Heap(h) => h.push(e),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Queued<M>> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop(),
+        }
+    }
+
+    fn peek_at(&mut self) -> Option<Time> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_at(),
+            EventQueue::Heap(h) => h.peek_at(),
+        }
+    }
+
+    fn cancel(&mut self, at: Time, seq: u64) -> bool {
+        match self {
+            EventQueue::Wheel(w) => w.cancel(at, seq),
+            EventQueue::Heap(h) => h.cancel(seq),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- engine
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TimerKind {
+    /// Cancelled automatically when its node goes down.
+    Auto,
+    /// Survives its node's churn; fires regardless of liveness.
+    Detached,
+}
+
+/// Handle to a pending timer, returned by [`Engine::set_timer`] and
+/// [`Engine::set_detached_timer`]. Cancelling a handle whose timer has
+/// already fired or been cancelled is a harmless no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerHandle {
+    node: NodeIdx,
+    seq: u64,
+    at: Time,
+}
+
+impl TimerHandle {
+    /// The node the timer was armed for.
+    #[must_use]
+    pub fn node(self) -> NodeIdx {
+        self.node
+    }
+
+    /// Absolute fire time.
+    #[must_use]
+    pub fn fires_at(self) -> Time {
+        self.at
     }
 }
 
@@ -129,9 +536,14 @@ impl Default for SimConfig {
 pub struct Engine<M> {
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<Queued<M>>>,
+    queue: EventQueue<M>,
     topo: Box<dyn Topology>,
     up: Vec<bool>,
+    /// Live node indices, ordered — keeps `num_up`/`up_nodes` O(live)
+    /// instead of scanning every endsystem.
+    live: BTreeSet<u32>,
+    /// Per-node outstanding timers: seq → (fire time, kind).
+    timer_meta: Vec<SeqMap<(Time, TimerKind)>>,
     recorder: BandwidthRecorder,
     rng: StdRng,
     loss_rate: f64,
@@ -141,6 +553,11 @@ pub struct Engine<M> {
     pub dropped_loss: u64,
     /// Total messages sent.
     pub messages_sent: u64,
+    /// Timers disarmed before firing (explicitly or by node-down).
+    pub timers_cancelled: u64,
+    /// Events whose requested time lay in the past and were clamped to
+    /// the current clock.
+    pub clamped_to_now: u64,
 }
 
 impl<M> Engine<M> {
@@ -153,15 +570,22 @@ impl<M> Engine<M> {
         Engine {
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: match config.scheduler {
+                SchedulerKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+                SchedulerKind::Heap => EventQueue::Heap(HeapQueue::new()),
+            },
             topo,
             up: vec![false; n],
+            live: BTreeSet::new(),
+            timer_meta: vec![SeqMap::default(); n],
             recorder: BandwidthRecorder::new(n, config.collect_cdf),
             rng: StdRng::seed_from_u64(config.seed ^ 0xe791_e5ee_d000_0001),
             loss_rate: config.loss_rate,
             dropped_dest_down: 0,
             dropped_loss: 0,
             messages_sent: 0,
+            timers_cancelled: 0,
+            clamped_to_now: 0,
         }
     }
 
@@ -186,23 +610,31 @@ impl<M> Engine<M> {
     /// Number of currently available endsystems.
     #[must_use]
     pub fn num_up(&self) -> usize {
-        self.up.iter().filter(|&&u| u).count()
+        self.live.len()
     }
 
-    /// Iterator over currently available endsystems.
+    /// Iterator over currently available endsystems, in ascending index
+    /// order.
     pub fn up_nodes(&self) -> impl Iterator<Item = NodeIdx> + '_ {
-        self.up
-            .iter()
-            .enumerate()
-            .filter(|(_, &u)| u)
-            .map(|(i, _)| NodeIdx(i as u32))
+        self.live.iter().map(|&i| NodeIdx(i))
     }
 
-    fn push(&mut self, at: Time, pending: Pending<M>) {
-        debug_assert!(at >= self.now, "scheduling into the past");
+    /// Enqueues an event, clamping requests dated before the current
+    /// clock to `now` (counted in [`Engine::clamped_to_now`]) so callers
+    /// computing absolute times from stale state cannot corrupt the
+    /// delivery order. Returns the entry's sequence number and effective
+    /// time.
+    fn push(&mut self, at: Time, pending: Pending<M>) -> (u64, Time) {
+        let at = if at < self.now {
+            self.clamped_to_now += 1;
+            self.now
+        } else {
+            at
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, pending }));
+        self.queue.push(Queued { at, seq, pending });
+        (seq, at)
     }
 
     /// Sends a network message. Transmission bandwidth is charged to
@@ -231,10 +663,43 @@ impl<M> Engine<M> {
         );
     }
 
-    /// Arms a timer for `node`, firing `delay` from now with `tag`.
-    /// Timers of down nodes are silently discarded at fire time.
-    pub fn set_timer(&mut self, node: NodeIdx, delay: Duration, tag: u64) {
-        self.push(self.now + delay, Pending::Timer { node, tag });
+    /// Arms a timer for `node`, firing `delay` from now with `tag`. The
+    /// timer is cancelled automatically if `node` goes down first, so it
+    /// can never fire into a later availability session.
+    pub fn set_timer(&mut self, node: NodeIdx, delay: Duration, tag: u64) -> TimerHandle {
+        self.arm_timer(node, delay, tag, TimerKind::Auto)
+    }
+
+    /// Arms a timer that is *not* tied to `node`'s liveness: it survives
+    /// the node going down and fires regardless of its state. Use for
+    /// bookkeeping deadlines (e.g. query TTLs) that must hold across
+    /// churn; cancel explicitly via the returned handle if needed.
+    pub fn set_detached_timer(&mut self, node: NodeIdx, delay: Duration, tag: u64) -> TimerHandle {
+        self.arm_timer(node, delay, tag, TimerKind::Detached)
+    }
+
+    fn arm_timer(
+        &mut self,
+        node: NodeIdx,
+        delay: Duration,
+        tag: u64,
+        kind: TimerKind,
+    ) -> TimerHandle {
+        let (seq, at) = self.push(self.now + delay, Pending::Timer { node, tag });
+        self.timer_meta[node.idx()].insert(seq, (at, kind));
+        TimerHandle { node, seq, at }
+    }
+
+    /// Disarms a pending timer. Returns whether it was still pending
+    /// (false if it already fired or was cancelled — a safe no-op).
+    pub fn cancel_timer(&mut self, h: TimerHandle) -> bool {
+        if self.timer_meta[h.node.idx()].remove(&h.seq).is_none() {
+            return false;
+        }
+        let removed = self.queue.cancel(h.at, h.seq);
+        debug_assert!(removed, "outstanding timer missing from queue");
+        self.timers_cancelled += 1;
+        true
     }
 
     /// Schedules `node` to become available at `at` (absolute time).
@@ -253,18 +718,18 @@ impl<M> Engine<M> {
     /// advances to the horizon).
     pub fn next_event_before(&mut self, horizon: Time) -> Option<(Time, Event<M>)> {
         loop {
-            match self.queue.peek() {
+            match self.queue.peek_at() {
                 None => {
                     self.now = self.now.max(horizon);
                     return None;
                 }
-                Some(Reverse(q)) if q.at > horizon => {
+                Some(at) if at > horizon => {
                     self.now = horizon;
                     return None;
                 }
                 _ => {}
             }
-            let Reverse(q) = self.queue.pop().expect("peeked");
+            let q = self.queue.pop().expect("peeked");
             self.now = q.at;
             match q.pending {
                 Pending::Message {
@@ -282,7 +747,13 @@ impl<M> Engine<M> {
                     return Some((self.now, Event::Message { from, to, payload }));
                 }
                 Pending::Timer { node, tag } => {
-                    if !self.up[node.idx()] {
+                    let Some((_, kind)) = self.timer_meta[node.idx()].remove(&q.seq) else {
+                        debug_assert!(false, "fired timer without metadata");
+                        continue;
+                    };
+                    // An auto timer armed for an already-down node (legal
+                    // but unusual) is dropped at fire time.
+                    if kind == TimerKind::Auto && !self.up[node.idx()] {
                         continue;
                     }
                     return Some((self.now, Event::Timer { node, tag }));
@@ -292,6 +763,7 @@ impl<M> Engine<M> {
                         continue; // duplicate up event; ignore
                     }
                     self.up[node.idx()] = true;
+                    self.live.insert(node.0);
                     self.recorder.node_up(self.now, node.idx());
                     return Some((self.now, Event::NodeUp { node }));
                 }
@@ -300,11 +772,32 @@ impl<M> Engine<M> {
                         continue;
                     }
                     self.up[node.idx()] = false;
+                    self.live.remove(&node.0);
+                    self.auto_cancel_timers(node);
                     self.recorder.node_down(self.now, node.idx());
                     return Some((self.now, Event::NodeDown { node }));
                 }
             }
         }
+    }
+
+    /// Drops every auto timer `node` still has pending — its next
+    /// availability session starts with a clean slate.
+    fn auto_cancel_timers(&mut self, node: NodeIdx) {
+        let meta = &mut self.timer_meta[node.idx()];
+        let queue = &mut self.queue;
+        let mut dropped = 0u64;
+        meta.retain(|&seq, &mut (at, kind)| {
+            if kind == TimerKind::Auto {
+                let removed = queue.cancel(at, seq);
+                debug_assert!(removed, "outstanding timer missing from queue");
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.timers_cancelled += dropped;
     }
 
     /// Charges `bytes` of transmitted overlay-maintenance traffic to
@@ -338,11 +831,18 @@ mod tests {
     use super::*;
     use crate::topology::UniformTopology;
 
-    fn engine(n: usize, latency_ms: u64) -> Engine<&'static str> {
+    fn engine_with(n: usize, latency_ms: u64, scheduler: SchedulerKind) -> Engine<&'static str> {
         Engine::new(
             Box::new(UniformTopology::new(n, Duration::from_millis(latency_ms))),
-            SimConfig::default(),
+            SimConfig {
+                scheduler,
+                ..SimConfig::default()
+            },
         )
+    }
+
+    fn engine(n: usize, latency_ms: u64) -> Engine<&'static str> {
+        engine_with(n, latency_ms, SchedulerKind::Wheel)
     }
 
     fn drain(e: &mut Engine<&'static str>, horizon: Time) -> Vec<(Time, String)> {
@@ -409,15 +909,50 @@ mod tests {
     }
 
     #[test]
-    fn timer_dropped_when_node_down() {
+    fn timer_cancelled_when_node_goes_down() {
         let mut e = engine(1, 0);
         e.schedule_up(Time::ZERO, NodeIdx(0));
         let _ = e.next_event_before(Time(1));
         e.set_timer(NodeIdx(0), Duration::from_secs(10), 42);
         e.schedule_down(Time::ZERO + Duration::from_secs(5), NodeIdx(0));
+        // Node comes back before the timer's original fire time; the
+        // timer must NOT leak into the new session.
+        e.schedule_up(Time::ZERO + Duration::from_secs(7), NodeIdx(0));
         let evs = drain(&mut e, Time::ZERO + Duration::from_secs(60));
-        assert_eq!(evs.len(), 1);
+        assert_eq!(evs.len(), 2, "{evs:?}");
         assert!(evs[0].1.contains("NodeDown"));
+        assert!(evs[1].1.contains("NodeUp"));
+        assert_eq!(e.timers_cancelled, 1);
+    }
+
+    #[test]
+    fn detached_timer_survives_churn() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time(1));
+        e.set_detached_timer(NodeIdx(0), Duration::from_secs(10), 9);
+        e.schedule_down(Time::ZERO + Duration::from_secs(5), NodeIdx(0));
+        let evs = drain(&mut e, Time::ZERO + Duration::from_secs(60));
+        assert_eq!(evs.len(), 2, "{evs:?}");
+        assert!(evs[0].1.contains("NodeDown"));
+        assert!(evs[1].1.contains("Timer"), "{evs:?}");
+        assert_eq!(e.timers_cancelled, 0);
+    }
+
+    #[test]
+    fn cancel_timer_disarms_and_is_idempotent() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time(1));
+        let h = e.set_timer(NodeIdx(0), Duration::from_secs(3), 7);
+        let kept = e.set_timer(NodeIdx(0), Duration::from_secs(4), 8);
+        assert!(e.cancel_timer(h));
+        assert!(!e.cancel_timer(h), "second cancel is a no-op");
+        let evs = drain(&mut e, Time::ZERO + Duration::from_secs(10));
+        assert_eq!(evs.len(), 1, "{evs:?}");
+        assert!(evs[0].1.contains("tag: 8"), "{evs:?}");
+        // A handle whose timer already fired cancels as a no-op too.
+        assert!(!e.cancel_timer(kept));
     }
 
     #[test]
@@ -454,13 +989,33 @@ mod tests {
     }
 
     #[test]
+    fn past_dated_events_clamp_to_now() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time::ZERO + Duration::from_secs(5)); // NodeUp
+        assert!(e
+            .next_event_before(Time::ZERO + Duration::from_secs(5))
+            .is_none());
+        // Clock sits at the horizon (5s); date an event before it.
+        assert_eq!(e.now(), Time::ZERO + Duration::from_secs(5));
+        e.schedule_down(Time::ZERO + Duration::from_secs(2), NodeIdx(0));
+        let (t, ev) = e
+            .next_event_before(Time::ZERO + Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(t, e.now());
+        assert_eq!(t, Time::ZERO + Duration::from_secs(5));
+        assert!(matches!(ev, Event::NodeDown { .. }));
+        assert_eq!(e.clamped_to_now, 1);
+    }
+
+    #[test]
     fn loss_rate_drops_messages() {
         let mut e: Engine<u32> = Engine::new(
             Box::new(UniformTopology::new(2, Duration::MILLISECOND)),
             SimConfig {
                 seed: 1,
                 loss_rate: 1.0,
-                collect_cdf: false,
+                ..SimConfig::default()
             },
         );
         e.schedule_up(Time::ZERO, NodeIdx(0));
@@ -505,5 +1060,74 @@ mod tests {
         assert_eq!(e.num_up(), 2);
         assert!(e.is_up(NodeIdx(3)));
         assert!(!e.is_up(NodeIdx(0)));
+    }
+
+    /// The wheel and the heap must produce identical event sequences,
+    /// including ties, cascade boundaries and cancellations.
+    #[test]
+    fn wheel_matches_heap_on_mixed_schedule() {
+        let run = |scheduler: SchedulerKind| -> Vec<(Time, String)> {
+            let mut e = engine_with(4, 3, scheduler);
+            for i in 0..4 {
+                e.schedule_up(Time::ZERO, NodeIdx(i));
+            }
+            // Spread timers across several wheel levels, with ties.
+            let mut handles = Vec::new();
+            for k in 0..200u64 {
+                let node = NodeIdx((k % 4) as u32);
+                let delay = Duration::from_micros((k * k * 37) % 5_000_000);
+                handles.push(e.set_timer(node, delay, k));
+                if k % 3 == 0 {
+                    e.set_timer(node, delay, 1_000 + k); // same-time tie
+                }
+            }
+            for (i, h) in handles.iter().enumerate() {
+                if i % 5 == 0 {
+                    e.cancel_timer(*h);
+                }
+            }
+            e.schedule_down(Time(2_000_000), NodeIdx(2));
+            e.schedule_up(Time(3_500_000), NodeIdx(2));
+            let mut out = Vec::new();
+            // Drain in horizon slices to exercise peek/horizon paths.
+            for slice in 1..=10u64 {
+                out.extend(drain(&mut e, Time(slice * 600_000)));
+            }
+            out
+        };
+        let wheel = run(SchedulerKind::Wheel);
+        let heap = run(SchedulerKind::Heap);
+        assert_eq!(wheel.len(), heap.len());
+        assert_eq!(wheel, heap);
+    }
+
+    /// Long-delay timers cross multiple cascade levels and still fire in
+    /// exact time order.
+    #[test]
+    fn wheel_cascades_preserve_order_across_levels() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time(1));
+        // Delays from µs to hours: levels 0 through ~5.
+        let delays: &[u64] = &[
+            1,
+            63,
+            64,
+            65,
+            4_095,
+            4_096,
+            262_143,
+            262_144,
+            10_000_000,
+            3_600_000_000,
+        ];
+        for (i, &d) in delays.iter().enumerate() {
+            e.set_timer(NodeIdx(0), Duration::from_micros(d), i as u64);
+        }
+        let horizon = Time::ZERO + Duration::from_secs(7200);
+        let fired: Vec<Time> =
+            std::iter::from_fn(|| e.next_event_before(horizon).map(|(t, _)| t)).collect();
+        let expect: Vec<Time> = delays.iter().map(|&d| Time(d)).collect();
+        assert_eq!(fired, expect);
     }
 }

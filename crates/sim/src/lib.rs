@@ -28,5 +28,5 @@ pub mod engine;
 pub mod topology;
 
 pub use bandwidth::{BandwidthRecorder, BandwidthReport, TrafficClass};
-pub use engine::{Engine, Event, NodeIdx, SimConfig};
+pub use engine::{Engine, Event, NodeIdx, SchedulerKind, SimConfig, TimerHandle};
 pub use topology::{CorpNetTopology, Topology, UniformTopology};

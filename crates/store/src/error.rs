@@ -21,6 +21,9 @@ pub enum StoreError {
     BadRow { expected: usize, got: usize },
     /// The aggregate function cannot apply to this column type.
     BadAggregate(String),
+    /// A data provider was asked to execute a query it has no answers
+    /// for (pre-computed providers serve a fixed query set).
+    UnknownQuery(String),
 }
 
 impl fmt::Display for StoreError {
@@ -43,6 +46,7 @@ impl fmt::Display for StoreError {
                 write!(f, "bad row: expected {expected} values, got {got}")
             }
             StoreError::BadAggregate(m) => write!(f, "bad aggregate: {m}"),
+            StoreError::UnknownQuery(q) => write!(f, "query not pre-registered: {q}"),
         }
     }
 }

@@ -81,6 +81,7 @@ impl WorldConfig {
                 seed: self.seed,
                 loss_rate: self.loss_rate,
                 collect_cdf: self.collect_cdf,
+                ..SimConfig::default()
             },
         );
         let overlay = Overlay::new(Overlay::random_ids(self.n, self.seed), self.overlay.clone());

@@ -48,7 +48,7 @@ fn paper_queries_match_local_ground_truth() {
         let bound = Query::parse(pq.sql).unwrap().bind(&schema, 0).unwrap();
         let mut truth = seaweed_store::Aggregate::empty(bound.agg);
         for node in 0..n {
-            truth.merge(&sw.provider.execute(node, &bound));
+            truth.merge(&sw.provider.execute(node, &bound).unwrap());
         }
 
         let q = sw.query(h);
