@@ -146,6 +146,9 @@ fn bench_routing(c: &mut Criterion) {
                 let _: Vec<OverlayEvent<u64>> = ov.node_up(&mut eng, node);
             }
             Event::NodeDown { node } => ov.node_down(&mut eng, node),
+            // No fault plan configured: crash/partition events can't occur.
+            Event::NodeCrash { .. } | Event::PartitionStart { .. } | Event::PartitionEnd { .. } => {
+            }
         }
     }
     let mut rng = StdRng::seed_from_u64(5);

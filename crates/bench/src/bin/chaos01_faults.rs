@@ -1,0 +1,288 @@
+//! Chaos 01: the full Seaweed stack under a deterministic fault plan —
+//! a structural partition, a correlated branch outage with
+//! crash-amnesia, bystander crashes, link degradation, duplication and
+//! reordering — with the runtime invariant oracles checked at fault-
+//! straddling checkpoints.
+//!
+//! Emits one CSV row per seed (`results/chaos01.csv` by default) with
+//! the converged completeness, the per-cause drop ledger and the oracle
+//! verdict. Exits non-zero if any oracle invariant is violated, so the
+//! binary doubles as a CI chaos smoke; with a fixed `--seed` the CSV is
+//! byte-stable across runs.
+
+use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_core::{ChaosOracle, LiveTables, Seaweed, SeaweedConfig, SeaweedEngine};
+use seaweed_overlay::{Overlay, OverlayConfig};
+use seaweed_sim::{
+    CorpNetTopology, CrashSpec, DropStats, Engine, FaultPlan, LinkFaultSpec, NodeIdx, OutageSpec,
+    PartitionSpec, SimConfig,
+};
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+/// Builds the fault plan from the topology's structure: cut the regional
+/// router with the largest subtree, take the biggest branch down with
+/// amnesia, degrade one router pair, and crash two bystanders.
+fn chaos_plan(topo: &CorpNetTopology, n: usize) -> FaultPlan {
+    let regional = (topo.num_core()..topo.num_core() + topo.num_regional())
+        .max_by_key(|&r| topo.subtree_endsystems(r).len())
+        .expect("regional routers");
+    let partition = PartitionSpec::from_router_cut(topo, regional, secs(602), secs(780));
+    let branch = topo
+        .branch_routers()
+        .max_by_key(|&r| topo.subtree_endsystems(r).len())
+        .expect("branch routers");
+    let outage = OutageSpec::branch_outage(topo, branch, secs(640), secs(700), true);
+
+    let excluded: Vec<u32> = partition
+        .members
+        .iter()
+        .chain(outage.members.iter())
+        .copied()
+        .collect();
+    let bystanders: Vec<u32> = (1..n as u32)
+        .filter(|m| !excluded.contains(m))
+        .take(2)
+        .collect();
+    let crashes = vec![
+        CrashSpec {
+            node: NodeIdx(bystanders[0]),
+            at: secs(630),
+            rejoin_after: Duration::from_secs(60),
+        },
+        CrashSpec {
+            node: NodeIdx(bystanders[1]),
+            at: secs(690),
+            rejoin_after: Duration::from_secs(45),
+        },
+    ];
+
+    let za = topo.router_of(NodeIdx(1)) as u32;
+    let mut zb = topo.router_of(NodeIdx(2)) as u32;
+    if zb == za {
+        zb = topo.router_of(NodeIdx(3)) as u32;
+    }
+    FaultPlan {
+        partitions: vec![partition],
+        link_faults: vec![LinkFaultSpec {
+            zone_a: za,
+            zone_b: zb,
+            from: secs(600),
+            until: secs(720),
+            extra_loss: 0.15,
+            latency_mult: 3.0,
+        }],
+        crashes,
+        outages: vec![outage],
+        dup_rate: 0.02,
+        reorder_window: Duration::from_millis(50),
+    }
+}
+
+struct SeedOutcome {
+    seed: u64,
+    rows: u64,
+    retries: u64,
+    amnesia: u64,
+    states_lost: u64,
+    drops: DropStats,
+    violations: Vec<String>,
+}
+
+fn run_seed(seed: u64, n: usize, routers: usize) -> SeedOutcome {
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let mut tables = Vec::with_capacity(n);
+    for node in 0..n {
+        let mut t = Table::new(schema.clone());
+        t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+            .expect("seed row");
+        tables.push(t);
+    }
+    let topo = CorpNetTopology::with_params(n, routers, Duration::MILLISECOND, seed);
+    let plan = chaos_plan(&topo, n);
+    let mut eng: SeaweedEngine = Engine::new(
+        Box::new(topo),
+        SimConfig {
+            seed,
+            loss_rate: 0.01,
+            faults: Some(plan),
+            ..SimConfig::default()
+        },
+    );
+    let overlay = Overlay::new(
+        Overlay::random_ids(n, seed),
+        OverlayConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    let mut sw = Seaweed::new(
+        overlay,
+        LiveTables::new(tables),
+        SeaweedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    for i in 0..n {
+        eng.schedule_up(Time(1 + i as u64 * 300_000), NodeIdx(i as u32));
+    }
+    sw.run_until(&mut eng, secs(600));
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(0),
+            "SELECT SUM(v) FROM T WHERE flag = 1",
+            Duration::from_hours(4),
+            &schema,
+        )
+        .expect("inject");
+
+    // Checkpoints straddle every fault window: mid-partition/outage,
+    // post-crash-rejoin, post-heal, and converged.
+    let oracle = ChaosOracle::new(n as u64);
+    let mut violations = Vec::new();
+    for t in [650, 720, 800, 1000, 1500] {
+        sw.run_until(&mut eng, secs(t));
+        violations.extend(oracle.check(&sw, &eng));
+    }
+
+    let rows = sw.query(h).rows();
+    let retries = sw.stats.result_retries;
+    let amnesia = sw.stats.amnesia_crashes;
+    let states_lost = sw.stats.vertex_states_lost;
+    let drops = eng.finish().drops;
+    SeedOutcome {
+        seed,
+        rows,
+        retries,
+        amnesia,
+        states_lost,
+        drops,
+        violations,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 36usize);
+    let routers = args.get("routers", 24usize);
+    let seed0 = args.get("seed", 42u64);
+    let seeds = args.get("seeds", 8u64);
+    let out = args.get_str("out", "results/chaos01.csv");
+
+    println!(
+        "Chaos 01: {n} endsystems, {routers} routers, seeds {seed0}..{}",
+        seed0 + seeds
+    );
+    let t0 = std::time::Instant::now();
+    let outcomes: Vec<SeedOutcome> = (seed0..seed0 + seeds)
+        .map(|s| run_seed(s, n, routers))
+        .collect();
+    println!("  simulated in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let rows: Vec<Vec<f64>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.seed as f64,
+                o.rows as f64,
+                n as f64,
+                o.rows as f64 / n as f64,
+                o.drops.partition as f64,
+                o.drops.link_fault as f64,
+                o.drops.random_loss as f64,
+                o.drops.dest_down as f64,
+                o.drops.duplicated as f64,
+                o.retries as f64,
+                o.amnesia as f64,
+                o.states_lost as f64,
+                f64::from(u8::from(o.violations.is_empty())),
+            ]
+        })
+        .collect();
+    write_csv(
+        &out,
+        &[
+            "seed",
+            "rows",
+            "population",
+            "completeness",
+            "dropped_partition",
+            "dropped_link_fault",
+            "dropped_loss",
+            "dropped_dest_down",
+            "duplicated",
+            "result_retries",
+            "amnesia_crashes",
+            "vertex_states_lost",
+            "oracle_ok",
+        ],
+        &rows,
+    );
+
+    let mut t = OutTable::new(&[
+        "seed",
+        "completeness",
+        "part",
+        "link",
+        "loss",
+        "down",
+        "dup",
+        "retries",
+        "oracle",
+    ]);
+    for o in &outcomes {
+        t.row(vec![
+            o.seed.to_string(),
+            format!("{:.2}", o.rows as f64 / n as f64),
+            o.drops.partition.to_string(),
+            o.drops.link_fault.to_string(),
+            o.drops.random_loss.to_string(),
+            o.drops.dest_down.to_string(),
+            o.drops.duplicated.to_string(),
+            o.retries.to_string(),
+            if o.violations.is_empty() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
+        ]);
+    }
+    t.print();
+
+    // Per-traffic-class drop totals across the sweep.
+    let mut by_class = [0u64; 3];
+    for o in &outcomes {
+        for (acc, &c) in by_class.iter_mut().zip(o.drops.by_class.iter()) {
+            *acc += c;
+        }
+    }
+    println!(
+        "  drops by class: overlay {} maintenance {} query {}",
+        by_class[0], by_class[1], by_class[2]
+    );
+
+    let mut failed = false;
+    for o in &outcomes {
+        for v in &o.violations {
+            eprintln!("  seed {}: ORACLE VIOLATION: {v}", o.seed);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all oracles clean across {seeds} seeds");
+}

@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "abl04_periodic_threshold",
     "abl05_predictors",
     "abl06_delta_encoding",
+    "chaos01_faults",
 ];
 
 struct ExpOutcome {

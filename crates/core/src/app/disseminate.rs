@@ -312,14 +312,30 @@ impl<P: DataProvider> Seaweed<P> {
         result: RangeResult,
     ) -> Vec<OverlayEvent<SeaweedMsg>> {
         self.stats.predictor_reports += 1;
-        // Find this node's task owning that subrange.
-        let key = self
+        // Find this node's task owning that subrange. Heal-time re-issues
+        // can leave one node with several tasks whose slots cover the
+        // same range (an old given-up slot plus a fresh one), so collect
+        // every candidate in sorted order and prefer a still-pending slot
+        // — HashMap iteration order must not decide which task fills.
+        let mut candidates: Vec<TaskKey> = self
             .tasks
             .iter()
-            .find(|(&(node, qh, _, _), task)| {
+            .filter(|(&(node, qh, _, _), task)| {
                 node == n.0 && qh == h && task.slots.iter().any(|s| s.range == range)
             })
-            .map(|(&k, _)| k);
+            .map(|(&k, _)| k)
+            .collect();
+        candidates.sort_unstable();
+        let key = candidates
+            .iter()
+            .copied()
+            .find(|k| {
+                self.tasks[k]
+                    .slots
+                    .iter()
+                    .any(|s| s.range == range && s.done.is_none())
+            })
+            .or_else(|| candidates.first().copied());
         let Some(key) = key else {
             return Vec::new(); // late/duplicate report for a finished task
         };
@@ -361,14 +377,19 @@ impl<P: DataProvider> Seaweed<P> {
             } else {
                 // Give up: report what we have (the range contributes
                 // nothing — matches the paper's best-effort reissue).
-                gave_up.push(i);
+                // The range is remembered so a partition heal can
+                // re-cover it (the usual reason every reissue died).
+                gave_up.push((i, slot.range));
             }
         }
         if !gave_up.is_empty() {
             let empty = self.empty_result(h);
             let task = self.tasks.get_mut(&key).expect("still present");
-            for i in gave_up {
+            for &(i, _) in &gave_up {
                 task.slots[i].done = Some(empty.clone());
+            }
+            for (_, r) in gave_up {
+                self.gave_up.push((n, h, r));
             }
         }
         if !to_reissue.is_empty() {

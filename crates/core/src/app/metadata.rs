@@ -172,11 +172,18 @@ impl<P: DataProvider> Seaweed<P> {
             }
         }
 
-        // (2) first-detection global repair for what `failed` held.
+        // (2) first-detection global repair for what `failed` held. An
+        // up-but-unreachable node (partition) still *has* its state, so
+        // nothing is lost and nothing must be wiped — the detector-side
+        // re-push above is the whole repair.
         if eng.is_up(failed) {
-            return; // already back; its state is being rebuilt afresh
+            return; // already back (or partitioned); state is intact
         }
-        let held: Vec<NodeIdx> = std::mem::take(&mut self.held_by[failed.idx()]);
+        // A crash-with-amnesia pruned the holder lists eagerly and left
+        // the owner list in a stash; fold it in so those owners still get
+        // their replication factor repaired.
+        let mut held: Vec<NodeIdx> = std::mem::take(&mut self.held_by[failed.idx()]);
+        held.extend(std::mem::take(&mut self.amnesia_meta[failed.idx()]));
         if !held.is_empty() {
             for owner in held {
                 self.holders[owner.idx()].retain(|&h| h != failed);
@@ -196,7 +203,11 @@ impl<P: DataProvider> Seaweed<P> {
                     .overlay
                     .replica_set_oracle(owner_id, self.cfg.k_metadata)
                     .into_iter()
-                    .find(|m| !self.holders[owner.idx()].contains(m) && eng.is_up(*m));
+                    .find(|m| {
+                        !self.holders[owner.idx()].contains(m)
+                            && eng.is_up(*m)
+                            && eng.reachable(survivor, *m)
+                    });
                 if let Some(m) = replacement {
                     let size = self.meta_push_size(owner);
                     self.stats.meta_pushes += 1;

@@ -52,7 +52,8 @@ pub struct ViewDef {
 }
 
 /// Seaweed protocol messages (application payloads over the overlay).
-#[derive(Debug)]
+/// `Clone` lets the engine's fault layer deliver duplicated copies.
+#[derive(Clone, Debug)]
 pub enum SeaweedMsg {
     /// Periodic / on-join metadata push from `owner` to a replica-set
     /// member.
@@ -134,8 +135,13 @@ pub struct SeaweedConfig {
     pub dissem_timeout: Duration,
     /// Maximum reissues per subrange before giving up.
     pub max_reissues: u8,
-    /// Timeout before an unacked result submission is retransmitted.
+    /// Initial timeout before an unacked result submission is
+    /// retransmitted; doubles per retry (with seeded jitter) up to
+    /// [`result_retry_cap`](Self::result_retry_cap).
     pub result_retry: Duration,
+    /// Ceiling of the result-retransmission backoff. Setting it equal to
+    /// `result_retry` degenerates to the fixed-interval retry.
+    pub result_retry_cap: Duration,
     /// Local processing delay between receiving a query and submitting
     /// the locally executed result.
     pub local_exec_delay: Duration,
@@ -153,6 +159,7 @@ impl Default for SeaweedConfig {
             dissem_timeout: Duration::from_secs(5),
             max_reissues: 2,
             result_retry: Duration::from_secs(10),
+            result_retry_cap: Duration::from_secs(160),
             local_exec_delay: Duration::from_millis(100),
             model: ModelConfig::default(),
             seed: 0,
@@ -248,6 +255,9 @@ pub struct SeaweedStats {
     pub vertex_replications: u64,
     pub vertex_states_lost: u64,
     pub results_at_origin: u64,
+    /// Crash-with-amnesia transitions (soft state wiped, unlike a clean
+    /// shutdown/rejoin).
+    pub amnesia_crashes: u64,
 }
 
 /// Deferred actions carried by application timers.
@@ -358,6 +368,8 @@ pub(crate) struct PendingSubmit {
     pub target_vertex: Id,
     pub version: u64,
     pub agg: Aggregate,
+    /// Retransmissions so far; drives the exponential backoff.
+    pub attempts: u32,
 }
 
 /// The full Seaweed protocol state over all endsystems.
@@ -396,8 +408,26 @@ pub struct Seaweed<P: DataProvider> {
     /// submissions (§3.4: "It then persists that vertexId with the
     /// query") — reused across availability sessions so a rejoining
     /// endsystem updates the *same* child slot instead of forking a new
-    /// tree path.
+    /// tree path. Survives crash-amnesia: it is persisted with the
+    /// query, not soft state.
     pub(crate) leaf_targets: HashMap<(u32, QueryHandle), Id>,
+    /// Dissemination subranges abandoned after exhausting reissues
+    /// (`(issuing node, query, range)` in give-up order). A partition
+    /// can swallow a whole subtree of the broadcast; at heal time each
+    /// recorded range is re-issued so the endsystems behind the cut
+    /// still learn the query and contribute results.
+    pub(crate) gave_up: Vec<(NodeIdx, QueryHandle, IdRange)>,
+
+    // ---- crash-amnesia bookkeeping ----
+    /// Owners whose metadata a crashed node was holding when its soft
+    /// state was wiped. Holder lists are pruned at crash time (the copies
+    /// are gone *now*); the stash lets failure detection still run the
+    /// re-replication repair for those owners. Cleared on rejoin.
+    pub(crate) amnesia_meta: Vec<Vec<NodeIdx>>,
+    /// Vertex groups a crashed node belonged to when its soft state was
+    /// wiped; consumed by detection-time vertex repair. Cleared on
+    /// rejoin.
+    pub(crate) amnesia_vertices: Vec<Vec<(QueryHandle, Id)>>,
 
     // ---- replicated views (§3.2.2 selective replication) ----
     pub(crate) views: Vec<ViewDef>,
@@ -448,6 +478,9 @@ impl<P: DataProvider> Seaweed<P> {
             pending_submits: HashMap::new(),
             cont_epoch: HashMap::new(),
             leaf_targets: HashMap::new(),
+            gave_up: Vec::new(),
+            amnesia_meta: vec![Vec::new(); n],
+            amnesia_vertices: vec![Vec::new(); n],
             views: Vec::new(),
             view_values: Vec::new(),
             timers: HashMap::new(),
@@ -664,6 +697,22 @@ impl<P: DataProvider> Seaweed<P> {
             Event::NodeDown { node } => {
                 self.overlay.node_down(eng, node);
                 self.on_node_down(eng, node);
+                Vec::new()
+            }
+            Event::NodeCrash { node } => {
+                self.overlay.node_down(eng, node);
+                self.on_node_crash(eng, node);
+                Vec::new()
+            }
+            Event::PartitionStart { partition } => {
+                let members = eng.partition_members(partition);
+                self.overlay.partition_started(eng, &members);
+                Vec::new()
+            }
+            Event::PartitionEnd { partition } => {
+                let members = eng.partition_members(partition);
+                self.overlay.partition_healed(eng, &members);
+                self.on_partition_healed(eng);
                 Vec::new()
             }
         };
@@ -888,6 +937,7 @@ impl<P: DataProvider> Seaweed<P> {
         self.pending_submits.retain(|&(_, qh, _), _| qh != query);
         self.cont_epoch.retain(|&(_, qh), _| qh != query);
         self.leaf_targets.retain(|&(_, qh), _| qh != query);
+        self.gave_up.retain(|&(_, qh, _)| qh != query);
     }
 
     // ------------------------------------------------- lifecycle hooks
@@ -899,6 +949,11 @@ impl<P: DataProvider> Seaweed<P> {
             let span = eng.now().saturating_since(down_at);
             self.models[n.idx()].observe_up(span, eng.now());
         }
+        // If the node crashed with amnesia and nobody detected it before
+        // it came back, the repair stashes are stale: the copies are gone
+        // for good and only the owners' periodic pushes restore them.
+        self.amnesia_meta[n.idx()].clear();
+        self.amnesia_vertices[n.idx()].clear();
     }
 
     fn on_node_down(&mut self, _eng: &mut SeaweedEngine, n: NodeIdx) {
@@ -915,6 +970,185 @@ impl<P: DataProvider> Seaweed<P> {
         // detects the failure (on_neighbor_failed); metadata it held
         // likewise. Nothing to do eagerly — that is the window of
         // vulnerability the paper describes.
+    }
+
+    /// Crash-with-amnesia: everything a clean shutdown loses, plus the
+    /// node's *soft* state — query knowledge, submission/ack memory,
+    /// continuous-query epochs, held metadata copies and vertex replicas
+    /// — is wiped immediately. Only state the paper says is persisted
+    /// survives: the availability model and the per-query leaf vertexId
+    /// (`leaf_targets`, §3.4). Exactly-once is preserved anyway because
+    /// a rejoining amnesiac resubmits into the *same* persisted child
+    /// slot with a version the vertex's versioned child map dedups.
+    fn on_node_crash(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) {
+        self.on_node_down(eng, n);
+        self.stats.amnesia_crashes += 1;
+        self.knows_query[n.idx()] = 0;
+        self.submitted[n.idx()] = 0;
+        self.cont_epoch.retain(|&(node, _), _| node != n.0);
+        // Metadata copies held for other owners are gone *now*: prune the
+        // holder lists so nobody counts them, but stash the owner list so
+        // first-detection repair can still re-replicate from survivors.
+        let held: Vec<NodeIdx> = std::mem::take(&mut self.held_by[n.idx()]);
+        for &owner in &held {
+            self.holders[owner.idx()].retain(|&h| h != n);
+        }
+        self.amnesia_meta[n.idx()] = held;
+        // Vertex replicas likewise; a group whose last holder just lost
+        // its memory is lost immediately (the paper's low-probability
+        // window), not at detection time.
+        let vheld = std::mem::take(&mut self.node_vertices[n.idx()]);
+        let mut stash = Vec::new();
+        for (h, vertex) in vheld {
+            let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
+                continue;
+            };
+            state.holders.retain(|&x| x != n);
+            if state.holders.is_empty() {
+                if !state.children.is_empty() {
+                    self.stats.vertex_states_lost += 1;
+                }
+                self.vertices.remove(&(h, vertex));
+            } else {
+                stash.push((h, vertex));
+            }
+        }
+        self.amnesia_vertices[n.idx()] = stash;
+    }
+
+    /// A partition healed: the boundary may have swallowed root-vertex
+    /// pushes to origins on the far side, and ResultToOrigin is the one
+    /// unretried message in the protocol. Re-push every active query's
+    /// current root aggregate so origins converge without waiting for
+    /// the next child-driven propagation. (Sorted for determinism; the
+    /// origin's version guard dedups anything it already saw.)
+    fn on_partition_healed(&mut self, eng: &mut SeaweedEngine) {
+        let b = self.overlay.config().b;
+        let mut pushes: Vec<(QueryHandle, u128, NodeIdx)> = Vec::new();
+        for (&(h, vertex), state) in &self.vertices {
+            let q = &self.queries[h as usize];
+            if !q.active || state.children.is_empty() {
+                continue;
+            }
+            if crate::vertex::parent_vertex(q.id, vertex, b).is_some() {
+                continue; // interior vertex: child retries cover it
+            }
+            let Some(&primary) = state.holders.iter().find(|&&x| eng.is_up(x)) else {
+                continue;
+            };
+            pushes.push((h, vertex.0, primary));
+        }
+        pushes.sort_unstable_by_key(|&(h, v, _)| (h, v));
+        for (h, vertex, primary) in pushes {
+            let state = &self.vertices[&(h, Id(vertex))];
+            let mut merged = Aggregate::empty(self.queries[h as usize].bound.agg);
+            for (_, a) in state.children.values() {
+                merged.merge(a);
+            }
+            let version = state.out_version;
+            let origin = self.queries[h as usize].origin;
+            if origin == primary {
+                self.on_result_at_origin(eng, origin, h, merged, version);
+            } else if eng.is_up(origin) && eng.reachable(primary, origin) {
+                self.stats.results_at_origin += 1;
+                self.overlay.send_app(
+                    eng,
+                    primary,
+                    origin,
+                    SeaweedMsg::ResultToOrigin {
+                        query: h,
+                        agg: merged,
+                        version,
+                    },
+                    crate::wire::RESULT_SUBMIT,
+                    seaweed_sim::TrafficClass::Query,
+                );
+            }
+        }
+
+        // Re-cover dissemination ranges that were given up while the cut
+        // was open: the recording node (or the origin, if it has since
+        // died) re-issues each range. Where the recorder still holds the
+        // task, its given-up slot is re-opened first, so the resend rides
+        // the normal timeout/reissue machinery instead of being one more
+        // unprotected message (give-ups exist precisely because those
+        // die). The origin additionally re-kicks the full broadcast for
+        // any active query in case the initial route to the query root
+        // itself was swallowed by the partition (`start_dissemination`
+        // sends one unretried message).
+        let gave_up = std::mem::take(&mut self.gave_up);
+        let mut rearm: Vec<TaskKey> = Vec::new();
+        for (n, h, range) in gave_up {
+            if !self.queries[h as usize].active {
+                continue;
+            }
+            let issuer = if eng.is_up(n) {
+                n
+            } else {
+                self.queries[h as usize].origin
+            };
+            if !eng.is_up(issuer) {
+                self.gave_up.push((n, h, range)); // retry at the next heal
+                continue;
+            }
+            if issuer == n {
+                let mut candidates: Vec<TaskKey> = self
+                    .tasks
+                    .iter()
+                    .filter(|(&(node, qh, _, _), task)| {
+                        node == n.0 && qh == h && task.slots.iter().any(|s| s.range == range)
+                    })
+                    .map(|(&k, _)| k)
+                    .collect();
+                candidates.sort_unstable();
+                if let Some(key) = candidates.first().copied() {
+                    let task = self.tasks.get_mut(&key).expect("just found");
+                    let slot = task
+                        .slots
+                        .iter_mut()
+                        .find(|s| s.range == range)
+                        .expect("slot exists");
+                    slot.done = None;
+                    slot.reissues = 0;
+                    task.reported = false;
+                    if !rearm.contains(&key) {
+                        rearm.push(key);
+                    }
+                }
+            }
+            let size = crate::wire::disseminate(self.queries[h as usize].text.len());
+            self.stats.disseminate_msgs += 1;
+            self.stats.dissem_bytes += u64::from(size);
+            let evs = self.overlay.route(
+                eng,
+                issuer,
+                range.midpoint(),
+                SeaweedMsg::Disseminate {
+                    query: h,
+                    range,
+                    parent: issuer,
+                },
+                size,
+                seaweed_sim::TrafficClass::Query,
+            );
+            self.cascade(eng, evs);
+        }
+        for key in rearm {
+            let n = NodeIdx(key.0);
+            self.set_app_timer(
+                eng,
+                n,
+                self.cfg.dissem_timeout,
+                TimerAction::DissemTimeout { node: n, task: key },
+            );
+        }
+        for h in 0..self.queries.len() as QueryHandle {
+            let q = &self.queries[h as usize];
+            if q.active && eng.is_up(q.origin) && self.overlay.is_joined(q.origin) {
+                let origin = q.origin;
+                self.start_dissemination(eng, origin, h);
+            }
+        }
     }
 
     fn on_joined(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) -> Vec<OverlayEvent<SeaweedMsg>> {

@@ -174,6 +174,7 @@ impl<P: DataProvider> Seaweed<P> {
                 target_vertex: vertex,
                 version,
                 agg,
+                attempts: 0,
             },
         );
         let evs = self.overlay.route(
@@ -204,7 +205,14 @@ impl<P: DataProvider> Seaweed<P> {
         self.cascade(eng, evs);
     }
 
-    /// Retry timer: if the submission is still unacked, re-route it.
+    /// Retry timer: if the submission is still unacked, re-route it and
+    /// re-arm with capped exponential backoff. Fixed-interval retries
+    /// hammer a dead or partitioned-away primary every `result_retry`;
+    /// doubling (to `result_retry_cap`) keeps the common fast recovery
+    /// while bounding retransmissions across long outages. The jitter is
+    /// drawn from the protocol's seeded RNG only when a retransmission
+    /// actually happens, so loss-free runs consume identical RNG
+    /// sequences to the pre-backoff protocol.
     pub(crate) fn on_result_retry(
         &mut self,
         eng: &mut SeaweedEngine,
@@ -213,7 +221,7 @@ impl<P: DataProvider> Seaweed<P> {
         child: Id,
         version: u64,
     ) {
-        let Some(p) = self.pending_submits.get(&(n.0, h, child.0)) else {
+        let Some(p) = self.pending_submits.get_mut(&(n.0, h, child.0)) else {
             return; // acked
         };
         if p.version != version {
@@ -222,7 +230,8 @@ impl<P: DataProvider> Seaweed<P> {
         if !eng.is_up(n) || !self.queries[h as usize].active {
             return;
         }
-        let (vertex, agg) = (p.target_vertex, p.agg);
+        p.attempts += 1;
+        let (vertex, agg, attempts) = (p.target_vertex, p.agg, p.attempts);
         self.stats.result_retries += 1;
         let evs = self.overlay.route(
             eng,
@@ -238,10 +247,11 @@ impl<P: DataProvider> Seaweed<P> {
             wire::RESULT_SUBMIT,
             TrafficClass::Query,
         );
+        let delay = self.retry_backoff(attempts);
         self.set_app_timer(
             eng,
             n,
-            self.cfg.result_retry,
+            delay,
             TimerAction::ResultRetry {
                 node: n,
                 query: h,
@@ -250,6 +260,17 @@ impl<P: DataProvider> Seaweed<P> {
             },
         );
         self.cascade(eng, evs);
+    }
+
+    /// Delay until retransmission `attempts + 1`: `result_retry << attempts`
+    /// capped at `result_retry_cap`, plus up to half a base interval of
+    /// seeded jitter so synchronized submitters do not retry in lockstep.
+    fn retry_backoff(&mut self, attempts: u32) -> seaweed_types::Duration {
+        let base = self.cfg.result_retry.as_micros();
+        let cap = self.cfg.result_retry_cap.as_micros().max(base);
+        let backed = base.saturating_mul(1u64 << attempts.min(32)).min(cap);
+        let jitter = rand::Rng::gen_range(&mut self.rng, 0..=base / 2);
+        seaweed_types::Duration::from_micros(backed + jitter)
     }
 
     /// A submission arrived at the (believed) primary for `vertex`.
@@ -468,11 +489,21 @@ impl<P: DataProvider> Seaweed<P> {
             if !state.holders.contains(&at) {
                 // New primary after churn: pull state from a surviving
                 // member (charged as one replication-sized transfer).
+                // Prefer a member we can actually reach — across a
+                // partition, an up-but-unreachable survivor cannot serve
+                // the pull (the transfer would be cut at the boundary).
                 let src = state
                     .holders
                     .iter()
                     .copied()
-                    .find(|&x| x != at && eng.is_up(x));
+                    .find(|&x| x != at && eng.is_up(x) && eng.reachable(at, x))
+                    .or_else(|| {
+                        state
+                            .holders
+                            .iter()
+                            .copied()
+                            .find(|&x| x != at && eng.is_up(x))
+                    });
                 state.holders.insert(0, at);
                 let children = state.children.len();
                 self.node_vertices[at.idx()].push((h, vertex));
@@ -496,7 +527,11 @@ impl<P: DataProvider> Seaweed<P> {
     /// replacement; if none do, the state is lost (the paper's
     /// low-probability window).
     pub(crate) fn repair_vertices_of(&mut self, eng: &mut SeaweedEngine, failed: NodeIdx) {
-        let held = std::mem::take(&mut self.node_vertices[failed.idx()]);
+        // A crash-with-amnesia already pruned the holder sets and stashed
+        // the group list; fold the stash in so survivors still recruit
+        // replacements back up to the replication factor.
+        let mut held = std::mem::take(&mut self.node_vertices[failed.idx()]);
+        held.extend(std::mem::take(&mut self.amnesia_vertices[failed.idx()]));
         for (h, vertex) in held {
             let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
                 continue;
@@ -522,7 +557,11 @@ impl<P: DataProvider> Seaweed<P> {
                     .overlay
                     .replica_set_oracle(vertex, self.cfg.m_vertex + 2)
                     .into_iter()
-                    .find(|x| !state.holders.contains(x) && eng.is_up(*x));
+                    .find(|x| {
+                        !state.holders.contains(x)
+                            && eng.is_up(*x)
+                            && eng.reachable(survivors[0], *x)
+                    });
                 if let Some(r) = replacement {
                     state.holders.push(r);
                     self.node_vertices[r.idx()].push((h, vertex));

@@ -27,6 +27,7 @@
 //! `seaweed_sim`.
 
 pub mod app;
+pub mod oracle;
 pub mod predictor;
 pub mod provider;
 pub mod vertex;
@@ -36,5 +37,6 @@ pub use app::{
     QueryHandle, QueryKind, QueryState, Seaweed, SeaweedConfig, SeaweedEngine, SeaweedMsg,
     SeaweedStats, ViewDef, ViewHandle,
 };
+pub use oracle::ChaosOracle;
 pub use predictor::Predictor;
 pub use provider::{DataProvider, LiveTables, Precomputed};

@@ -1,0 +1,286 @@
+//! Runtime invariant oracles for chaos testing.
+//!
+//! A [`ChaosOracle`] inspects the full protocol state (the simulator is
+//! monolithic, so it can see every endsystem at once) and reports
+//! violations of the guarantees Seaweed must keep **under any fault
+//! schedule** — partitions, correlated outages, crash-amnesia, message
+//! duplication and reordering:
+//!
+//! 1. **Exactly-once contribution**: no child key is counted by more
+//!    than one aggregation-tree vertex of the same query, and a one-shot
+//!    query's result never exceeds the population's true row count.
+//! 2. **Monotone completeness**: a one-shot origin's progress history
+//!    never regresses (the root-version guard must hold under
+//!    duplication and reordering).
+//! 3. **No orphaned state**: once a query terminates, no dissemination
+//!    task, vertex state, pending submission, epoch record or leaf
+//!    target for it survives anywhere.
+//! 4. **Predictor sanity**: an aggregated completeness predictor is
+//!    finite, non-negative, and within a slack factor of the true
+//!    population.
+//! 5. **Index consistency**: the metadata holder maps and vertex
+//!    membership maps stay mutual inverses, and crash-amnesia stashes
+//!    never alias live state.
+
+use seaweed_sim::NodeIdx;
+use seaweed_types::Id;
+
+use crate::app::{QueryKind, Seaweed, SeaweedEngine};
+use crate::provider::DataProvider;
+
+/// Invariant checker over the whole simulated deployment. Construct once
+/// per run and call [`check`](Self::check) as often as desired — during
+/// the run (between events) and after it.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosOracle {
+    /// Ground-truth total number of rows matching the queries across the
+    /// entire population (available and unavailable endsystems). `0`
+    /// disables the population-bound checks.
+    pub population_rows: u64,
+    /// Slack factor for the predictor bound (estimates come from
+    /// histogram summaries, so allow some overshoot).
+    pub predictor_slack: f64,
+}
+
+impl ChaosOracle {
+    #[must_use]
+    pub fn new(population_rows: u64) -> Self {
+        ChaosOracle {
+            population_rows,
+            predictor_slack: 2.0,
+        }
+    }
+
+    /// Runs every invariant; returns human-readable violations (empty =
+    /// clean).
+    #[must_use]
+    pub fn check<P: DataProvider>(&self, sw: &Seaweed<P>, eng: &SeaweedEngine) -> Vec<String> {
+        let mut v = Vec::new();
+        self.check_exactly_once(sw, &mut v);
+        self.check_monotone_progress(sw, &mut v);
+        self.check_no_orphans(sw, &mut v);
+        self.check_predictors(sw, &mut v);
+        self.check_index_consistency(sw, eng, &mut v);
+        v
+    }
+
+    /// Like [`check`](Self::check) but panics with the full violation
+    /// list, for use inside tests.
+    pub fn assert_clean<P: DataProvider>(&self, sw: &Seaweed<P>, eng: &SeaweedEngine) {
+        let violations = self.check(sw, eng);
+        assert!(
+            violations.is_empty(),
+            "chaos oracle violations:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+
+    /// (1) Each child key feeds at most one vertex per query, and the
+    /// origin's row count never exceeds the true population.
+    fn check_exactly_once<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
+        for (h, q) in sw.queries.iter().enumerate() {
+            let h = h as u32;
+            let mut seen: std::collections::HashMap<Id, u128> = std::collections::HashMap::new();
+            for (&(qh, vertex), state) in &sw.vertices {
+                if qh != h {
+                    continue;
+                }
+                for &child in state.children.keys() {
+                    if let Some(prev) = seen.insert(child, vertex.0) {
+                        out.push(format!(
+                            "query {h}: child {:x} counted by two vertices ({prev:x} and {:x})",
+                            child.0, vertex.0
+                        ));
+                    }
+                }
+            }
+            if self.population_rows > 0
+                && q.kind == QueryKind::OneShot
+                && q.rows() > self.population_rows
+            {
+                out.push(format!(
+                    "query {h}: origin saw {} rows > population {}",
+                    q.rows(),
+                    self.population_rows
+                ));
+            }
+        }
+    }
+
+    /// (2) A one-shot origin's progress history is non-decreasing in
+    /// rows (completeness never regresses).
+    fn check_monotone_progress<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
+        for (h, q) in sw.queries.iter().enumerate() {
+            if q.kind != QueryKind::OneShot {
+                continue;
+            }
+            for w in q.progress.windows(2) {
+                let ((t0, r0, _), (t1, r1, _)) = (w[0], w[1]);
+                if t1 < t0 || r1 < r0 {
+                    out.push(format!(
+                        "query {h}: progress regressed ({r0} rows @{} -> {r1} rows @{})",
+                        t0.as_micros(),
+                        t1.as_micros()
+                    ));
+                }
+            }
+        }
+    }
+
+    /// (3) Terminated queries leave no protocol state behind.
+    fn check_no_orphans<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
+        let dead = |h: u32| !sw.queries[h as usize].active;
+        for &(node, h, _, _) in sw.tasks.keys() {
+            if dead(h) {
+                out.push(format!(
+                    "node {node}: dissemination task for dead query {h}"
+                ));
+            }
+        }
+        for &(h, vertex) in sw.vertices.keys() {
+            if dead(h) {
+                out.push(format!(
+                    "vertex {:x}: state survives dead query {h}",
+                    vertex.0
+                ));
+            }
+        }
+        for (n, nv) in sw.node_vertices.iter().enumerate() {
+            for &(h, vertex) in nv {
+                if dead(h) {
+                    out.push(format!(
+                        "node {n}: vertex membership {:x} survives dead query {h}",
+                        vertex.0
+                    ));
+                }
+            }
+        }
+        for &(node, h, _) in sw.pending_submits.keys() {
+            if dead(h) {
+                out.push(format!("node {node}: pending submit for dead query {h}"));
+            }
+        }
+        for &(node, h) in sw.cont_epoch.keys() {
+            if dead(h) {
+                out.push(format!("node {node}: epoch record for dead query {h}"));
+            }
+        }
+        for &(node, h) in sw.leaf_targets.keys() {
+            if dead(h) {
+                out.push(format!("node {node}: leaf target for dead query {h}"));
+            }
+        }
+        for &(node, h, _) in &sw.gave_up {
+            if dead(h) {
+                out.push(format!(
+                    "node {}: given-up dissemination range for dead query {h}",
+                    node.0
+                ));
+            }
+        }
+    }
+
+    /// (4) Aggregated predictors are finite, non-negative, and within a
+    /// slack factor of the true population.
+    fn check_predictors<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
+        for (h, q) in sw.queries.iter().enumerate() {
+            let Some(p) = q.predictor.as_ref() else {
+                continue;
+            };
+            let total = p.total_rows();
+            if !total.is_finite() || total < 0.0 {
+                out.push(format!("query {h}: predictor total_rows is {total}"));
+            } else if self.population_rows > 0
+                && total > self.predictor_slack * self.population_rows as f64
+            {
+                out.push(format!(
+                    "query {h}: predictor total {total} exceeds {}x population {}",
+                    self.predictor_slack, self.population_rows
+                ));
+            }
+        }
+    }
+
+    /// (5) Holder maps and vertex membership maps are mutual inverses;
+    /// amnesia stashes never alias live index state.
+    fn check_index_consistency<P: DataProvider>(
+        &self,
+        sw: &Seaweed<P>,
+        eng: &SeaweedEngine,
+        out: &mut Vec<String>,
+    ) {
+        let n = sw.held_by.len();
+        for owner in 0..n {
+            for &holder in &sw.holders[owner] {
+                if !sw.held_by[holder.idx()].contains(&NodeIdx(owner as u32)) {
+                    out.push(format!(
+                        "holder map: {} holds {owner} but reverse index disagrees",
+                        holder.0
+                    ));
+                }
+            }
+        }
+        for holder in 0..n {
+            for &owner in &sw.held_by[holder] {
+                if !sw.holders[owner.idx()].contains(&NodeIdx(holder as u32)) {
+                    out.push(format!(
+                        "holder map: {holder} listed for {} but forward index disagrees",
+                        owner.0
+                    ));
+                }
+            }
+        }
+        for (&(h, vertex), state) in &sw.vertices {
+            for &m in &state.holders {
+                if !sw.node_vertices[m.idx()].contains(&(h, vertex)) {
+                    out.push(format!(
+                        "vertex {:x} (query {h}): holder {} missing from node index",
+                        vertex.0, m.0
+                    ));
+                }
+            }
+        }
+        for (m, nv) in sw.node_vertices.iter().enumerate() {
+            for &(h, vertex) in nv {
+                let ok = sw
+                    .vertices
+                    .get(&(h, vertex))
+                    .is_some_and(|s| s.holders.contains(&NodeIdx(m as u32)));
+                if !ok {
+                    out.push(format!(
+                        "node {m}: claims membership in vertex {:x} (query {h}) it does not hold",
+                        vertex.0
+                    ));
+                }
+            }
+        }
+        for m in 0..n {
+            let node = NodeIdx(m as u32);
+            if (!sw.amnesia_meta[m].is_empty() || !sw.amnesia_vertices[m].is_empty())
+                && eng.is_up(node)
+            {
+                out.push(format!("node {m}: amnesia stash survived rejoin"));
+            }
+            for &owner in &sw.amnesia_meta[m] {
+                if sw.holders[owner.idx()].contains(&node) {
+                    out.push(format!(
+                        "node {m}: stashed metadata for {} still in live holder map",
+                        owner.0
+                    ));
+                }
+            }
+            for &(h, vertex) in &sw.amnesia_vertices[m] {
+                let aliased = sw
+                    .vertices
+                    .get(&(h, vertex))
+                    .is_some_and(|s| s.holders.contains(&node));
+                if aliased {
+                    out.push(format!(
+                        "node {m}: stashed vertex {:x} (query {h}) still in live holder set",
+                        vertex.0
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -25,6 +25,10 @@ pub struct OverlayConfig {
     /// How long after a failure its leafset neighbors notice: one
     /// heartbeat period plus a grace; jittered per detector.
     pub detect_delay: Duration,
+    /// Period of the leafset anti-entropy probe (MSPastry-style): each
+    /// joined node periodically pulls one leafset member's leafset and
+    /// merges it, repairing asymmetric views left by lost Announces.
+    pub leafset_refresh: Duration,
     /// Seed for id assignment jitter-free operations (bootstrap pick,
     /// detection jitter).
     pub seed: u64,
@@ -37,13 +41,15 @@ impl Default for OverlayConfig {
             leafset: 8,
             heartbeat: Duration::from_secs(30),
             detect_delay: Duration::from_secs(40),
+            leafset_refresh: Duration::from_secs(60),
             seed: 0,
         }
     }
 }
 
 /// Messages exchanged by the overlay; `A` is the application payload.
-#[derive(Debug)]
+/// `Clone` lets the engine's fault layer deliver duplicated copies.
+#[derive(Clone, Debug)]
 pub enum OverlayMsg<A> {
     /// A routed message heading for the live node closest to `key`.
     /// `size` is the application payload's wire size, preserved across
@@ -104,6 +110,10 @@ pub struct OverlayStats {
     pub joins: u64,
     pub join_retries: u64,
     pub leafset_repairs: u64,
+    /// Leafset rebuilds performed while healing a network partition.
+    pub partition_repairs: u64,
+    /// Periodic leafset anti-entropy pulls sent.
+    pub leafset_refreshes: u64,
     /// Stale-entry probes charged while routing around departed nodes.
     pub probes: u64,
     pub routed_messages: u64,
@@ -117,6 +127,7 @@ pub struct OverlayStats {
 const TAG_KIND_SHIFT: u32 = 62;
 const TAG_FAIL: u64 = 0b11 << TAG_KIND_SHIFT;
 const TAG_JOIN_RETRY: u64 = 0b10 << TAG_KIND_SHIFT;
+const TAG_LS_REFRESH: u64 = 0b01 << TAG_KIND_SHIFT;
 const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
 
 /// Is this timer tag owned by the overlay (vs the application)?
@@ -145,6 +156,9 @@ pub struct Overlay {
     listed_by: Vec<BTreeSet<u32>>,
     /// Pending join-retry timer per node, cancelled on join completion.
     join_retry: Vec<Option<TimerHandle>>,
+    /// Rotation cursor into each node's leafset for the periodic
+    /// anti-entropy probe.
+    refresh_pos: Vec<usize>,
     /// Pending failure-detection timers keyed by the *failed* node:
     /// `(detector, handle)` pairs, cancelled if the node comes back up
     /// before the detection delay elapses.
@@ -180,6 +194,7 @@ impl Overlay {
             joined_pos: vec![NO_POS; n],
             listed_by: vec![BTreeSet::new(); n],
             join_retry: vec![None; n],
+            refresh_pos: vec![0; n],
             fail_timers: vec![Vec::new(); n],
             rows,
             cols,
@@ -332,7 +347,11 @@ impl Overlay {
     // ------------------------------------------------------------ events
 
     /// Must be called when the engine reports `NodeUp`.
-    pub fn node_up<A>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) -> Vec<OverlayEvent<A>> {
+    pub fn node_up<A: Clone>(
+        &mut self,
+        eng: &mut OverlayEngine<A>,
+        n: NodeIdx,
+    ) -> Vec<OverlayEvent<A>> {
         // The node is back: disarm any detection timers still pending for
         // its previous session (cancelling a handle whose detector has
         // itself gone down is a harmless no-op).
@@ -350,7 +369,7 @@ impl Overlay {
         Vec::new()
     }
 
-    fn start_join<A>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
+    fn start_join<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
         let bootstrap = self.joined_list[self.rng.gen_range(0..self.joined_list.len())];
         eng.send(
             n,
@@ -366,7 +385,7 @@ impl Overlay {
     }
 
     /// Must be called when the engine reports `NodeDown`.
-    pub fn node_down<A>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
+    pub fn node_down<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
         let was_joined = self.nodes[n.idx()].joined;
         if was_joined {
             self.ring.remove(&self.ids[n.idx()].0);
@@ -400,8 +419,86 @@ impl Overlay {
         self.nodes[n.idx()].reset();
     }
 
+    /// Must be called when the engine reports `PartitionStart`: every
+    /// leafset edge straddling the boundary stops carrying heartbeats,
+    /// so both sides arm the same detection timers a real failure would
+    /// — except the watched nodes stay up, which is why
+    /// [`detect_failure`](Self::detect_failure) treats up-but-unreachable
+    /// as failed.
+    pub fn partition_started<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, members: &[NodeIdx]) {
+        let mut inside = vec![false; self.ids.len()];
+        for m in members {
+            inside[m.idx()] = true;
+        }
+        // Watchers outside the boundary stop hearing members' heartbeats.
+        // (`listed_by` iterates in ascending order, keeping the jitter
+        // draws deterministic.)
+        for &m in members {
+            let watchers: Vec<u32> = self.listed_by[m.idx()].iter().copied().collect();
+            for w in watchers {
+                if inside[w as usize] {
+                    continue;
+                }
+                let d = NodeIdx(w);
+                if !eng.is_up(d) {
+                    continue;
+                }
+                let jitter =
+                    Duration::from_micros(self.rng.gen_range(0..self.cfg.heartbeat.as_micros()));
+                let h = eng.set_timer(d, self.cfg.detect_delay + jitter, TAG_FAIL | u64::from(m.0));
+                self.fail_timers[m.idx()].push((w, h));
+            }
+        }
+        // Members stop hearing the outsiders they watch.
+        for &m in members {
+            if !eng.is_up(m) {
+                continue;
+            }
+            let watched: Vec<NodeIdx> = self.nodes[m.idx()].leafset().collect();
+            for t in watched {
+                if inside[t.idx()] {
+                    continue;
+                }
+                let jitter =
+                    Duration::from_micros(self.rng.gen_range(0..self.cfg.heartbeat.as_micros()));
+                let h = eng.set_timer(m, self.cfg.detect_delay + jitter, TAG_FAIL | u64::from(t.0));
+                self.fail_timers[t.idx()].push((m.0, h));
+            }
+        }
+    }
+
+    /// Must be called when the engine reports `PartitionEnd`: each live
+    /// joined member converges its leafset back to the full ring and
+    /// announces itself, so far-side nodes (which evicted the members
+    /// after detection) re-admit them organically via
+    /// `NeighborJoined` — which is also what re-triggers the metadata
+    /// handover in the layer above. Detection timers still pending for
+    /// boundary edges resolve themselves: `detect_failure` ignores
+    /// reachable live nodes.
+    pub fn partition_healed<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, members: &[NodeIdx]) {
+        for &m in members {
+            if !eng.is_up(m) || !self.nodes[m.idx()].joined {
+                continue;
+            }
+            self.stats.partition_repairs += 1;
+            self.rebuild_leafset_where(m, &|x| eng.reachable(m, x));
+            let ls = self.leafset_members(m);
+            for &p in &ls {
+                self.learn(m, p);
+                eng.send(
+                    m,
+                    p,
+                    OverlayMsg::Announce,
+                    wire::ANNOUNCE,
+                    TrafficClass::Overlay,
+                );
+            }
+            self.update_heartbeat_rate(eng, m);
+        }
+    }
+
     /// Must be called for timers whose tag satisfies [`is_overlay_tag`].
-    pub fn on_timer<A>(
+    pub fn on_timer<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         node: NodeIdx,
@@ -414,6 +511,10 @@ impl Overlay {
                 pending.swap_remove(pos);
             }
             return self.detect_failure(eng, node, failed);
+        }
+        if tag & TAG_FAIL == TAG_LS_REFRESH {
+            self.on_leafset_refresh(eng, node);
+            return Vec::new();
         }
         if tag & TAG_JOIN_RETRY == TAG_JOIN_RETRY {
             self.join_retry[node.idx()] = None;
@@ -431,13 +532,48 @@ impl Overlay {
         Vec::new()
     }
 
-    fn detect_failure<A>(
+    /// Periodic leafset anti-entropy (MSPastry's leafset probing): pull
+    /// one leafset member's leafset per period, rotating through the
+    /// members. The push reply is merged via
+    /// [`handle_announce`](Self::handle_announce), repairing asymmetric
+    /// views — e.g. a neighbor whose join Announce was lost and who
+    /// would otherwise stay invisible forever (heartbeats carry no
+    /// membership).
+    fn on_leafset_refresh<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
+        if !eng.is_up(n) || !self.nodes[n.idx()].joined {
+            return; // restarting; complete_join re-arms the probe
+        }
+        let members = self.leafset_members(n);
+        if !members.is_empty() {
+            let peer = members[self.refresh_pos[n.idx()] % members.len()];
+            self.refresh_pos[n.idx()] = self.refresh_pos[n.idx()].wrapping_add(1);
+            self.stats.leafset_refreshes += 1;
+            eng.send(
+                n,
+                peer,
+                OverlayMsg::LeafsetPull,
+                wire::leafset_msg(1),
+                TrafficClass::Overlay,
+            );
+        }
+        self.arm_leafset_refresh(eng, n);
+    }
+
+    /// Arms `n`'s next anti-entropy probe, jittered so probes across the
+    /// population stay desynchronised.
+    fn arm_leafset_refresh<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
+        let period = self.cfg.leafset_refresh;
+        let jitter = Duration::from_micros(self.rng.gen_range(0..period.as_micros().max(4) / 4));
+        eng.set_timer(n, period + jitter, TAG_LS_REFRESH);
+    }
+
+    fn detect_failure<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         detector: NodeIdx,
         failed: NodeIdx,
     ) -> Vec<OverlayEvent<A>> {
-        if eng.is_up(failed) {
+        if eng.is_up(failed) && eng.reachable(detector, failed) {
             return Vec::new(); // came back before the timeout expired
         }
         if !self.nodes[detector.idx()].remove_from_leafset(failed) {
@@ -445,10 +581,13 @@ impl Overlay {
         }
         self.listed_by[failed.idx()].remove(&detector.0);
         self.stats.leafset_repairs += 1;
-        // Repair: converge the leafset to ground truth, charging the pull
-        // exchange the real protocol performs against the farthest
-        // surviving neighbor (or nothing if we are now alone).
-        self.rebuild_leafset(detector);
+        // Repair: converge the leafset to ground truth — restricted to
+        // nodes the detector can actually reach, so a partitioned
+        // detector does not "repair" its leafset with nodes on the far
+        // side of the cut — charging the pull exchange the real protocol
+        // performs against the farthest surviving neighbor (or nothing
+        // if we are now alone).
+        self.rebuild_leafset_where(detector, &|m| eng.reachable(detector, m));
         let peer = self.nodes[detector.idx()]
             .cw
             .last()
@@ -471,7 +610,7 @@ impl Overlay {
 
     /// Must be called for every engine `Message` event; returns events
     /// for the application.
-    pub fn on_message<A>(
+    pub fn on_message<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         from: NodeIdx,
@@ -535,17 +674,25 @@ impl Overlay {
                 Vec::new()
             }
             OverlayMsg::LeafsetPush { members } => {
+                // Merge, not just learn: anti-entropy pulls repair
+                // asymmetric leafset views. Dead members are skipped for
+                // the same reason a stale Announce is (no detection timer
+                // would cover the entry).
+                let mut out = Vec::new();
                 for m in members {
                     self.learn(to, m);
+                    if eng.is_up(m) && self.nodes[m.idx()].joined {
+                        out.extend(self.handle_announce(to, m));
+                    }
                 }
-                Vec::new()
+                out
             }
         }
     }
 
     // ------------------------------------------------------------ joins
 
-    fn handle_join_request<A>(
+    fn handle_join_request<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         at: NodeIdx,
@@ -624,12 +771,18 @@ impl Overlay {
     /// Finishes a join: install the ground-truth leafset (charged via the
     /// join exchange that just happened), announce to the new neighbors,
     /// register heartbeat traffic.
-    fn complete_join<A>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) -> Vec<OverlayEvent<A>> {
+    fn complete_join<A: Clone>(
+        &mut self,
+        eng: &mut OverlayEngine<A>,
+        n: NodeIdx,
+    ) -> Vec<OverlayEvent<A>> {
         debug_assert!(!self.nodes[n.idx()].joined);
         if let Some(h) = self.join_retry[n.idx()].take() {
             eng.cancel_timer(h);
         }
-        self.rebuild_leafset(n);
+        // A node joining during a partition must not seed its leafset
+        // with unreachable far-side members.
+        self.rebuild_leafset_where(n, &|m| eng.reachable(n, m));
         self.nodes[n.idx()].joined = true;
         self.ring.insert(self.ids[n.idx()].0, n);
         self.joined_pos[n.idx()] = self.joined_list.len();
@@ -647,10 +800,11 @@ impl Overlay {
             );
         }
         self.update_heartbeat_rate(eng, n);
+        self.arm_leafset_refresh(eng, n);
         vec![OverlayEvent::Joined { node: n }]
     }
 
-    fn handle_announce<A>(&mut self, at: NodeIdx, joined: NodeIdx) -> Vec<OverlayEvent<A>> {
+    fn handle_announce<A: Clone>(&mut self, at: NodeIdx, joined: NodeIdx) -> Vec<OverlayEvent<A>> {
         if !self.nodes[at.idx()].joined {
             return Vec::new();
         }
@@ -666,13 +820,16 @@ impl Overlay {
     // --------------------------------------------------------- leafsets
 
     /// Rebuilds `n`'s leafset from the ground-truth ring (hybrid
-    /// convergence; the caller charges the protocol messages).
-    fn rebuild_leafset(&mut self, n: NodeIdx) {
+    /// convergence; the caller charges the protocol messages), restricted
+    /// to ring members satisfying `keep` — used to exclude nodes across
+    /// an open partition boundary, which are joined and live but
+    /// unreachable.
+    fn rebuild_leafset_where(&mut self, n: NodeIdx, keep: &dyn Fn(NodeIdx) -> bool) {
         let old: Vec<NodeIdx> = self.nodes[n.idx()].leafset().collect();
         let half = self.cfg.leafset / 2;
         let id = self.ids[n.idx()];
-        let cw = self.ring_neighbors_cw(id, half);
-        let ccw = self.ring_neighbors_ccw(id, half);
+        let cw = self.ring_neighbors_cw_where(id, half, keep);
+        let ccw = self.ring_neighbors_ccw_where(id, half, keep);
         let st = &mut self.nodes[n.idx()];
         st.cw = cw.into_iter().filter(|&m| m != n).collect();
         st.ccw = ccw.into_iter().filter(|&m| m != n).collect();
@@ -747,6 +904,15 @@ impl Overlay {
     /// Nearest joined live nodes clockwise from `id` (excluding the exact
     /// key match).
     fn ring_neighbors_cw(&self, id: Id, count: usize) -> Vec<NodeIdx> {
+        self.ring_neighbors_cw_where(id, count, &|_| true)
+    }
+
+    fn ring_neighbors_cw_where(
+        &self,
+        id: Id,
+        count: usize,
+        keep: &dyn Fn(NodeIdx) -> bool,
+    ) -> Vec<NodeIdx> {
         let mut out = Vec::with_capacity(count);
         if self.ring.is_empty() || count == 0 {
             return out;
@@ -759,7 +925,7 @@ impl Overlay {
             if out.len() >= count {
                 break;
             }
-            if self.ids[n.idx()] != id {
+            if self.ids[n.idx()] != id && keep(n) {
                 out.push(n);
             }
         }
@@ -767,6 +933,15 @@ impl Overlay {
     }
 
     fn ring_neighbors_ccw(&self, id: Id, count: usize) -> Vec<NodeIdx> {
+        self.ring_neighbors_ccw_where(id, count, &|_| true)
+    }
+
+    fn ring_neighbors_ccw_where(
+        &self,
+        id: Id,
+        count: usize,
+        keep: &dyn Fn(NodeIdx) -> bool,
+    ) -> Vec<NodeIdx> {
         let mut out = Vec::with_capacity(count);
         if self.ring.is_empty() || count == 0 {
             return out;
@@ -780,14 +955,14 @@ impl Overlay {
             if out.len() >= count {
                 break;
             }
-            if self.ids[n.idx()] != id {
+            if self.ids[n.idx()] != id && keep(n) {
                 out.push(n);
             }
         }
         out
     }
 
-    fn update_heartbeat_rate<A>(&self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
+    fn update_heartbeat_rate<A: Clone>(&self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
         let l = self.leafset_members(n).len() as f32;
         let rate = l * wire::HEARTBEAT as f32 / self.cfg.heartbeat.as_secs_f64() as f32;
         eng.set_standing(n, TrafficClass::Overlay, rate, rate);
@@ -799,7 +974,7 @@ impl Overlay {
     /// `size` is the application payload size (per-hop overhead added).
     /// Returns delivery events immediately if the sender is itself the
     /// root.
-    pub fn route<A>(
+    pub fn route<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         from: NodeIdx,
@@ -814,7 +989,7 @@ impl Overlay {
     }
 
     /// Sends a direct application message to a known endsystem.
-    pub fn send_app<A>(
+    pub fn send_app<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         from: NodeIdx,
@@ -833,7 +1008,7 @@ impl Overlay {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn forward_or_deliver<A>(
+    fn forward_or_deliver<A: Clone>(
         &mut self,
         eng: &mut OverlayEngine<A>,
         at: NodeIdx,
@@ -886,7 +1061,12 @@ impl Overlay {
     /// for the next digit. Entries pointing at departed nodes are probed,
     /// purged and charged, modelling MSPastry's per-hop retransmission.
     /// `None` means `at` believes it is the root.
-    fn next_hop<A>(&mut self, eng: &mut OverlayEngine<A>, at: NodeIdx, key: Id) -> Option<NodeIdx> {
+    fn next_hop<A: Clone>(
+        &mut self,
+        eng: &mut OverlayEngine<A>,
+        at: NodeIdx,
+        key: Id,
+    ) -> Option<NodeIdx> {
         let at_id = self.ids[at.idx()];
         if at_id == key {
             return None;
@@ -1000,6 +1180,15 @@ mod tests {
                 Event::Timer { .. } => {}
                 Event::NodeUp { node } => out.extend(ov.node_up(eng, node)),
                 Event::NodeDown { node } => ov.node_down(eng, node),
+                Event::NodeCrash { node } => ov.node_down(eng, node),
+                Event::PartitionStart { partition } => {
+                    let members = eng.partition_members(partition);
+                    ov.partition_started(eng, &members);
+                }
+                Event::PartitionEnd { partition } => {
+                    let members = eng.partition_members(partition);
+                    ov.partition_healed(eng, &members);
+                }
             }
         }
         out

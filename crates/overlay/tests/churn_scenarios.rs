@@ -23,6 +23,15 @@ fn drive(eng: &mut Eng, ov: &mut Overlay, horizon: Time) -> Vec<OverlayEvent<u64
             Event::Timer { .. } => {}
             Event::NodeUp { node } => out.extend(ov.node_up(eng, node)),
             Event::NodeDown { node } => ov.node_down(eng, node),
+            Event::NodeCrash { node } => ov.node_down(eng, node),
+            Event::PartitionStart { partition } => {
+                let members = eng.partition_members(partition);
+                ov.partition_started(eng, &members);
+            }
+            Event::PartitionEnd { partition } => {
+                let members = eng.partition_members(partition);
+                ov.partition_healed(eng, &members);
+            }
         }
     }
     out

@@ -251,7 +251,37 @@ impl BandwidthRecorder {
             tx_samples_sorted: tx_samples,
             rx_samples_sorted: rx_samples,
             total_tx: self.total_tx,
+            drops: DropStats::default(),
         }
+    }
+}
+
+/// Message drops broken down by cause, plus fault-plan duplication.
+/// Filled in by the engine at [`crate::Engine::finish`]; every cause is
+/// zero on a fault-free run except `random_loss` and `dest_down`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DropStats {
+    /// Uniform random in-flight loss (`SimConfig::loss_rate`).
+    pub random_loss: u64,
+    /// Dropped at a fault-plan partition cut (at send or in flight).
+    pub partition: u64,
+    /// Destination was down at delivery time.
+    pub dest_down: u64,
+    /// Dropped by a fault-plan link-degradation window.
+    pub link_fault: u64,
+    /// Extra copies delivered by fault-plan duplication (not drops, but
+    /// part of the same conservation ledger: sent + duplicated =
+    /// delivered + dropped).
+    pub duplicated: u64,
+    /// Drops from all causes, bucketed by traffic class.
+    pub by_class: [u64; NUM_CLASSES],
+}
+
+impl DropStats {
+    /// Total messages dropped, all causes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.random_loss + self.partition + self.dest_down + self.link_fault
     }
 }
 
@@ -265,6 +295,8 @@ pub struct BandwidthReport {
     pub tx_samples_sorted: Vec<f32>,
     pub rx_samples_sorted: Vec<f32>,
     pub total_tx: [u64; NUM_CLASSES],
+    /// Per-cause drop counters (see [`DropStats`]).
+    pub drops: DropStats,
 }
 
 impl BandwidthReport {

@@ -41,7 +41,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seaweed_types::{Duration, Time};
 
-use crate::bandwidth::{BandwidthRecorder, BandwidthReport, TrafficClass};
+use crate::bandwidth::{BandwidthRecorder, BandwidthReport, DropStats, TrafficClass, NUM_CLASSES};
+use crate::faults::{FaultInjector, FaultPlan, LinkEffect};
 use crate::topology::Topology;
 
 /// Hasher for internal `u64` sequence numbers (timer metadata,
@@ -102,6 +103,18 @@ pub enum Event<M> {
     /// queued messages are dropped on delivery and its regular timers
     /// have been cancelled).
     NodeDown { node: NodeIdx },
+    /// `node` just crashed with amnesia: it is down (same engine
+    /// semantics as [`Event::NodeDown`]) and the application must wipe
+    /// its soft state — when it comes back up it remembers nothing it
+    /// had not persisted. Injected by a [`FaultPlan`].
+    NodeCrash { node: NodeIdx },
+    /// Fault-plan partition `partition` just came into force: its member
+    /// set and the rest of the network are mutually unreachable (sends
+    /// across the cut are dropped) until the matching
+    /// [`Event::PartitionEnd`].
+    PartitionStart { partition: u32 },
+    /// Fault-plan partition `partition` just healed.
+    PartitionEnd { partition: u32 },
 }
 
 enum Pending<M> {
@@ -121,6 +134,15 @@ enum Pending<M> {
     },
     NodeDown {
         node: NodeIdx,
+    },
+    NodeCrash {
+        node: NodeIdx,
+    },
+    PartitionStart {
+        partition: u32,
+    },
+    PartitionEnd {
+        partition: u32,
     },
 }
 
@@ -170,6 +192,10 @@ pub struct SimConfig {
     pub collect_cdf: bool,
     /// Event-queue implementation; both deliver identical event orders.
     pub scheduler: SchedulerKind,
+    /// Optional deterministic fault schedule (partitions, link
+    /// degradation, crash-amnesia, correlated outages, dup/reorder).
+    /// `None` injects nothing and changes nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -179,6 +205,7 @@ impl Default for SimConfig {
             loss_rate: 0.0,
             collect_cdf: false,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 }
@@ -547,10 +574,21 @@ pub struct Engine<M> {
     recorder: BandwidthRecorder,
     rng: StdRng,
     loss_rate: f64,
+    /// Fault-plan runtime, present only when [`SimConfig::faults`] was
+    /// set. Every `send()` and node transition consults it.
+    faults: Option<FaultInjector>,
     /// Count of messages dropped because the destination was down.
     pub dropped_dest_down: u64,
-    /// Count of messages lost to simulated network loss.
+    /// Count of messages lost to simulated (uniform random) network loss.
     pub dropped_loss: u64,
+    /// Count of messages dropped at a fault-plan partition cut.
+    pub dropped_partition: u64,
+    /// Count of messages dropped by a fault-plan link-degradation window.
+    pub dropped_link_fault: u64,
+    /// Count of extra copies delivered by fault-plan duplication.
+    pub messages_duplicated: u64,
+    /// Drops from *all* causes, bucketed by traffic class.
+    pub drops_by_class: [u64; NUM_CLASSES],
     /// Total messages sent.
     pub messages_sent: u64,
     /// Timers disarmed before firing (explicitly or by node-down).
@@ -567,7 +605,10 @@ impl<M> Engine<M> {
     #[must_use]
     pub fn new(topo: Box<dyn Topology>, config: SimConfig) -> Self {
         let n = topo.num_endsystems();
-        Engine {
+        let faults = config
+            .faults
+            .map(|plan| FaultInjector::new(plan, config.seed, n));
+        let mut e = Engine {
             now: Time::ZERO,
             seq: 0,
             queue: match config.scheduler {
@@ -581,11 +622,48 @@ impl<M> Engine<M> {
             recorder: BandwidthRecorder::new(n, config.collect_cdf),
             rng: StdRng::seed_from_u64(config.seed ^ 0xe791_e5ee_d000_0001),
             loss_rate: config.loss_rate,
+            faults,
             dropped_dest_down: 0,
             dropped_loss: 0,
+            dropped_partition: 0,
+            dropped_link_fault: 0,
+            messages_duplicated: 0,
+            drops_by_class: [0; NUM_CLASSES],
             messages_sent: 0,
             timers_cancelled: 0,
             clamped_to_now: 0,
+        };
+        e.schedule_fault_plan();
+        e
+    }
+
+    /// Enqueues every time-triggered entry of the installed fault plan:
+    /// partition start/heal markers, amnesia crashes (with their
+    /// rejoins), and correlated outage bursts. Runs once, at
+    /// construction, so plan events occupy a deterministic prefix of the
+    /// sequence-number space.
+    fn schedule_fault_plan(&mut self) {
+        let Some(inj) = &self.faults else { return };
+        let plan = inj.plan().clone();
+        for (i, p) in plan.partitions.iter().enumerate() {
+            let idx = u32::try_from(i).expect("partition count fits u32");
+            self.push(p.from, Pending::PartitionStart { partition: idx });
+            self.push(p.until, Pending::PartitionEnd { partition: idx });
+        }
+        for c in &plan.crashes {
+            self.push(c.at, Pending::NodeCrash { node: c.node });
+            self.push(c.at + c.rejoin_after, Pending::NodeUp { node: c.node });
+        }
+        for o in &plan.outages {
+            for &m in &o.members {
+                let node = NodeIdx(m);
+                if o.amnesia {
+                    self.push(o.down_at, Pending::NodeCrash { node });
+                } else {
+                    self.push(o.down_at, Pending::NodeDown { node });
+                }
+                self.push(o.up_at, Pending::NodeUp { node });
+            }
         }
     }
 
@@ -641,18 +719,73 @@ impl<M> Engine<M> {
     /// `from` immediately; reception to `to` at delivery (if it is still
     /// up and the message survives loss). `size` is the wire size in
     /// bytes; `class` selects the accounting bucket.
-    pub fn send(&mut self, from: NodeIdx, to: NodeIdx, payload: M, size: u32, class: TrafficClass) {
+    ///
+    /// The installed fault plan (if any) is consulted in a fixed order:
+    /// partition cut, link-degradation window (extra loss, then latency
+    /// multiplier), base random loss, reordering jitter, duplication.
+    /// Without a plan the behaviour — including the engine RNG's draw
+    /// sequence — is identical to the fault-free engine.
+    pub fn send(&mut self, from: NodeIdx, to: NodeIdx, payload: M, size: u32, class: TrafficClass)
+    where
+        M: Clone,
+    {
         debug_assert!(self.up[from.idx()], "down node {from:?} tried to send");
         self.messages_sent += 1;
         self.recorder.record_tx(self.now, from.idx(), class, size);
+        let mut latency_mult = 1.0f64;
+        if let Some(inj) = &mut self.faults {
+            if !inj.reachable(from, to) {
+                self.dropped_partition += 1;
+                self.drops_by_class[class as usize] += 1;
+                return;
+            }
+            let (za, zb) = (self.topo.zone_of(from), self.topo.zone_of(to));
+            match inj.link_effect(self.now, za, zb) {
+                LinkEffect::Drop => {
+                    self.dropped_link_fault += 1;
+                    self.drops_by_class[class as usize] += 1;
+                    return;
+                }
+                LinkEffect::Delay(m) => latency_mult = m,
+                LinkEffect::Pass => {}
+            }
+        }
         if self.loss_rate > 0.0 && self.rng.gen::<f64>() < self.loss_rate {
             self.dropped_loss += 1;
+            self.drops_by_class[class as usize] += 1;
             return;
         }
-        let latency = self.topo.one_way(from, to);
-        let at = self.now + latency;
+        let base = self.topo.one_way(from, to);
+        let latency = if latency_mult == 1.0 {
+            base
+        } else {
+            Duration::from_micros((base.as_micros() as f64 * latency_mult).round() as u64)
+        };
+        let mut jitter = Duration::ZERO;
+        let mut duplicated = false;
+        if let Some(inj) = &mut self.faults {
+            jitter = inj.reorder_jitter();
+            duplicated = inj.duplicate();
+        }
+        if duplicated {
+            self.push(
+                self.now + latency + jitter,
+                Pending::Message {
+                    from,
+                    to,
+                    payload: payload.clone(),
+                    size,
+                    class,
+                },
+            );
+            self.messages_duplicated += 1;
+            jitter = self
+                .faults
+                .as_mut()
+                .map_or(Duration::ZERO, FaultInjector::reorder_jitter);
+        }
         self.push(
-            at,
+            self.now + latency + jitter,
             Pending::Message {
                 from,
                 to,
@@ -661,6 +794,28 @@ impl<M> Engine<M> {
                 class,
             },
         );
+    }
+
+    /// Can `a` currently reach `b`, given the open fault-plan
+    /// partitions? Always true without a plan. Liveness is *not* part of
+    /// this check — an up-but-unreachable node is exactly the case
+    /// recovery code must distinguish from a dead one.
+    #[must_use]
+    pub fn reachable(&self, a: NodeIdx, b: NodeIdx) -> bool {
+        self.faults.as_ref().is_none_or(|f| f.reachable(a, b))
+    }
+
+    /// Member set of fault-plan partition `partition` (as announced by
+    /// [`Event::PartitionStart`] / [`Event::PartitionEnd`]).
+    #[must_use]
+    pub fn partition_members(&self, partition: u32) -> Vec<NodeIdx> {
+        self.faults.as_ref().map_or_else(Vec::new, |f| {
+            f.plan().partitions[partition as usize]
+                .members
+                .iter()
+                .map(|&m| NodeIdx(m))
+                .collect()
+        })
     }
 
     /// Arms a timer for `node`, firing `delay` from now with `tag`. The
@@ -741,6 +896,14 @@ impl<M> Engine<M> {
                 } => {
                     if !self.up[to.idx()] {
                         self.dropped_dest_down += 1;
+                        self.drops_by_class[class as usize] += 1;
+                        continue;
+                    }
+                    // A partition that opened while the message was in
+                    // flight swallows it too.
+                    if !self.reachable(from, to) {
+                        self.dropped_partition += 1;
+                        self.drops_by_class[class as usize] += 1;
                         continue;
                     }
                     self.recorder.record_rx(self.now, to.idx(), class, size);
@@ -776,6 +939,32 @@ impl<M> Engine<M> {
                     self.auto_cancel_timers(node);
                     self.recorder.node_down(self.now, node.idx());
                     return Some((self.now, Event::NodeDown { node }));
+                }
+                Pending::NodeCrash { node } => {
+                    // Engine-side, a crash is a down transition; the
+                    // distinct event tells the application to wipe the
+                    // node's soft state. Crashing an already-down node is
+                    // a no-op, like a duplicate down.
+                    if !self.up[node.idx()] {
+                        continue;
+                    }
+                    self.up[node.idx()] = false;
+                    self.live.remove(&node.0);
+                    self.auto_cancel_timers(node);
+                    self.recorder.node_down(self.now, node.idx());
+                    return Some((self.now, Event::NodeCrash { node }));
+                }
+                Pending::PartitionStart { partition } => {
+                    if let Some(inj) = &mut self.faults {
+                        inj.partition_started(partition as usize);
+                    }
+                    return Some((self.now, Event::PartitionStart { partition }));
+                }
+                Pending::PartitionEnd { partition } => {
+                    if let Some(inj) = &mut self.faults {
+                        inj.partition_ended(partition as usize);
+                    }
+                    return Some((self.now, Event::PartitionEnd { partition }));
                 }
             }
         }
@@ -818,11 +1007,28 @@ impl<M> Engine<M> {
             .set_standing(node.idx(), class, tx_rate, rx_rate);
     }
 
+    /// Per-cause drop statistics so far (also embedded in the final
+    /// [`BandwidthReport`] by [`Engine::finish`]).
+    #[must_use]
+    pub fn drop_stats(&self) -> DropStats {
+        DropStats {
+            random_loss: self.dropped_loss,
+            partition: self.dropped_partition,
+            dest_down: self.dropped_dest_down,
+            link_fault: self.dropped_link_fault,
+            duplicated: self.messages_duplicated,
+            by_class: self.drops_by_class,
+        }
+    }
+
     /// Finishes the run, consuming the engine and yielding the bandwidth
     /// report (accounting closed at the final clock value).
     #[must_use]
     pub fn finish(self) -> BandwidthReport {
-        self.recorder.finish(self.now)
+        let drops = self.drop_stats();
+        let mut report = self.recorder.finish(self.now);
+        report.drops = drops;
+        report
     }
 }
 

@@ -1,0 +1,361 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a declarative, fully-precomputed schedule of faults
+//! — network partitions, per-link degradation windows, crash-with-amnesia,
+//! correlated outage bursts, message duplication and bounded reordering —
+//! that the engine consults on every `send()` and node transition. The
+//! plan is part of [`crate::SimConfig`], so a fixed seed plus a fixed plan
+//! reproduces a byte-identical run.
+//!
+//! Determinism contract:
+//!
+//! * The injector draws from its **own** seeded RNG stream
+//!   ([`FAULTS_STREAM`]), never the engine's, so installing a plan does
+//!   not perturb the engine's loss draws, and an *empty* plan consumes
+//!   zero draws — a run without faults is bit-for-bit identical to a run
+//!   on an engine that predates this module.
+//! * Injector draws happen only when a fault is actually in force (a
+//!   degradation window is open, duplication or reordering is enabled),
+//!   in a fixed order per send: link-loss, reorder jitter, duplication,
+//!   duplicate's jitter.
+//!
+//! Partition membership is expressed as an explicit endsystem set, but
+//! the intended construction is structural: cut a router in a
+//! [`CorpNetTopology`] and every endsystem of its subtree loses
+//! cross-partition reachability until the heal time
+//! ([`PartitionSpec::from_router_cut`]). Correlated outages
+//! ([`OutageSpec::branch_outage`]) take a whole branch down together,
+//! optionally with amnesia (soft state wiped on the way down, so the
+//! rejoin is *not* a clean rejoin).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seaweed_types::{Duration, Time};
+
+use crate::engine::NodeIdx;
+use crate::topology::CorpNetTopology;
+
+/// Stream-separation constant: the injector's RNG never shares a stream
+/// with the engine, topology, overlay or application RNGs derived from
+/// the same experiment seed.
+const FAULTS_STREAM: u64 = 0xfa01_7fa0_17fa;
+
+/// One network partition: `members` are isolated from every non-member
+/// between `from` and `until`. Traffic *within* the member set (and
+/// within the complement) is unaffected.
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    /// Endsystem indices on the isolated side of the cut.
+    pub members: Vec<u32>,
+    /// Partition start (inclusive).
+    pub from: Time,
+    /// Heal time (exclusive).
+    pub until: Time,
+}
+
+impl PartitionSpec {
+    /// Structural partition: cutting `router` isolates its attached
+    /// endsystems — and, for a regional router, the endsystems of every
+    /// branch router homed to it — from the rest of the network.
+    #[must_use]
+    pub fn from_router_cut(topo: &CorpNetTopology, router: usize, from: Time, until: Time) -> Self {
+        PartitionSpec {
+            members: topo.subtree_endsystems(router),
+            from,
+            until,
+        }
+    }
+}
+
+/// A degradation window on the router pair `(zone_a, zone_b)`: traffic
+/// between the two zones (in either direction) suffers `extra_loss` and a
+/// `latency_mult` slowdown while the window is open.
+#[derive(Clone, Debug)]
+pub struct LinkFaultSpec {
+    pub zone_a: u32,
+    pub zone_b: u32,
+    pub from: Time,
+    pub until: Time,
+    /// Probability a crossing message is dropped (on top of base loss).
+    pub extra_loss: f64,
+    /// Latency multiplier for surviving crossings (≥ 1.0).
+    pub latency_mult: f64,
+}
+
+impl LinkFaultSpec {
+    fn covers(&self, now: Time, za: u32, zb: u32) -> bool {
+        now >= self.from
+            && now < self.until
+            && ((za, zb) == (self.zone_a, self.zone_b) || (zb, za) == (self.zone_a, self.zone_b))
+    }
+}
+
+/// Crash-with-amnesia: the node goes down at `at` with its soft state
+/// (vertex state, pending submissions, execution bookkeeping) wiped, and
+/// rejoins `rejoin_after` later remembering nothing it had not persisted.
+#[derive(Clone, Debug)]
+pub struct CrashSpec {
+    pub node: NodeIdx,
+    pub at: Time,
+    pub rejoin_after: Duration,
+}
+
+/// A correlated outage burst: every member goes down at `down_at` and
+/// comes back at `up_at`. With `amnesia`, the burst is a mass crash
+/// (state wiped) rather than a clean power-down.
+#[derive(Clone, Debug)]
+pub struct OutageSpec {
+    pub members: Vec<u32>,
+    pub down_at: Time,
+    pub up_at: Time,
+    pub amnesia: bool,
+}
+
+impl OutageSpec {
+    /// A whole branch failing together: every endsystem in `router`'s
+    /// subtree goes down at once.
+    #[must_use]
+    pub fn branch_outage(
+        topo: &CorpNetTopology,
+        router: usize,
+        down_at: Time,
+        up_at: Time,
+        amnesia: bool,
+    ) -> Self {
+        OutageSpec {
+            members: topo.subtree_endsystems(router),
+            down_at,
+            up_at,
+            amnesia,
+        }
+    }
+}
+
+/// A complete, declarative fault schedule. An empty (default) plan
+/// injects nothing and costs nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    pub partitions: Vec<PartitionSpec>,
+    pub link_faults: Vec<LinkFaultSpec>,
+    pub crashes: Vec<CrashSpec>,
+    pub outages: Vec<OutageSpec>,
+    /// Probability any surviving message is delivered twice.
+    pub dup_rate: f64,
+    /// Maximum extra delivery jitter; > 0 lets later sends overtake
+    /// earlier ones (bounded reordering).
+    pub reorder_window: Duration,
+}
+
+impl FaultPlan {
+    /// Does this plan inject anything at all?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+            && self.link_faults.is_empty()
+            && self.crashes.is_empty()
+            && self.outages.is_empty()
+            && self.dup_rate == 0.0
+            && self.reorder_window == Duration::ZERO
+    }
+}
+
+/// Per-send verdict of the link-degradation check.
+pub enum LinkEffect {
+    /// No window covers this pair: deliver normally.
+    Pass,
+    /// Dropped by window loss.
+    Drop,
+    /// Delivered, with the window's latency multiplier.
+    Delay(f64),
+}
+
+/// Runtime state of a [`FaultPlan`]: membership bitsets, the set of
+/// currently-open partitions, and the injector's private RNG stream.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Per-partition endsystem membership bitset.
+    member_bits: Vec<Vec<u64>>,
+    /// Which partitions are currently in force.
+    active: Vec<bool>,
+    num_active: usize,
+}
+
+impl FaultInjector {
+    #[must_use]
+    pub fn new(plan: FaultPlan, seed: u64, num_nodes: usize) -> Self {
+        let words = num_nodes.div_ceil(64);
+        let member_bits = plan
+            .partitions
+            .iter()
+            .map(|p| {
+                let mut bits = vec![0u64; words];
+                for &m in &p.members {
+                    assert!((m as usize) < num_nodes, "partition member out of range");
+                    bits[m as usize / 64] |= 1 << (m % 64);
+                }
+                bits
+            })
+            .collect();
+        let active = vec![false; plan.partitions.len()];
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(seed ^ FAULTS_STREAM),
+            member_bits,
+            active,
+            num_active: 0,
+        }
+    }
+
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn partition_started(&mut self, idx: usize) {
+        if !self.active[idx] {
+            self.active[idx] = true;
+            self.num_active += 1;
+        }
+    }
+
+    pub fn partition_ended(&mut self, idx: usize) {
+        if self.active[idx] {
+            self.active[idx] = false;
+            self.num_active -= 1;
+        }
+    }
+
+    /// Can `a` currently reach `b`? False iff some open partition has
+    /// exactly one of the two inside it.
+    #[must_use]
+    pub fn reachable(&self, a: NodeIdx, b: NodeIdx) -> bool {
+        if self.num_active == 0 {
+            return true;
+        }
+        let in_bits = |bits: &[u64], n: NodeIdx| bits[n.idx() / 64] >> (n.0 % 64) & 1 == 1;
+        !self
+            .active
+            .iter()
+            .zip(&self.member_bits)
+            .any(|(&on, bits)| on && in_bits(bits, a) != in_bits(bits, b))
+    }
+
+    /// Link-degradation verdict for a send between zones `za` and `zb` at
+    /// `now`. Draws the injector RNG only when a window actually covers
+    /// the pair; the first covering window (plan order) applies.
+    pub fn link_effect(&mut self, now: Time, za: u32, zb: u32) -> LinkEffect {
+        for f in &self.plan.link_faults {
+            if f.covers(now, za, zb) {
+                if f.extra_loss > 0.0 && self.rng.gen::<f64>() < f.extra_loss {
+                    return LinkEffect::Drop;
+                }
+                return LinkEffect::Delay(f.latency_mult);
+            }
+        }
+        LinkEffect::Pass
+    }
+
+    /// Extra delivery jitter for one message copy. Zero (and no RNG
+    /// draw) when reordering is disabled.
+    pub fn reorder_jitter(&mut self) -> Duration {
+        let w = self.plan.reorder_window.as_micros();
+        if w == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.rng.gen_range(0..=w))
+        }
+    }
+
+    /// Should this message be delivered twice? No RNG draw when
+    /// duplication is disabled.
+    pub fn duplicate(&mut self) -> bool {
+        self.plan.dup_rate > 0.0 && self.rng.gen::<f64>() < self.plan.dup_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_with_partition(members: Vec<u32>) -> FaultPlan {
+        FaultPlan {
+            partitions: vec![PartitionSpec {
+                members,
+                from: Time(10),
+                until: Time(20),
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_injects_nothing() {
+        assert!(FaultPlan::default().is_empty());
+        let mut inj = FaultInjector::new(FaultPlan::default(), 1, 8);
+        assert!(inj.reachable(NodeIdx(0), NodeIdx(7)));
+        assert!(matches!(inj.link_effect(Time(5), 0, 1), LinkEffect::Pass));
+        assert_eq!(inj.reorder_jitter(), Duration::ZERO);
+        assert!(!inj.duplicate());
+    }
+
+    #[test]
+    fn partition_splits_reachability_both_ways() {
+        let mut inj = FaultInjector::new(plan_with_partition(vec![1, 2]), 7, 8);
+        assert!(inj.reachable(NodeIdx(1), NodeIdx(0)));
+        inj.partition_started(0);
+        assert!(!inj.reachable(NodeIdx(1), NodeIdx(0)));
+        assert!(!inj.reachable(NodeIdx(0), NodeIdx(2)));
+        assert!(inj.reachable(NodeIdx(1), NodeIdx(2)), "same side");
+        assert!(inj.reachable(NodeIdx(0), NodeIdx(5)), "same side");
+        inj.partition_ended(0);
+        assert!(inj.reachable(NodeIdx(1), NodeIdx(0)));
+    }
+
+    #[test]
+    fn link_fault_applies_only_inside_window_and_zones() {
+        let plan = FaultPlan {
+            link_faults: vec![LinkFaultSpec {
+                zone_a: 3,
+                zone_b: 9,
+                from: Time(100),
+                until: Time(200),
+                extra_loss: 0.0,
+                latency_mult: 4.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 1, 4);
+        assert!(matches!(inj.link_effect(Time(50), 3, 9), LinkEffect::Pass));
+        assert!(matches!(
+            inj.link_effect(Time(150), 3, 9),
+            LinkEffect::Delay(m) if (m - 4.0).abs() < 1e-12
+        ));
+        // Symmetric pair, window edge is exclusive.
+        assert!(matches!(
+            inj.link_effect(Time(150), 9, 3),
+            LinkEffect::Delay(_)
+        ));
+        assert!(matches!(inj.link_effect(Time(200), 3, 9), LinkEffect::Pass));
+        assert!(matches!(inj.link_effect(Time(150), 3, 4), LinkEffect::Pass));
+    }
+
+    #[test]
+    fn injector_stream_is_deterministic() {
+        let plan = FaultPlan {
+            dup_rate: 0.5,
+            reorder_window: Duration::from_micros(1_000),
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(plan.clone(), 42, 4);
+            (0..64)
+                .map(|_| (inj.reorder_jitter(), inj.duplicate()))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|&(_, d)| d), "some duplicates at 50%");
+        assert!(a.iter().any(|&(j, _)| j > Duration::ZERO));
+    }
+}

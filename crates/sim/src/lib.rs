@@ -22,11 +22,17 @@
 //! * **Topology-derived latency.** One-way delays come from a [`topology`]
 //!   model: a synthetic world-wide corporate WAN (298 routers, as in the
 //!   paper's CorpNet) or a trivial uniform-latency fabric for unit tests.
+//! * **Deterministic fault injection.** An optional, seeded [`FaultPlan`]
+//!   adds structural partitions, link-degradation windows, crash-amnesia,
+//!   correlated outages, duplication and bounded reordering — consulted on
+//!   every send and node transition, reproducible bit-for-bit ([`faults`]).
 
 pub mod bandwidth;
 pub mod engine;
+pub mod faults;
 pub mod topology;
 
-pub use bandwidth::{BandwidthRecorder, BandwidthReport, TrafficClass};
+pub use bandwidth::{BandwidthRecorder, BandwidthReport, DropStats, TrafficClass};
 pub use engine::{Engine, Event, NodeIdx, SchedulerKind, SimConfig, TimerHandle};
+pub use faults::{CrashSpec, FaultPlan, LinkFaultSpec, OutageSpec, PartitionSpec};
 pub use topology::{CorpNetTopology, Topology, UniformTopology};

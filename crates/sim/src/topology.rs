@@ -24,6 +24,14 @@ pub trait Topology {
 
     /// Number of endsystems the topology was built for.
     fn num_endsystems(&self) -> usize;
+
+    /// Coarse network zone an endsystem belongs to, used by the fault
+    /// layer to scope link-degradation windows (e.g. "traffic between
+    /// router 3 and router 17 is degraded"). Topologies without internal
+    /// structure put every endsystem in zone 0.
+    fn zone_of(&self, _node: NodeIdx) -> u32 {
+        0
+    }
 }
 
 /// Trivial fabric: every pair of distinct endsystems is `latency` apart.
@@ -69,6 +77,13 @@ pub struct CorpNetTopology {
     attach: Vec<u32>,
     /// One-way LAN delay between an endsystem and its router.
     lan: Duration,
+    /// Tier boundaries: routers `[0, n_core)` are core,
+    /// `[n_core, n_core + n_regional)` regional, the rest branch.
+    n_core: usize,
+    n_regional: usize,
+    /// For each router, the single regional router it is homed to
+    /// (branch routers only; core and regional entries hold `u32::MAX`).
+    uplink: Vec<u32>,
 }
 
 /// Default router count, matching the paper's CorpNet measurement.
@@ -133,10 +148,14 @@ impl CorpNetTopology {
             link(&mut adj, r, c1, rng.gen_range(2_000..=20_000));
             link(&mut adj, r, c2, rng.gen_range(2_000..=20_000));
         }
-        // Branch routers single-homed to a regional.
-        for b_r in n_core + n_regional..num_routers {
+        // Branch routers single-homed to a regional. The homing choice is
+        // recorded so the fault layer can derive partition membership
+        // (cutting a regional router isolates its whole branch subtree).
+        let mut uplink = vec![u32::MAX; num_routers];
+        for (b_r, up) in uplink.iter_mut().enumerate().skip(n_core + n_regional) {
             let reg = n_core + rng.gen_range(0..n_regional);
             link(&mut adj, b_r, reg, rng.gen_range(500..=4_000));
+            *up = reg as u32;
         }
         let _ = n_branch;
 
@@ -153,7 +172,50 @@ impl CorpNetTopology {
             num_routers,
             attach,
             lan,
+            n_core,
+            n_regional,
+            uplink,
         }
+    }
+
+    /// Number of core (backbone) routers; indices `[0, n_core)`.
+    #[must_use]
+    pub fn num_core(&self) -> usize {
+        self.n_core
+    }
+
+    /// Number of regional routers; indices `[n_core, n_core + n_regional)`.
+    #[must_use]
+    pub fn num_regional(&self) -> usize {
+        self.n_regional
+    }
+
+    /// Index range of branch routers (single-homed leaves of the router
+    /// hierarchy).
+    #[must_use]
+    pub fn branch_routers(&self) -> std::ops::Range<usize> {
+        self.n_core + self.n_regional..self.num_routers
+    }
+
+    /// The regional router a branch router is homed to, or `None` for
+    /// core/regional routers.
+    #[must_use]
+    pub fn uplink_of(&self, router: usize) -> Option<usize> {
+        (self.uplink[router] != u32::MAX).then(|| self.uplink[router] as usize)
+    }
+
+    /// Endsystems isolated by cutting `router`'s uplinks: everything
+    /// attached to `router` itself plus — when `router` is regional — the
+    /// endsystems of every branch router homed solely to it. Cutting a
+    /// core router is not modelled (the backbone ring keeps cores
+    /// reachable), so a core cut isolates only its directly attached
+    /// endsystems.
+    #[must_use]
+    pub fn subtree_endsystems(&self, router: usize) -> Vec<u32> {
+        let in_subtree = |r: usize| r == router || self.uplink.get(r) == Some(&(router as u32));
+        (0..self.attach.len() as u32)
+            .filter(|&e| in_subtree(self.attach[e as usize] as usize))
+            .collect()
     }
 
     /// One-way latency between two routers.
@@ -191,6 +253,10 @@ impl Topology for CorpNetTopology {
 
     fn num_endsystems(&self) -> usize {
         self.attach.len()
+    }
+
+    fn zone_of(&self, node: NodeIdx) -> u32 {
+        self.attach[node.0 as usize]
     }
 }
 
@@ -302,6 +368,35 @@ mod tests {
                 t2.one_way(NodeIdx(a), NodeIdx(b))
             );
         }
+    }
+
+    #[test]
+    fn subtree_endsystems_follow_the_router_hierarchy() {
+        let t = CorpNetTopology::with_params(200, 40, Duration::MILLISECOND, 11);
+        assert!(t.num_core() >= 3);
+        assert!(!t.branch_routers().is_empty());
+        // Every endsystem's zone is its attach router.
+        for e in 0..200u32 {
+            assert_eq!(t.zone_of(NodeIdx(e)) as usize, t.router_of(NodeIdx(e)));
+        }
+        // A branch cut isolates exactly the endsystems attached to it.
+        let b = t.branch_routers().start;
+        for e in t.subtree_endsystems(b) {
+            assert_eq!(t.router_of(NodeIdx(e)), b);
+        }
+        // A regional cut covers its own endsystems plus those of branches
+        // homed to it.
+        let reg = t.num_core();
+        for e in t.subtree_endsystems(reg) {
+            let r = t.router_of(NodeIdx(e));
+            assert!(r == reg || t.uplink_of(r) == Some(reg), "endsystem {e}");
+        }
+        // Branch uplinks land in the regional tier; cores have none.
+        for b in t.branch_routers() {
+            let up = t.uplink_of(b).expect("branch has an uplink");
+            assert!(up >= t.num_core() && up < t.num_core() + t.num_regional());
+        }
+        assert_eq!(t.uplink_of(0), None);
     }
 
     #[test]

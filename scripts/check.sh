@@ -11,9 +11,17 @@ echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+# --workspace: the root package alone does not pull in the bench bins,
+# and the chaos smoke below needs target/release/chaos01_faults.
+cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> chaos smoke (fixed seed: oracles clean, CSV byte-stable)"
+./target/release/chaos01_faults --seed 7 --seeds 4 --out results/chaos01_smoke_a.csv
+./target/release/chaos01_faults --seed 7 --seeds 4 --out results/chaos01_smoke_b.csv >/dev/null
+cmp results/chaos01_smoke_a.csv results/chaos01_smoke_b.csv
+rm -f results/chaos01_smoke_a.csv results/chaos01_smoke_b.csv
 
 echo "OK"
