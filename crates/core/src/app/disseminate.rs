@@ -37,6 +37,7 @@ impl<P: DataProvider> Seaweed<P> {
         let size = wire::disseminate(q.text.len());
         self.stats.disseminate_msgs += 1;
         self.stats.dissem_bytes += u64::from(size);
+        self.timelines[h as usize].dissem_msgs += 1;
         let evs = self.overlay.route(
             eng,
             origin,
@@ -145,6 +146,8 @@ impl<P: DataProvider> Seaweed<P> {
                 let size = wire::disseminate(q.text.len());
                 self.stats.disseminate_msgs += 1;
                 self.stats.dissem_bytes += u64::from(size);
+                self.timelines[h as usize].dissem_msgs += 1;
+                self.timelines[h as usize].dissem_fanout += 1;
                 let evs = self.overlay.route(
                     eng,
                     n,
@@ -187,7 +190,7 @@ impl<P: DataProvider> Seaweed<P> {
             QueryKind::View { .. } => {
                 RangeResult::View(Aggregate::empty(self.queries[h as usize].bound.agg), 0)
             }
-            _ => RangeResult::Predictor(Predictor::new()),
+            _ => RangeResult::Predictor(Box::default()),
         }
     }
 
@@ -389,16 +392,19 @@ impl<P: DataProvider> Seaweed<P> {
                 task.slots[i].done = Some(empty.clone());
             }
             for (_, r) in gave_up {
+                self.timelines[h as usize].give_ups += 1;
                 self.gave_up.push((n, h, r));
             }
         }
         if !to_reissue.is_empty() {
             self.stats.dissem_reissues += to_reissue.len() as u64;
+            self.timelines[h as usize].dissem_reissues += to_reissue.len() as u64;
             let q_text_len = self.queries[h as usize].text.len();
             for r in to_reissue {
                 let size = wire::disseminate(q_text_len);
                 self.stats.disseminate_msgs += 1;
                 self.stats.dissem_bytes += u64::from(size);
+                self.timelines[h as usize].dissem_msgs += 1;
                 let evs = self.overlay.route(
                     eng,
                     n,
@@ -454,7 +460,7 @@ impl<P: DataProvider> Seaweed<P> {
                     RangeResult::Predictor(predictor) => SeaweedMsg::PredictorReport {
                         query: h,
                         range,
-                        predictor,
+                        predictor: *predictor,
                     },
                     RangeResult::View(agg, endsystems) => SeaweedMsg::ViewReport {
                         query: h,
@@ -478,7 +484,7 @@ impl<P: DataProvider> Seaweed<P> {
                 match merged {
                     RangeResult::Predictor(predictor) => {
                         if origin == n {
-                            self.on_predictor_at_origin(eng, n, h, predictor);
+                            self.on_predictor_at_origin(eng, n, h, *predictor);
                         } else {
                             self.overlay.send_app(
                                 eng,
@@ -486,7 +492,7 @@ impl<P: DataProvider> Seaweed<P> {
                                 origin,
                                 SeaweedMsg::PredictorToOrigin {
                                     query: h,
-                                    predictor,
+                                    predictor: *predictor,
                                 },
                                 size,
                                 TrafficClass::Query,
@@ -532,6 +538,9 @@ impl<P: DataProvider> Seaweed<P> {
             q.latest_version = endsystems; // coverage doubles as version
             q.progress.push((eng.now(), agg.rows, agg.finish()));
             q.predictor_at = Some(eng.now());
+            let tl = &mut self.timelines[h as usize];
+            tl.predictor_at = Some(eng.now());
+            tl.record_result(eng.now(), agg.rows);
         }
     }
 
@@ -548,6 +557,7 @@ impl<P: DataProvider> Seaweed<P> {
         if q.predictor.is_none() {
             q.predictor = Some(predictor);
             q.predictor_at = Some(eng.now());
+            self.timelines[h as usize].predictor_at = Some(eng.now());
         }
     }
 }

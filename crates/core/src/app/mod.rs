@@ -31,6 +31,7 @@ use seaweed_sim::{Engine, Event, NodeIdx};
 use seaweed_store::{Aggregate, BoundQuery, Query};
 use seaweed_types::{sha1, Duration, Id, IdRange, Time};
 
+use crate::obs::QueryTimeline;
 use crate::predictor::Predictor;
 use crate::provider::DataProvider;
 
@@ -311,7 +312,7 @@ pub(crate) type TaskKey = (u32, QueryHandle, u128, u128);
 /// carries either.
 #[derive(Debug, Clone)]
 pub(crate) enum RangeResult {
-    Predictor(Predictor),
+    Predictor(Box<Predictor>),
     /// `(aggregate, endsystems covered)`.
     View(Aggregate, u64),
 }
@@ -390,6 +391,9 @@ pub struct Seaweed<P: DataProvider> {
 
     // ---- query plane ----
     pub(crate) queries: Vec<QueryState>,
+    /// Lifecycle timelines, parallel to `queries`. Pure observation:
+    /// never read by protocol decisions.
+    pub(crate) timelines: Vec<QueryTimeline>,
     pub(crate) query_by_id: HashMap<Id, QueryHandle>,
     /// Bitmask per node of queries it has seen (bit = handle).
     pub(crate) knows_query: Vec<u64>,
@@ -468,6 +472,7 @@ impl<P: DataProvider> Seaweed<P> {
             holders: vec![Vec::new(); n],
             held_by: vec![Vec::new(); n],
             queries: Vec::new(),
+            timelines: Vec::new(),
             query_by_id: HashMap::new(),
             knows_query: vec![0; n],
             submitted: vec![0; n],
@@ -495,9 +500,57 @@ impl<P: DataProvider> Seaweed<P> {
         &self.queries[h as usize]
     }
 
+    /// Read access to a query's lifecycle timeline.
+    #[must_use]
+    pub fn timeline(&self, h: QueryHandle) -> &QueryTimeline {
+        &self.timelines[h as usize]
+    }
+
     #[must_use]
     pub fn num_queries(&self) -> usize {
         self.queries.len()
+    }
+
+    /// The protocol layer's counters and per-query latency histograms as
+    /// a [`seaweed_sim::MetricsRegistry`], for merging onto the engine's
+    /// in run summaries.
+    #[must_use]
+    pub fn metrics(&self) -> seaweed_sim::MetricsRegistry {
+        use seaweed_types::LogBuckets;
+        let mut m = seaweed_sim::MetricsRegistry::new();
+        let s = &self.stats;
+        m.set_counter("app.meta_pushes", s.meta_pushes);
+        m.set_counter("app.meta_repairs", s.meta_repairs);
+        m.set_counter("app.disseminate_msgs", s.disseminate_msgs);
+        m.set_counter("app.dissem_bytes", s.dissem_bytes);
+        m.set_counter("app.predictor_bytes", s.predictor_bytes);
+        m.set_counter("app.dissem_reissues", s.dissem_reissues);
+        m.set_counter("app.predictor_reports", s.predictor_reports);
+        m.set_counter(
+            "app.predictions_for_unavailable",
+            s.predictions_for_unavailable,
+        );
+        m.set_counter("app.uncovered_unavailable", s.uncovered_unavailable);
+        m.set_counter("app.result_submissions", s.result_submissions);
+        m.set_counter("app.result_retries", s.result_retries);
+        m.set_counter("app.exec_failures", s.exec_failures);
+        m.set_counter("app.vertex_replications", s.vertex_replications);
+        m.set_counter("app.vertex_states_lost", s.vertex_states_lost);
+        m.set_counter("app.results_at_origin", s.results_at_origin);
+        m.set_counter("app.amnesia_crashes", s.amnesia_crashes);
+        m.set_counter("app.queries_injected", self.queries.len() as u64);
+        // Stage-latency histograms need sub-second resolution at the fast
+        // end (predictors arrive in RTTs): 1 ms .. 1 day.
+        let buckets = LogBuckets::new(Duration::MILLISECOND, Duration::from_days(1), 40);
+        for tl in &self.timelines {
+            if let Some(d) = tl.time_to_predictor() {
+                m.observe_with("app.query.predictor_latency", buckets, d);
+            }
+            if let Some(d) = tl.time_to_first_result() {
+                m.observe_with("app.query.first_result_latency", buckets, d);
+            }
+        }
+        m
     }
 
     /// Injects a one-shot query at `origin` (which must be up and
@@ -593,6 +646,7 @@ impl<P: DataProvider> Seaweed<P> {
             latest_version: 0,
             progress: Vec::new(),
         });
+        self.timelines.push(QueryTimeline::new(eng.now()));
         self.query_by_id.insert(id, handle);
         self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
         self.start_dissemination(eng, origin, handle);
@@ -642,6 +696,7 @@ impl<P: DataProvider> Seaweed<P> {
             latest_version: 0,
             progress: Vec::new(),
         });
+        self.timelines.push(QueryTimeline::new(eng.now()));
         self.query_by_id.insert(id, handle);
         self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
         self.start_dissemination(eng, origin, handle);
@@ -771,7 +826,13 @@ impl<P: DataProvider> Seaweed<P> {
                 query,
                 range,
                 predictor,
-            } => self.on_range_report(eng, to, query, range, RangeResult::Predictor(predictor)),
+            } => self.on_range_report(
+                eng,
+                to,
+                query,
+                range,
+                RangeResult::Predictor(Box::new(predictor)),
+            ),
             SeaweedMsg::PredictorToOrigin { query, predictor } => {
                 self.on_predictor_at_origin(eng, to, query, predictor);
                 Vec::new()
@@ -1119,6 +1180,7 @@ impl<P: DataProvider> Seaweed<P> {
             let size = crate::wire::disseminate(self.queries[h as usize].text.len());
             self.stats.disseminate_msgs += 1;
             self.stats.dissem_bytes += u64::from(size);
+            self.timelines[h as usize].dissem_msgs += 1;
             let evs = self.overlay.route(
                 eng,
                 issuer,

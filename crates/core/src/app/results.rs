@@ -63,6 +63,7 @@ impl<P: DataProvider> Seaweed<P> {
                 let my_id = self.overlay.id_of(n);
                 let target = self.leaf_vertex(n, h);
                 self.stats.result_submissions += 1;
+                self.timelines[h as usize].submissions += 1;
                 self.submit_to_vertex(eng, n, h, target, my_id, 1, agg);
             }
             super::QueryKind::Continuous { interval } => {
@@ -103,6 +104,7 @@ impl<P: DataProvider> Seaweed<P> {
                     let my_id = self.overlay.id_of(n);
                     let target = self.leaf_vertex(n, h);
                     self.stats.result_submissions += 1;
+                    self.timelines[h as usize].submissions += 1;
                     // Version = epoch + 2 keeps continuous versions above
                     // the initial one-shot-style version space.
                     self.submit_to_vertex(eng, n, h, target, my_id, epoch + 2, agg);
@@ -233,6 +235,7 @@ impl<P: DataProvider> Seaweed<P> {
         p.attempts += 1;
         let (vertex, agg, attempts) = (p.target_vertex, p.agg, p.attempts);
         self.stats.result_retries += 1;
+        self.timelines[h as usize].result_retries += 1;
         let evs = self.overlay.route(
             eng,
             n,
@@ -598,6 +601,7 @@ impl<P: DataProvider> Seaweed<P> {
             q.latest = Some(agg);
             q.latest_version = version;
             q.progress.push((eng.now(), agg.rows, agg.finish()));
+            self.timelines[h as usize].record_result(eng.now(), agg.rows);
         }
     }
 }

@@ -27,6 +27,7 @@
 //! `seaweed_sim`.
 
 pub mod app;
+pub mod obs;
 pub mod oracle;
 pub mod predictor;
 pub mod provider;
@@ -37,6 +38,7 @@ pub use app::{
     QueryHandle, QueryKind, QueryState, Seaweed, SeaweedConfig, SeaweedEngine, SeaweedMsg,
     SeaweedStats, ViewDef, ViewHandle,
 };
+pub use obs::QueryTimeline;
 pub use oracle::ChaosOracle;
 pub use predictor::Predictor;
 pub use provider::{DataProvider, LiveTables, Precomputed};

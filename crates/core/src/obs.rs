@@ -1,0 +1,159 @@
+//! Per-query lifecycle observability.
+//!
+//! The paper's user experience is a predicted completeness-over-time
+//! curve the user watches while deciding when to stop waiting (§1, Figs
+//! 5–8). [`QueryTimeline`] records the *actual* lifecycle of each
+//! injected query — injection → dissemination fan-out → predictor
+//! arrival → result-fragment arrivals → retries/give-ups — so the actual
+//! completeness series can be laid alongside the prediction and every
+//! stage's latency is measurable per query.
+//!
+//! Timelines are pure observation: updated from the protocol handlers
+//! that already process each transition, they draw no randomness, arm no
+//! timers and send nothing, so they cannot perturb a run. All state is
+//! appended in event order, making per-seed output byte-stable.
+
+use seaweed_types::{Duration, Time};
+
+/// Lifecycle record of one query, parallel to the query registry.
+#[derive(Clone, Debug, Default)]
+pub struct QueryTimeline {
+    /// Injection time at the origin.
+    pub injected: Time,
+    /// Dissemination messages issued on behalf of this query (initial
+    /// route, tree fan-out, reissues and heal-time re-covers).
+    pub dissem_msgs: u64,
+    /// Subrange slots delegated to other endsystems across all of the
+    /// query's dissemination tasks — the broadcast tree's total fan-out.
+    pub dissem_fanout: u64,
+    /// Subranges reissued after a dissemination timeout.
+    pub dissem_reissues: u64,
+    /// Subranges abandoned after exhausting reissues.
+    pub give_ups: u64,
+    /// When the aggregated predictor reached the origin.
+    pub predictor_at: Option<Time>,
+    /// Local executions submitted into the aggregation tree.
+    pub submissions: u64,
+    /// Unacked submissions retransmitted.
+    pub result_retries: u64,
+    /// First root-aggregate push accepted at the origin.
+    pub first_result_at: Option<Time>,
+    /// Latest accepted root-aggregate push.
+    pub last_result_at: Option<Time>,
+    /// Accepted result fragments at the origin: `(time, rows folded in)`,
+    /// in arrival order. Mirrors `QueryState::progress` with just the
+    /// row-count dimension used for completeness.
+    pub fragments: Vec<(Time, u64)>,
+}
+
+impl QueryTimeline {
+    #[must_use]
+    pub fn new(injected: Time) -> Self {
+        QueryTimeline {
+            injected,
+            ..QueryTimeline::default()
+        }
+    }
+
+    /// Records an accepted result fragment at the origin.
+    pub fn record_result(&mut self, at: Time, rows: u64) {
+        if self.first_result_at.is_none() {
+            self.first_result_at = Some(at);
+        }
+        self.last_result_at = Some(at);
+        self.fragments.push((at, rows));
+    }
+
+    /// Injection → predictor-at-origin latency.
+    #[must_use]
+    pub fn time_to_predictor(&self) -> Option<Duration> {
+        Some(self.predictor_at?.saturating_since(self.injected))
+    }
+
+    /// Injection → first accepted result latency.
+    #[must_use]
+    pub fn time_to_first_result(&self) -> Option<Duration> {
+        Some(self.first_result_at?.saturating_since(self.injected))
+    }
+
+    /// Rows known at the origin at time `t`: the last fragment accepted
+    /// at or before `t` (row counts at the origin are monotone for
+    /// one-shot queries; for continuous queries this is simply the value
+    /// current at `t`).
+    #[must_use]
+    pub fn rows_at(&self, t: Time) -> u64 {
+        self.fragments
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .map_or(0, |&(_, rows)| rows)
+    }
+
+    /// Actual completeness at `t` against a total-row estimate (usually
+    /// the predictor's): `rows_at(t) / total_rows`, clamped to [0, 1].
+    /// `None` when no meaningful total exists.
+    #[must_use]
+    pub fn actual_completeness_at(&self, t: Time, total_rows: f64) -> Option<f64> {
+        if !total_rows.is_finite() || total_rows <= 0.0 {
+            return None;
+        }
+        Some((self.rows_at(t) as f64 / total_rows).min(1.0))
+    }
+
+    /// Delay from injection until actual completeness first reached
+    /// `target` (0..=1) of `total_rows`; `None` if it never did.
+    #[must_use]
+    pub fn time_to_completeness(&self, target: f64, total_rows: f64) -> Option<Duration> {
+        if !total_rows.is_finite() || total_rows <= 0.0 {
+            return None;
+        }
+        let needed = target.clamp(0.0, 1.0) * total_rows;
+        self.fragments
+            .iter()
+            .find(|&&(_, rows)| rows as f64 >= needed)
+            .map(|&(at, _)| at.saturating_since(self.injected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Time {
+        Time::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn fragments_drive_completeness_series() {
+        let mut tl = QueryTimeline::new(t(10));
+        tl.record_result(t(12), 3);
+        tl.record_result(t(20), 6);
+        tl.record_result(t(50), 10);
+        assert_eq!(tl.first_result_at, Some(t(12)));
+        assert_eq!(tl.last_result_at, Some(t(50)));
+        assert_eq!(tl.rows_at(t(11)), 0);
+        assert_eq!(tl.rows_at(t(12)), 3);
+        assert_eq!(tl.rows_at(t(30)), 6);
+        assert_eq!(tl.rows_at(t(500)), 10);
+        assert_eq!(tl.actual_completeness_at(t(20), 10.0), Some(0.6));
+        assert_eq!(tl.actual_completeness_at(t(20), 0.0), None);
+        // Overshoot (total estimate below reality) clamps to 1.
+        assert_eq!(tl.actual_completeness_at(t(50), 8.0), Some(1.0));
+        assert_eq!(
+            tl.time_to_completeness(0.5, 10.0),
+            Some(Duration::from_secs(10))
+        );
+        assert_eq!(tl.time_to_completeness(1.0, 20.0), None);
+    }
+
+    #[test]
+    fn stage_latencies() {
+        let mut tl = QueryTimeline::new(t(100));
+        assert_eq!(tl.time_to_predictor(), None);
+        assert_eq!(tl.time_to_first_result(), None);
+        tl.predictor_at = Some(t(101));
+        tl.record_result(t(130), 1);
+        assert_eq!(tl.time_to_predictor(), Some(Duration::from_secs(1)));
+        assert_eq!(tl.time_to_first_result(), Some(Duration::from_secs(30)));
+    }
+}

@@ -10,7 +10,7 @@ use seaweed_core::{ChaosOracle, LiveTables, Seaweed, SeaweedConfig, SeaweedEngin
 use seaweed_overlay::{Overlay, OverlayConfig, OverlayMsg};
 use seaweed_sim::{
     CorpNetTopology, CrashSpec, Engine, Event, FaultPlan, LinkFaultSpec, NodeIdx, OutageSpec,
-    PartitionSpec, SimConfig,
+    PartitionSpec, SimConfig, TraceConfig,
 };
 use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
 use seaweed_types::{Duration, Time};
@@ -86,7 +86,7 @@ fn chaos_plan(topo: &CorpNetTopology) -> FaultPlan {
     }
 }
 
-fn world(seed: u64) -> (SeaweedEngine, Seaweed<LiveTables>, Schema, FaultPlan) {
+fn world(seed: u64, trace: bool) -> (SeaweedEngine, Seaweed<LiveTables>, Schema, FaultPlan) {
     let schema = Schema::new(
         "T",
         vec![
@@ -109,6 +109,7 @@ fn world(seed: u64) -> (SeaweedEngine, Seaweed<LiveTables>, Schema, FaultPlan) {
             seed,
             loss_rate: 0.01,
             faults: Some(plan.clone()),
+            trace: trace.then(TraceConfig::default),
             ..SimConfig::default()
         },
     );
@@ -172,10 +173,11 @@ struct RunResult {
     amnesia_crashes: u64,
     duplicated: u64,
     dropped_partition: u64,
+    trace_recorded: u64,
 }
 
-fn run_chaos(seed: u64) -> RunResult {
-    let (mut eng, mut sw, schema, _plan) = world(seed);
+fn run_chaos(seed: u64, trace: bool) -> RunResult {
+    let (mut eng, mut sw, schema, _plan) = world(seed, trace);
     for i in 0..N {
         eng.schedule_up(Time(1 + i as u64 * 300_000), NodeIdx(i as u32));
     }
@@ -215,6 +217,7 @@ fn run_chaos(seed: u64) -> RunResult {
         amnesia_crashes: sw.stats.amnesia_crashes,
         duplicated: eng.messages_duplicated,
         dropped_partition: eng.dropped_partition,
+        trace_recorded: eng.tracer().map_or(0, seaweed_sim::Tracer::recorded),
     }
 }
 
@@ -223,7 +226,7 @@ proptest! {
 
     #[test]
     fn chaos_invariants_hold_and_runs_are_deterministic(seed in 0u64..10_000) {
-        let a = run_chaos(seed);
+        let a = run_chaos(seed, false);
         prop_assert!(
             a.violations.is_empty(),
             "oracle violations (seed {seed}):\n  {}",
@@ -243,9 +246,28 @@ proptest! {
         );
 
         // Same seed, byte-identical schedule.
-        let b = run_chaos(seed);
+        let b = run_chaos(seed, false);
         prop_assert_eq!(a.log_hash, b.log_hash, "event logs diverged (seed {})", seed);
         prop_assert_eq!(a.log_len, b.log_len);
         prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// The full chaos run with engine tracing enabled stays oracle-clean
+    /// and its event-log fingerprint is identical to the tracing-off run
+    /// of the same seed: observation never perturbs the schedule.
+    #[test]
+    fn chaos_with_tracing_matches_untraced(seed in 0u64..10_000) {
+        let traced = run_chaos(seed, true);
+        prop_assert!(
+            traced.violations.is_empty(),
+            "oracle violations under tracing (seed {seed}):\n  {}",
+            traced.violations.join("\n  ")
+        );
+        prop_assert!(traced.trace_recorded > 0, "tracer captured nothing");
+        let plain = run_chaos(seed, false);
+        prop_assert_eq!(plain.trace_recorded, 0);
+        prop_assert_eq!(traced.log_hash, plain.log_hash, "tracing perturbed the schedule (seed {})", seed);
+        prop_assert_eq!(traced.log_len, plain.log_len);
+        prop_assert_eq!(traced.rows, plain.rows);
     }
 }

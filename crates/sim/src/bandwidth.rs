@@ -230,14 +230,37 @@ impl BandwidthRecorder {
         self.cur_rx[node][class as usize] += u64::from(bytes);
     }
 
+    /// Whole-run transmitted-byte totals by class so far. Standing flows
+    /// are included up to the last completed hour flush (they are only
+    /// integrated at flush time).
+    #[must_use]
+    pub fn totals_tx(&self) -> [u64; NUM_CLASSES] {
+        self.total_tx
+    }
+
     /// Finalizes accounting at `end` and produces the report.
+    ///
+    /// Flushes the final partial hour so that `total_tx` always equals
+    /// the sum of the per-hour series: the standing-rate integral and any
+    /// counters accumulated since the last boundary are folded into one
+    /// last (short) [`HourAggregate`].
     #[must_use]
     pub fn finish(mut self, end: Time) -> BandwidthReport {
         self.advance(end);
-        // Flush the final partial hour (standing traffic and any
-        // counters) unless `end` sits exactly on the boundary that
-        // `advance` already flushed.
-        if end.as_micros() > self.cur_hour * Duration::HOUR.as_micros() {
+        // `advance` has flushed every whole hour before `end`. Two things
+        // can still be pending: time elapsed past the last boundary, or
+        // bytes recorded exactly *at* an end-of-run boundary (an event at
+        // t = k·1h belongs to hour k, which `advance(k·1h)` does not
+        // flush). Skipping the latter used to leak those bytes from the
+        // per-hour series while `total_tx` still counted them.
+        let boundary = self.cur_hour * Duration::HOUR.as_micros();
+        let pending_bytes = self
+            .cur_tx
+            .iter()
+            .chain(self.cur_rx.iter())
+            .flatten()
+            .any(|&b| b != 0);
+        if end.as_micros() > boundary || pending_bytes {
             self.accumulate_online(end);
             self.flush_hour(end);
         }
@@ -480,6 +503,54 @@ mod tests {
         let report = rec.finish(Time::ZERO + Duration::from_mins(100));
         assert_eq!(report.tx_hours.len(), 2);
         assert_eq!(report.tx_hours[1].bytes[TrafficClass::Query as usize], 100);
+    }
+
+    /// Report totals must equal the sum of the per-hour series — for a
+    /// run ending mid-hour with a standing flow, and for traffic recorded
+    /// exactly at an end-of-run hour boundary (the historical leak).
+    #[test]
+    fn totals_equal_sum_of_hour_series() {
+        // Mid-hour end: events plus a standing rate, node churn included.
+        let mut rec = BandwidthRecorder::new(2, true);
+        rec.set_standing(0, TrafficClass::Overlay, 4.0, 2.0);
+        rec.node_up(Time::ZERO, 0);
+        rec.node_up(Time::ZERO, 1);
+        rec.record_tx(
+            Time::ZERO + Duration::from_mins(20),
+            1,
+            TrafficClass::Query,
+            500,
+        );
+        rec.record_tx(
+            Time::ZERO + Duration::from_mins(80),
+            0,
+            TrafficClass::Maintenance,
+            900,
+        );
+        rec.node_down(Time::ZERO + Duration::from_mins(85), 1);
+        let end = Time::ZERO + Duration::from_mins(90);
+        let report = rec.finish(end);
+        assert_eq!(report.tx_hours.len(), 2, "whole hour plus partial hour");
+        for c in 0..NUM_CLASSES {
+            let series: u64 = report.tx_hours.iter().map(|h| h.bytes[c]).sum();
+            assert_eq!(series, report.total_tx[c], "class {c}");
+        }
+        // Standing flow: node 0 up for the whole 90 minutes at 4 B/s.
+        assert_eq!(report.total_tx[TrafficClass::Overlay as usize], 4 * 90 * 60);
+
+        // Boundary end: bytes recorded exactly at t = 1 h, run ends there.
+        let mut rec = BandwidthRecorder::new(1, false);
+        rec.node_up(Time::ZERO, 0);
+        let boundary = Time::ZERO + Duration::from_hours(1);
+        rec.record_tx(boundary, 0, TrafficClass::Query, 77);
+        let report = rec.finish(boundary);
+        let series: u64 = report
+            .tx_hours
+            .iter()
+            .map(|h| h.bytes[TrafficClass::Query as usize])
+            .sum();
+        assert_eq!(report.total_tx[TrafficClass::Query as usize], 77);
+        assert_eq!(series, 77, "boundary-instant bytes must reach the series");
     }
 
     #[test]

@@ -43,7 +43,9 @@ use seaweed_types::{Duration, Time};
 
 use crate::bandwidth::{BandwidthRecorder, BandwidthReport, DropStats, TrafficClass, NUM_CLASSES};
 use crate::faults::{FaultInjector, FaultPlan, LinkEffect};
+use crate::metrics::MetricsRegistry;
 use crate::topology::Topology;
+use crate::trace::{DropCause, TraceConfig, TraceEvent, Tracer};
 
 /// Hasher for internal `u64` sequence numbers (timer metadata,
 /// cancellation tombstones). These maps sit on the per-event hot path
@@ -196,6 +198,10 @@ pub struct SimConfig {
     /// degradation, crash-amnesia, correlated outages, dup/reorder).
     /// `None` injects nothing and changes nothing.
     pub faults: Option<FaultPlan>,
+    /// Optional event tracing (see [`crate::trace`]). Tracing is purely
+    /// observational — it cannot perturb event order — and is ignored
+    /// entirely when the `trace` cargo feature is disabled.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for SimConfig {
@@ -206,6 +212,7 @@ impl Default for SimConfig {
             collect_cdf: false,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -577,6 +584,9 @@ pub struct Engine<M> {
     /// Fault-plan runtime, present only when [`SimConfig::faults`] was
     /// set. Every `send()` and node transition consults it.
     faults: Option<FaultInjector>,
+    /// Event tracer, present only when [`SimConfig::trace`] was set *and*
+    /// the `trace` cargo feature is enabled.
+    tracer: Option<Tracer>,
     /// Count of messages dropped because the destination was down.
     pub dropped_dest_down: u64,
     /// Count of messages lost to simulated (uniform random) network loss.
@@ -605,6 +615,10 @@ impl<M> Engine<M> {
     #[must_use]
     pub fn new(topo: Box<dyn Topology>, config: SimConfig) -> Self {
         let n = topo.num_endsystems();
+        #[cfg(feature = "trace")]
+        let tracer = config.trace.as_ref().map(Tracer::new);
+        #[cfg(not(feature = "trace"))]
+        let tracer = None;
         let faults = config
             .faults
             .map(|plan| FaultInjector::new(plan, config.seed, n));
@@ -623,6 +637,7 @@ impl<M> Engine<M> {
             rng: StdRng::seed_from_u64(config.seed ^ 0xe791_e5ee_d000_0001),
             loss_rate: config.loss_rate,
             faults,
+            tracer,
             dropped_dest_down: 0,
             dropped_loss: 0,
             dropped_partition: 0,
@@ -697,6 +712,41 @@ impl<M> Engine<M> {
         self.live.iter().map(|&i| NodeIdx(i))
     }
 
+    /// Records a trace event if tracing is active. The closure only runs
+    /// in that case, so building the event costs nothing when tracing is
+    /// configured off — and with the `trace` cargo feature disabled the
+    /// whole call compiles away.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.record(self.now, ev());
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace(&mut self, _ev: impl FnOnce() -> TraceEvent) {}
+
+    /// Is a tracer attached and capturing? Always false with the `trace`
+    /// feature disabled.
+    #[must_use]
+    pub fn tracing_active(&self) -> bool {
+        cfg!(feature = "trace") && self.tracer.is_some()
+    }
+
+    /// The attached tracer, if tracing is active.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Detaches and returns the tracer (e.g. to export its buffer before
+    /// [`Engine::finish`] consumes the engine). Tracing stops.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
     /// Enqueues an event, clamping requests dated before the current
     /// clock to `now` (counted in [`Engine::clamped_to_now`]) so callers
     /// computing absolute times from stale state cannot corrupt the
@@ -732,11 +782,23 @@ impl<M> Engine<M> {
         debug_assert!(self.up[from.idx()], "down node {from:?} tried to send");
         self.messages_sent += 1;
         self.recorder.record_tx(self.now, from.idx(), class, size);
+        self.trace(|| TraceEvent::MessageSend {
+            from,
+            to,
+            size,
+            class,
+        });
         let mut latency_mult = 1.0f64;
         if let Some(inj) = &mut self.faults {
             if !inj.reachable(from, to) {
                 self.dropped_partition += 1;
                 self.drops_by_class[class as usize] += 1;
+                self.trace(|| TraceEvent::MessageDrop {
+                    from,
+                    to,
+                    class,
+                    cause: DropCause::Partition,
+                });
                 return;
             }
             let (za, zb) = (self.topo.zone_of(from), self.topo.zone_of(to));
@@ -744,6 +806,12 @@ impl<M> Engine<M> {
                 LinkEffect::Drop => {
                     self.dropped_link_fault += 1;
                     self.drops_by_class[class as usize] += 1;
+                    self.trace(|| TraceEvent::MessageDrop {
+                        from,
+                        to,
+                        class,
+                        cause: DropCause::LinkFault,
+                    });
                     return;
                 }
                 LinkEffect::Delay(m) => latency_mult = m,
@@ -753,6 +821,12 @@ impl<M> Engine<M> {
         if self.loss_rate > 0.0 && self.rng.gen::<f64>() < self.loss_rate {
             self.dropped_loss += 1;
             self.drops_by_class[class as usize] += 1;
+            self.trace(|| TraceEvent::MessageDrop {
+                from,
+                to,
+                class,
+                cause: DropCause::RandomLoss,
+            });
             return;
         }
         let base = self.topo.one_way(from, to);
@@ -779,6 +853,7 @@ impl<M> Engine<M> {
                 },
             );
             self.messages_duplicated += 1;
+            self.trace(|| TraceEvent::MessageDuplicate { from, to, class });
             jitter = self
                 .faults
                 .as_mut()
@@ -842,6 +917,13 @@ impl<M> Engine<M> {
     ) -> TimerHandle {
         let (seq, at) = self.push(self.now + delay, Pending::Timer { node, tag });
         self.timer_meta[node.idx()].insert(seq, (at, kind));
+        self.trace(|| TraceEvent::TimerSet {
+            node,
+            tag,
+            seq,
+            at,
+            detached: kind == TimerKind::Detached,
+        });
         TimerHandle { node, seq, at }
     }
 
@@ -854,6 +936,11 @@ impl<M> Engine<M> {
         let removed = self.queue.cancel(h.at, h.seq);
         debug_assert!(removed, "outstanding timer missing from queue");
         self.timers_cancelled += 1;
+        self.trace(|| TraceEvent::TimerCancel {
+            node: h.node,
+            seq: h.seq,
+            at: h.at,
+        });
         true
     }
 
@@ -897,6 +984,12 @@ impl<M> Engine<M> {
                     if !self.up[to.idx()] {
                         self.dropped_dest_down += 1;
                         self.drops_by_class[class as usize] += 1;
+                        self.trace(|| TraceEvent::MessageDrop {
+                            from,
+                            to,
+                            class,
+                            cause: DropCause::DestDown,
+                        });
                         continue;
                     }
                     // A partition that opened while the message was in
@@ -904,9 +997,21 @@ impl<M> Engine<M> {
                     if !self.reachable(from, to) {
                         self.dropped_partition += 1;
                         self.drops_by_class[class as usize] += 1;
+                        self.trace(|| TraceEvent::MessageDrop {
+                            from,
+                            to,
+                            class,
+                            cause: DropCause::Partition,
+                        });
                         continue;
                     }
                     self.recorder.record_rx(self.now, to.idx(), class, size);
+                    self.trace(|| TraceEvent::MessageDeliver {
+                        from,
+                        to,
+                        size,
+                        class,
+                    });
                     return Some((self.now, Event::Message { from, to, payload }));
                 }
                 Pending::Timer { node, tag } => {
@@ -917,8 +1022,18 @@ impl<M> Engine<M> {
                     // An auto timer armed for an already-down node (legal
                     // but unusual) is dropped at fire time.
                     if kind == TimerKind::Auto && !self.up[node.idx()] {
+                        self.trace(|| TraceEvent::TimerCancel {
+                            node,
+                            seq: q.seq,
+                            at: q.at,
+                        });
                         continue;
                     }
+                    self.trace(|| TraceEvent::TimerFire {
+                        node,
+                        tag,
+                        seq: q.seq,
+                    });
                     return Some((self.now, Event::Timer { node, tag }));
                 }
                 Pending::NodeUp { node } => {
@@ -928,6 +1043,7 @@ impl<M> Engine<M> {
                     self.up[node.idx()] = true;
                     self.live.insert(node.0);
                     self.recorder.node_up(self.now, node.idx());
+                    self.trace(|| TraceEvent::NodeUp { node });
                     return Some((self.now, Event::NodeUp { node }));
                 }
                 Pending::NodeDown { node } => {
@@ -936,6 +1052,7 @@ impl<M> Engine<M> {
                     }
                     self.up[node.idx()] = false;
                     self.live.remove(&node.0);
+                    self.trace(|| TraceEvent::NodeDown { node });
                     self.auto_cancel_timers(node);
                     self.recorder.node_down(self.now, node.idx());
                     return Some((self.now, Event::NodeDown { node }));
@@ -950,6 +1067,7 @@ impl<M> Engine<M> {
                     }
                     self.up[node.idx()] = false;
                     self.live.remove(&node.0);
+                    self.trace(|| TraceEvent::NodeCrash { node });
                     self.auto_cancel_timers(node);
                     self.recorder.node_down(self.now, node.idx());
                     return Some((self.now, Event::NodeCrash { node }));
@@ -958,12 +1076,14 @@ impl<M> Engine<M> {
                     if let Some(inj) = &mut self.faults {
                         inj.partition_started(partition as usize);
                     }
+                    self.trace(|| TraceEvent::PartitionStart { partition });
                     return Some((self.now, Event::PartitionStart { partition }));
                 }
                 Pending::PartitionEnd { partition } => {
                     if let Some(inj) = &mut self.faults {
                         inj.partition_ended(partition as usize);
                     }
+                    self.trace(|| TraceEvent::PartitionEnd { partition });
                     return Some((self.now, Event::PartitionEnd { partition }));
                 }
             }
@@ -973,6 +1093,11 @@ impl<M> Engine<M> {
     /// Drops every auto timer `node` still has pending — its next
     /// availability session starts with a clean slate.
     fn auto_cancel_timers(&mut self, node: NodeIdx) {
+        // Collect while the queue and metadata are borrowed, trace after;
+        // sorted by seq so the trace order is canonical rather than the
+        // metadata map's (deterministic but arbitrary) iteration order.
+        let collect = self.tracing_active();
+        let mut cancelled: Vec<(u64, Time)> = Vec::new();
         let meta = &mut self.timer_meta[node.idx()];
         let queue = &mut self.queue;
         let mut dropped = 0u64;
@@ -981,12 +1106,19 @@ impl<M> Engine<M> {
                 let removed = queue.cancel(at, seq);
                 debug_assert!(removed, "outstanding timer missing from queue");
                 dropped += 1;
+                if collect {
+                    cancelled.push((seq, at));
+                }
                 false
             } else {
                 true
             }
         });
         self.timers_cancelled += dropped;
+        cancelled.sort_unstable_by_key(|&(seq, _)| seq);
+        for (seq, at) in cancelled {
+            self.trace(|| TraceEvent::TimerCancel { node, seq, at });
+        }
     }
 
     /// Charges `bytes` of transmitted overlay-maintenance traffic to
@@ -1019,6 +1151,29 @@ impl<M> Engine<M> {
             duplicated: self.messages_duplicated,
             by_class: self.drops_by_class,
         }
+    }
+
+    /// Snapshot of the engine's counters and gauges as a
+    /// [`MetricsRegistry`] — the uniform surface for run summaries.
+    /// Applications merge their own registries on top.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.set_counter("sim.messages_sent", self.messages_sent);
+        m.set_counter("sim.timers_cancelled", self.timers_cancelled);
+        m.set_counter("sim.clamped_to_now", self.clamped_to_now);
+        m.record_drop_stats(&self.drop_stats());
+        let totals = self.recorder.totals_tx();
+        m.set_counter("sim.tx_bytes.overlay", totals[0]);
+        m.set_counter("sim.tx_bytes.maintenance", totals[1]);
+        m.set_counter("sim.tx_bytes.query", totals[2]);
+        m.set_gauge("sim.nodes_up", self.num_up() as f64);
+        m.set_gauge("sim.nodes_total", self.num_nodes() as f64);
+        if let Some(t) = &self.tracer {
+            m.set_counter("sim.trace.recorded", t.recorded());
+            m.set_counter("sim.trace.evicted", t.dropped_records());
+        }
+        m
     }
 
     /// Finishes the run, consuming the engine and yielding the bandwidth

@@ -30,9 +30,13 @@
 pub mod bandwidth;
 pub mod engine;
 pub mod faults;
+pub mod metrics;
 pub mod topology;
+pub mod trace;
 
 pub use bandwidth::{BandwidthRecorder, BandwidthReport, DropStats, TrafficClass};
 pub use engine::{Engine, Event, NodeIdx, SchedulerKind, SimConfig, TimerHandle};
 pub use faults::{CrashSpec, FaultPlan, LinkFaultSpec, OutageSpec, PartitionSpec};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use topology::{CorpNetTopology, Topology, UniformTopology};
+pub use trace::{DropCause, TraceConfig, TraceEvent, TraceRecord, Tracer};

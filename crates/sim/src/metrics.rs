@@ -1,0 +1,315 @@
+//! Typed metrics registry.
+//!
+//! A uniform home for the counters that previously lived ad hoc on
+//! [`crate::DropStats`], the engine and the application stats structs:
+//! monotone **counters**, point-in-time **gauges** and log-bucketed
+//! duration **histograms**, keyed by `&'static str` names. Everything is
+//! stored in `BTreeMap`s so iteration — and therefore [`MetricsRegistry::render`]
+//! output — is deterministic, a hard requirement for byte-stable run
+//! summaries.
+//!
+//! Naming convention: dot-separated lowercase paths, `<layer>.<what>`
+//! (`sim.messages_sent`, `sim.drops.partition`, `app.dissem_reissues`,
+//! `app.query.first_result_latency`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use seaweed_types::{Duration, LogBuckets};
+
+use crate::bandwidth::DropStats;
+
+/// Display names for [`crate::TrafficClass`] values, indexed by class.
+pub const CLASS_NAMES: [&str; crate::bandwidth::NUM_CLASSES] = ["overlay", "maintenance", "query"];
+
+/// A duration histogram over [`LogBuckets`].
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: LogBuckets,
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+}
+
+impl Histogram {
+    #[must_use]
+    pub fn new(buckets: LogBuckets) -> Self {
+        Histogram {
+            buckets,
+            counts: vec![0; buckets.len()],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+
+    pub fn observe(&mut self, d: Duration) {
+        self.counts[self.buckets.index(d)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(d.as_micros());
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observed durations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> Duration {
+        Duration::from_micros(self.sum_us)
+    }
+
+    /// Mean observation, zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us / self.count)
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the midpoint of the bucket
+    /// containing the q-th observation. Zero when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.buckets.midpoint(i);
+            }
+        }
+        self.buckets.midpoint(self.buckets.len() - 1)
+    }
+
+    /// Per-bucket counts, indexed like the underlying [`LogBuckets`].
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The bucketing scheme.
+    #[must_use]
+    pub fn buckets(&self) -> &LogBuckets {
+        &self.buckets
+    }
+}
+
+/// Registry of named counters, gauges and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets counter `name` to an absolute value (for counters maintained
+    /// elsewhere and absorbed into the registry at summary time).
+    pub fn set_counter(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `d` into histogram `name`, created with the standard
+    /// 1 s – 14 d bucketing on first use. For a custom scheme, create the
+    /// histogram first with [`MetricsRegistry::observe_with`].
+    pub fn observe(&mut self, name: &'static str, d: Duration) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(LogBuckets::standard()))
+            .observe(d);
+    }
+
+    /// Records `d` into histogram `name`, created with `buckets` if absent
+    /// (an existing histogram keeps its original scheme).
+    pub fn observe_with(&mut self, name: &'static str, buckets: LogBuckets, d: Duration) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(buckets))
+            .observe(d);
+    }
+
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Absorbs another registry: counters add, gauges and histograms of
+    /// the same name are replaced.
+    pub fn merge(&mut self, other: MetricsRegistry) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+    }
+
+    /// Absorbs the per-cause drop ledger under `sim.drops.*` /
+    /// `sim.messages_duplicated`.
+    pub fn record_drop_stats(&mut self, d: &DropStats) {
+        self.set_counter("sim.drops.random_loss", d.random_loss);
+        self.set_counter("sim.drops.partition", d.partition);
+        self.set_counter("sim.drops.dest_down", d.dest_down);
+        self.set_counter("sim.drops.link_fault", d.link_fault);
+        self.set_counter("sim.messages_duplicated", d.duplicated);
+        self.set_counter("sim.drops.class.overlay", d.by_class[0]);
+        self.set_counter("sim.drops.class.maintenance", d.by_class[1]);
+        self.set_counter("sim.drops.class.query", d.by_class[2]);
+    }
+
+    /// Deterministic plain-text summary: one line per metric, sorted by
+    /// kind then name. Suitable for run summaries and byte-for-byte
+    /// comparison across reruns of the same seed.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} mean_us={} p50_us={} p95_us={} p99_us={}",
+                h.count(),
+                h.mean().as_micros(),
+                h.quantile(0.50).as_micros(),
+                h.quantile(0.95).as_micros(),
+                h.quantile(0.99).as_micros(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.x", 2);
+        m.inc("a.x", 3);
+        m.set_counter("a.y", 7);
+        m.set_gauge("g.z", 1.5);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("a.y"), 7);
+        assert_eq!(m.counter("a.missing"), 0);
+        assert_eq!(m.gauge("g.z"), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_quantiles_hit_bucket_midpoints() {
+        let b = LogBuckets::new(Duration::SECOND, Duration::from_secs(1024), 10);
+        let mut h = Histogram::new(b);
+        for s in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.observe(Duration::from_secs(s));
+        }
+        assert_eq!(h.count(), 10);
+        assert!(!h.is_empty());
+        // Each observation sits exactly on a bucket lower edge; the median
+        // is in the bucket holding 16 s.
+        let med = h.quantile(0.5);
+        assert_eq!(b.index(med), b.index(Duration::from_secs(16)));
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert_eq!(h.mean(), Duration::from_micros(1_023_000_000 / 10));
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b.second", 1);
+        m.inc("a.first", 2);
+        m.set_gauge("c.g", 0.25);
+        m.observe("d.h", Duration::from_secs(5));
+        let r1 = m.render();
+        let r2 = m.render();
+        assert_eq!(r1, r2);
+        let lines: Vec<&str> = r1.lines().collect();
+        assert_eq!(lines[0], "counter a.first 2");
+        assert_eq!(lines[1], "counter b.second 1");
+        assert_eq!(lines[2], "gauge c.g 0.25");
+        assert!(lines[3].starts_with("histogram d.h count=1"));
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 2);
+        b.set_gauge("g", 3.0);
+        a.merge(b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.gauge("g"), Some(3.0));
+    }
+
+    #[test]
+    fn drop_stats_absorbed() {
+        let mut m = MetricsRegistry::new();
+        m.record_drop_stats(&DropStats {
+            random_loss: 1,
+            partition: 2,
+            dest_down: 3,
+            link_fault: 4,
+            duplicated: 5,
+            by_class: [6, 7, 8],
+        });
+        assert_eq!(m.counter("sim.drops.random_loss"), 1);
+        assert_eq!(m.counter("sim.drops.class.query"), 8);
+        assert_eq!(m.counter("sim.messages_duplicated"), 5);
+    }
+}

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use seaweed_sim::{
     CrashSpec, Engine, Event, FaultPlan, LinkFaultSpec, NodeIdx, OutageSpec, PartitionSpec,
-    SchedulerKind, SimConfig, TrafficClass, UniformTopology,
+    SchedulerKind, SimConfig, TraceConfig, TrafficClass, UniformTopology,
 };
 use seaweed_types::{Duration, Time};
 
@@ -225,6 +225,51 @@ fn run_faulty(
     (log, format!("{report:?}"), delivered)
 }
 
+/// Like `run_faulty` under the Wheel scheduler, optionally with event
+/// tracing enabled. Returns the event log, the report rendering and the
+/// exported JSONL trace (when tracing).
+fn run_traced(script: &[Action], seed: u64, trace: bool) -> (Vec<String>, String, Option<String>) {
+    let mut eng: E = Engine::new(
+        Box::new(UniformTopology::new(8, Duration::from_millis(3))),
+        SimConfig {
+            seed,
+            loss_rate: 0.05,
+            faults: Some(chaos_plan()),
+            trace: trace.then(TraceConfig::default),
+            ..SimConfig::default()
+        },
+    );
+    eng.schedule_up(Time::ZERO, NodeIdx(0));
+    let _ = eng.next_event_before(Time(1));
+    for a in script {
+        match *a {
+            Action::Up(n, t) => eng.schedule_up(Time(1 + t), NodeIdx(u32::from(n))),
+            Action::Down(n, t) => eng.schedule_down(Time(1 + t), NodeIdx(u32::from(n))),
+            Action::Timer(n, d, tag) => {
+                let _ = eng.set_timer(NodeIdx(u32::from(n)), Duration::from_micros(d), tag);
+            }
+        }
+    }
+    let mut log = Vec::new();
+    let mut sends = 0u32;
+    while let Some((t, ev)) = eng.next_event_before(Time::ZERO + Duration::from_secs(20)) {
+        log.push(format!("{t:?} {ev:?}"));
+        match ev {
+            Event::Message { from, to, .. } if sends < 300 && eng.is_up(to) && eng.is_up(from) => {
+                sends += 1;
+                eng.send(to, from, 0, 48, TrafficClass::Maintenance);
+            }
+            Event::NodeUp { node } if node != NodeIdx(0) && eng.is_up(NodeIdx(0)) => {
+                eng.send(NodeIdx(0), node, u64::from(node.0), 64, TrafficClass::Query);
+            }
+            _ => {}
+        }
+    }
+    let jsonl = eng.take_tracer().map(|t| t.export_jsonl());
+    let report = eng.finish();
+    (log, format!("{report:?}"), jsonl)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -261,6 +306,21 @@ proptest! {
         prop_assert_eq!(del_w, del_h);
         let (log_again, ..) = run_faulty(&script, seed, SchedulerKind::Wheel);
         prop_assert_eq!(log_w, log_again);
+    }
+
+    /// Tracing is pure observation: with the full chaos plan active, the
+    /// event-log fingerprint and bandwidth report are byte-identical with
+    /// tracing on vs off, and the exported JSONL trace is byte-stable
+    /// across reruns of the same seed.
+    #[test]
+    fn tracing_never_perturbs_event_order(script in actions(), seed in 0u64..200) {
+        let (log_on, rep_on, jsonl_a) = run_traced(&script, seed, true);
+        let (log_off, rep_off, jsonl_none) = run_traced(&script, seed, false);
+        prop_assert!(jsonl_none.is_none());
+        prop_assert_eq!(&log_on, &log_off);
+        prop_assert_eq!(rep_on, rep_off);
+        let (_, _, jsonl_b) = run_traced(&script, seed, true);
+        prop_assert_eq!(jsonl_a, jsonl_b);
     }
 
     /// Events never go backwards in time.

@@ -11,35 +11,66 @@
 
 use crate::time::Duration;
 
+/// Most geometric buckets a [`LogBuckets`] may have (excluding the
+/// under/overflow buckets). Keeps the precomputed edge table inline so the
+/// type stays `Copy`.
+pub const MAX_GEOMETRIC_BUCKETS: usize = 62;
+
 /// Geometrically spaced duration buckets.
 ///
 /// Bucket 0 holds durations `< min`; buckets `1..=n` hold geometric spans
 /// of `[min, max)`; bucket `n + 1` holds durations `>= max`. Total bucket
 /// count is therefore `n + 2`.
+///
+/// Bucket edges are rounded to whole microseconds **once**, at
+/// construction, and both [`LogBuckets::index`] and the edge accessors
+/// read the same precomputed table — so `index(lower_edge(i)) == i` and
+/// `index(upper_edge(i)) == i + 1` hold exactly, with no float drift
+/// between the `ln`-based forward map and the `exp`-based edges.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LogBuckets {
     min_us: u64,
     max_us: u64,
     n: usize,
-    /// ln(max/min) / n, cached.
-    step: f64,
+    /// `edges_us[i]` for `i in 1..=n` is the (rounded, integral) lower
+    /// edge of geometric bucket `i`; `edges_us[n + 1] == max_us`. Entries
+    /// outside that range are zero padding.
+    edges_us: [u64; MAX_GEOMETRIC_BUCKETS + 2],
 }
 
 impl LogBuckets {
     /// # Panics
-    /// Panics unless `0 < min < max` and `n >= 1`.
+    /// Panics unless `0 < min < max`, `1 <= n <= 62`, and the rounded
+    /// microsecond edges are strictly increasing (i.e. the range is wide
+    /// enough for `n` distinguishable buckets).
     #[must_use]
     pub fn new(min: Duration, max: Duration, n: usize) -> Self {
         assert!(
             min.as_micros() > 0 && min < max && n >= 1,
             "invalid bucket spec"
         );
-        let step = ((max.as_micros() as f64) / (min.as_micros() as f64)).ln() / n as f64;
+        assert!(
+            n <= MAX_GEOMETRIC_BUCKETS,
+            "at most {MAX_GEOMETRIC_BUCKETS} geometric buckets"
+        );
+        let min_us = min.as_micros();
+        let max_us = max.as_micros();
+        let step = ((max_us as f64) / (min_us as f64)).ln() / n as f64;
+        let mut edges_us = [0u64; MAX_GEOMETRIC_BUCKETS + 2];
+        for (i, e) in edges_us.iter_mut().enumerate().take(n + 1).skip(1) {
+            *e = (min_us as f64 * (step * (i - 1) as f64).exp()).round() as u64;
+        }
+        edges_us[n + 1] = max_us;
+        assert!(
+            edges_us[1..=n + 1].windows(2).all(|w| w[0] < w[1]),
+            "bucket edges collapse after rounding; use fewer buckets or a wider range"
+        );
+        debug_assert_eq!(edges_us[1], min_us);
         LogBuckets {
-            min_us: min.as_micros(),
-            max_us: max.as_micros(),
+            min_us,
+            max_us,
             n,
-            step,
+            edges_us,
         }
     }
 
@@ -59,7 +90,7 @@ impl LogBuckets {
 
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     /// Index of the bucket containing `d`.
@@ -72,9 +103,10 @@ impl LogBuckets {
         if us >= self.max_us {
             return self.n + 1;
         }
-        let pos = ((us as f64 / self.min_us as f64).ln() / self.step) as usize;
-        // Floating point can land exactly on the upper edge; clamp.
-        1 + pos.min(self.n - 1)
+        // Number of geometric lower edges at or below `us`. Since
+        // min_us <= us < max_us this lands in 1..=n, and it agrees with
+        // lower_edge/upper_edge by construction (same integer table).
+        self.edges_us[1..=self.n].partition_point(|&e| e <= us)
     }
 
     /// Lower edge of bucket `i` (bucket 0's lower edge is zero).
@@ -84,25 +116,20 @@ impl LogBuckets {
         if i == 0 {
             return Duration::ZERO;
         }
-        if i == self.n + 1 {
-            return Duration::from_micros(self.max_us);
-        }
-        Duration::from_micros(
-            (self.min_us as f64 * (self.step * (i - 1) as f64).exp()).round() as u64,
-        )
+        Duration::from_micros(self.edges_us[i])
     }
 
     /// Upper edge of bucket `i`; the overflow bucket reports `u64::MAX`.
     #[must_use]
     pub fn upper_edge(&self, i: usize) -> Duration {
         assert!(i < self.len());
-        if i == 0 {
-            return Duration::from_micros(self.min_us);
-        }
         if i == self.n + 1 {
             return Duration::from_micros(u64::MAX);
         }
-        Duration::from_micros((self.min_us as f64 * (self.step * i as f64).exp()).round() as u64)
+        if i == 0 {
+            return Duration::from_micros(self.min_us);
+        }
+        Duration::from_micros(self.edges_us[i + 1])
     }
 
     /// A representative duration for bucket `i`: the geometric midpoint
@@ -162,11 +189,18 @@ mod tests {
     #[test]
     fn lower_edge_of_bucket_maps_to_bucket() {
         let b = LogBuckets::new(Duration::SECOND, Duration::from_hours(1), 10);
-        // Geometric edges may round; allow index to land in i-1 or i for
-        // the rounded edge, but bucket 1's lower edge is exact.
         assert_eq!(b.index(Duration::SECOND), 1);
         assert_eq!(b.lower_edge(0), Duration::ZERO);
         assert_eq!(b.upper_edge(0), Duration::SECOND);
+        // The edges are the single source of truth: round-trips are exact
+        // for every bucket, not just bucket 1.
+        for i in 1..=10 {
+            assert_eq!(b.index(b.lower_edge(i)), i, "lower edge of {i}");
+            let up = b.upper_edge(i);
+            assert_eq!(b.index(up), i + 1, "upper edge of {i}");
+            // One microsecond below the upper edge still belongs to i.
+            assert_eq!(b.index(up - Duration::from_micros(1)), i, "inside {i}");
+        }
     }
 
     #[test]

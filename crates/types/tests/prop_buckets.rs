@@ -1,0 +1,79 @@
+//! Edge round-trip semantics of [`LogBuckets`].
+//!
+//! The bucket edges are rounded to whole microseconds at construction and
+//! `index` consults the same integer table, so the forward map and the
+//! edge accessors must agree *exactly* — the historical failure mode was
+//! `index` recomputing the position with `ln` and drifting off a rounded
+//! edge by one bucket.
+
+use proptest::prelude::*;
+use seaweed_types::{Duration, LogBuckets};
+
+/// Every geometric bucket of the standard scheme (1 s .. 14 days over 48
+/// buckets, 50 with under/overflow) round-trips its edges exactly.
+#[test]
+fn standard_edges_round_trip_exactly() {
+    let b = LogBuckets::standard();
+    assert_eq!(b.len(), 50);
+    assert!(!b.is_empty());
+    assert_eq!(b.index(Duration::ZERO), 0);
+    for i in 1..=48 {
+        let lo = b.lower_edge(i);
+        let hi = b.upper_edge(i);
+        assert_eq!(b.index(lo), i, "index(lower_edge({i}))");
+        assert_eq!(
+            b.index(hi),
+            i + 1,
+            "index(upper_edge({i})) opens the next bucket"
+        );
+        assert_eq!(
+            b.index(hi - Duration::from_micros(1)),
+            i,
+            "upper edge is exclusive for bucket {i}"
+        );
+        assert!(lo < hi, "edges of {i} are ordered");
+        assert!(
+            lo <= b.midpoint(i) && b.midpoint(i) < hi,
+            "midpoint of {i} inside its edges"
+        );
+    }
+    // Overflow bucket: lower edge is max, and it contains everything above.
+    assert_eq!(b.index(b.lower_edge(49)), 49);
+    assert_eq!(b.index(Duration::from_micros(u64::MAX)), 49);
+}
+
+proptest! {
+    /// Round-trips hold for arbitrary (valid) bucket specs, not just the
+    /// standard one: any min/max/n whose rounded edges stay distinct.
+    #[test]
+    fn edges_round_trip_for_arbitrary_specs(
+        min_us in 1u64..10_000_000,
+        ratio in 2u64..100_000,
+        n in 1usize..=62,
+    ) {
+        let min = Duration::from_micros(min_us);
+        let max = Duration::from_micros(min_us.saturating_mul(ratio));
+        // Skip specs whose rounded edges collapse (constructor rejects).
+        let Ok(b) = std::panic::catch_unwind(|| LogBuckets::new(min, max, n)) else {
+            return Ok(());
+        };
+        for i in 1..=n {
+            prop_assert_eq!(b.index(b.lower_edge(i)), i);
+            prop_assert_eq!(b.index(b.upper_edge(i)), i + 1);
+        }
+    }
+
+    /// `index` is monotone in the duration for the standard scheme.
+    #[test]
+    fn standard_index_is_monotone(raw in prop::collection::vec(0u64..u64::MAX, 1..200)) {
+        let b = LogBuckets::standard();
+        let mut samples = raw;
+        samples.sort_unstable();
+        let mut prev = 0usize;
+        for us in samples {
+            let i = b.index(Duration::from_micros(us));
+            prop_assert!(i >= prev);
+            prev = i;
+        }
+    }
+}

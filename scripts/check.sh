@@ -9,6 +9,8 @@ cargo fmt --all --check
 
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+# The sim crate must also lint (and build) with tracing compiled out.
+cargo clippy -p seaweed-sim --all-targets --no-default-features -- -D warnings
 
 echo "==> cargo build --release"
 # --workspace: the root package alone does not pull in the bench bins,
@@ -23,5 +25,14 @@ echo "==> chaos smoke (fixed seed: oracles clean, CSV byte-stable)"
 ./target/release/chaos01_faults --seed 7 --seeds 4 --out results/chaos01_smoke_b.csv >/dev/null
 cmp results/chaos01_smoke_a.csv results/chaos01_smoke_b.csv
 rm -f results/chaos01_smoke_a.csv results/chaos01_smoke_b.csv
+
+echo "==> trace smoke (fixed seed: CSV and JSONL trace byte-stable)"
+./target/release/obs01_query_timeline --seed 7 --seeds 2 \
+  --out results/obs01_smoke_a.csv --trace-out results/obs01_trace_a.jsonl
+./target/release/obs01_query_timeline --seed 7 --seeds 2 \
+  --out results/obs01_smoke_b.csv --trace-out results/obs01_trace_b.jsonl >/dev/null
+cmp results/obs01_smoke_a.csv results/obs01_smoke_b.csv
+cmp results/obs01_trace_a.jsonl results/obs01_trace_b.jsonl
+rm -f results/obs01_smoke_{a,b}.csv results/obs01_trace_{a,b}.jsonl
 
 echo "OK"
