@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! Analytic scalability models (paper §4.2).
 //!
 //! Closed-form background-maintenance bandwidth for four architectures —

@@ -29,6 +29,7 @@ fn main() {
 
     let mut cfg = FullSimConfig::new(seed);
     cfg.injections = vec![(0, Time::ZERO + Duration::from_hours(hours / 2))];
+    // lint:allow(D002): operator-facing progress timing for a host-side experiment driver, never feeds simulated time
     let t0 = std::time::Instant::now();
     let result = run_full(&cfg, &trace);
     println!(

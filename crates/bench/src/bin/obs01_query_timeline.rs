@@ -4,7 +4,8 @@
 //! Every other prediction figure compares the predictor against a
 //! replayed availability trace. This one uses the tentpole
 //! observability layer instead: the full Seaweed stack runs with
-//! event tracing enabled, each query's [`QueryTimeline`] records its
+//! event tracing enabled, each query's
+//! [`QueryTimeline`](seaweed_core::QueryTimeline) records its
 //! actual fragment arrivals, and the CSV lays the predictor's curve
 //! alongside the actual completeness series at fixed checkpoints,
 //! plus the per-stage latencies (injection → predictor, injection →
@@ -168,6 +169,7 @@ fn main() {
         "Obs 01: {n} endsystems, {routers} routers, seeds {seed0}..{}",
         seed0 + seeds
     );
+    // lint:allow(D002): operator-facing progress timing for a host-side experiment driver, never feeds simulated time
     let t0 = std::time::Instant::now();
     let outcomes: Vec<SeedOutcome> = (seed0..seed0 + seeds)
         .map(|s| run_seed(s, n, routers, s == seed0 && !trace_out.is_empty()))

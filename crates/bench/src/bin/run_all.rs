@@ -59,9 +59,11 @@ fn main() {
         "running {} experiments, {workers} at a time",
         EXPERIMENTS.len()
     );
+    // lint:allow(D002): operator-facing progress timing for a host-side experiment driver, never feeds simulated time
     let started = std::time::Instant::now();
 
     let outcomes = run_sweep(EXPERIMENTS.to_vec(), workers, |i, &exp| {
+        // lint:allow(D002): operator-facing progress timing for a host-side experiment driver, never feeds simulated time
         let t0 = std::time::Instant::now();
         let out = Command::new(bin_dir.join(exp))
             .args(&passthrough)

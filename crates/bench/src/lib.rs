@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness: regenerates every table and figure in the paper's
 //! evaluation (§4), plus ablations. One binary per experiment lives in
 //! `src/bin/`; Criterion micro-benchmarks live in `benches/`.

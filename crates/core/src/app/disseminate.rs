@@ -319,7 +319,9 @@ impl<P: DataProvider> Seaweed<P> {
         // can leave one node with several tasks whose slots cover the
         // same range (an old given-up slot plus a fresh one), so collect
         // every candidate in sorted order and prefer a still-pending slot
-        // — HashMap iteration order must not decide which task fills.
+        // — map iteration order must not decide which task fills. (The
+        // task map is a BTreeMap, so the explicit sort is a no-op kept
+        // as a guard against the container type changing.)
         let mut candidates: Vec<TaskKey> = self
             .tasks
             .iter()

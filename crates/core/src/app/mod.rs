@@ -21,7 +21,7 @@ mod disseminate;
 mod metadata;
 mod results;
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -354,7 +354,7 @@ pub(crate) struct SubrangeSlot {
 #[derive(Debug, Default)]
 pub(crate) struct VertexState {
     /// child key -> (version, partial aggregate).
-    pub children: HashMap<Id, (u64, Aggregate)>,
+    pub children: BTreeMap<Id, (u64, Aggregate)>,
     /// Live group members; index 0 acts as primary.
     pub holders: Vec<NodeIdx>,
     /// Version of the last aggregate propagated upward.
@@ -394,7 +394,7 @@ pub struct Seaweed<P: DataProvider> {
     /// Lifecycle timelines, parallel to `queries`. Pure observation:
     /// never read by protocol decisions.
     pub(crate) timelines: Vec<QueryTimeline>,
-    pub(crate) query_by_id: HashMap<Id, QueryHandle>,
+    pub(crate) query_by_id: BTreeMap<Id, QueryHandle>,
     /// Bitmask per node of queries it has seen (bit = handle).
     pub(crate) knows_query: Vec<u64>,
     /// Bitmask per node of queries whose result it has submitted (acked).
@@ -402,19 +402,19 @@ pub struct Seaweed<P: DataProvider> {
     /// Bitmask per node of queries whose local execution is scheduled or
     /// in flight.
     pub(crate) exec_pending: Vec<u64>,
-    pub(crate) tasks: HashMap<TaskKey, DissemTask>,
-    pub(crate) vertices: HashMap<(QueryHandle, Id), VertexState>,
+    pub(crate) tasks: BTreeMap<TaskKey, DissemTask>,
+    pub(crate) vertices: BTreeMap<(QueryHandle, Id), VertexState>,
     pub(crate) node_vertices: Vec<Vec<(QueryHandle, Id)>>,
-    pub(crate) pending_submits: HashMap<(u32, QueryHandle, u128), PendingSubmit>,
+    pub(crate) pending_submits: BTreeMap<(u32, QueryHandle, u128), PendingSubmit>,
     /// Latest epoch each endsystem has executed for a continuous query.
-    pub(crate) cont_epoch: HashMap<(u32, QueryHandle), u64>,
+    pub(crate) cont_epoch: BTreeMap<(u32, QueryHandle), u64>,
     /// The aggregation-tree vertex each endsystem persisted for its leaf
     /// submissions (§3.4: "It then persists that vertexId with the
     /// query") — reused across availability sessions so a rejoining
     /// endsystem updates the *same* child slot instead of forking a new
     /// tree path. Survives crash-amnesia: it is persisted with the
     /// query, not soft state.
-    pub(crate) leaf_targets: HashMap<(u32, QueryHandle), Id>,
+    pub(crate) leaf_targets: BTreeMap<(u32, QueryHandle), Id>,
     /// Dissemination subranges abandoned after exhausting reissues
     /// (`(issuing node, query, range)` in give-up order). A partition
     /// can swallow a whole subtree of the broadcast; at heal time each
@@ -440,11 +440,27 @@ pub struct Seaweed<P: DataProvider> {
     pub(crate) view_values: Vec<Vec<Option<Aggregate>>>,
 
     // ---- timers ----
-    timers: HashMap<u64, TimerAction>,
+    timers: BTreeMap<u64, TimerAction>,
     timer_seq: u64,
 
     pub(crate) rng: StdRng,
     pub stats: SeaweedStats,
+}
+
+/// Manual impl: `P` (the data provider) need not be `Debug`, and the
+/// per-endsystem state tables are enormous — summarize the registries.
+impl<P: DataProvider> std::fmt::Debug for Seaweed<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Seaweed")
+            .field("endsystems", &self.id_index.len())
+            .field("queries", &self.queries.len())
+            .field("tasks", &self.tasks.len())
+            .field("vertices", &self.vertices.len())
+            .field("pending_submits", &self.pending_submits.len())
+            .field("views", &self.views.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<P: DataProvider> Seaweed<P> {
@@ -473,22 +489,22 @@ impl<P: DataProvider> Seaweed<P> {
             held_by: vec![Vec::new(); n],
             queries: Vec::new(),
             timelines: Vec::new(),
-            query_by_id: HashMap::new(),
+            query_by_id: BTreeMap::new(),
             knows_query: vec![0; n],
             submitted: vec![0; n],
             exec_pending: vec![0; n],
-            tasks: HashMap::new(),
-            vertices: HashMap::new(),
+            tasks: BTreeMap::new(),
+            vertices: BTreeMap::new(),
             node_vertices: vec![Vec::new(); n],
-            pending_submits: HashMap::new(),
-            cont_epoch: HashMap::new(),
-            leaf_targets: HashMap::new(),
+            pending_submits: BTreeMap::new(),
+            cont_epoch: BTreeMap::new(),
+            leaf_targets: BTreeMap::new(),
             gave_up: Vec::new(),
             amnesia_meta: vec![Vec::new(); n],
             amnesia_vertices: vec![Vec::new(); n],
             views: Vec::new(),
             view_values: Vec::new(),
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             timer_seq: 0,
             stats: SeaweedStats::default(),
         }

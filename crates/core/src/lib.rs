@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! Seaweed — the delay-aware querying protocols (the paper's core
 //! contribution).
 //!

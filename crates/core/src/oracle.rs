@@ -80,7 +80,7 @@ impl ChaosOracle {
     fn check_exactly_once<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
         for (h, q) in sw.queries.iter().enumerate() {
             let h = h as u32;
-            let mut seen: std::collections::HashMap<Id, u128> = std::collections::HashMap::new();
+            let mut seen: std::collections::BTreeMap<Id, u128> = std::collections::BTreeMap::new();
             for (&(qh, vertex), state) in &sw.vertices {
                 if qh != h {
                     continue;
@@ -281,6 +281,122 @@ impl ChaosOracle {
                     ));
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+    use seaweed_overlay::{Overlay, OverlayConfig};
+    use seaweed_sim::{Engine, NodeIdx, SimConfig, UniformTopology};
+    use seaweed_store::{Aggregate, ColumnDef, DataType, Schema, Table, Value};
+    use seaweed_types::{Duration, Id, Time};
+
+    use super::ChaosOracle;
+    use crate::app::{Seaweed, SeaweedConfig, SeaweedEngine, VertexState};
+    use crate::provider::LiveTables;
+
+    const N: usize = 12;
+    const SQL: &str = "SELECT SUM(v) FROM T WHERE flag = 1";
+
+    fn world(seed: u64) -> (SeaweedEngine, Seaweed<LiveTables>) {
+        let schema = Schema::new(
+            "T",
+            vec![
+                ColumnDef::new("flag", DataType::Int, true),
+                ColumnDef::new("v", DataType::Int, true),
+            ],
+        );
+        let mut tables = Vec::with_capacity(N);
+        for node in 0..N {
+            let mut t = Table::new(schema.clone());
+            t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+                .unwrap();
+            tables.push(t);
+        }
+        let eng: SeaweedEngine = Engine::new(
+            Box::new(UniformTopology::new(N, Duration::from_millis(5))),
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        let overlay = Overlay::new(
+            Overlay::random_ids(N, seed),
+            OverlayConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        let sw = Seaweed::new(
+            overlay,
+            LiveTables::new(tables),
+            SeaweedConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        (eng, sw)
+    }
+
+    /// Runs a small deployment, then injects synthetic invariant
+    /// violations touching every registry the oracle iterates:
+    /// duplicate child keys spread over several vertices, plus a query
+    /// marked dead while its protocol state survives.
+    fn violations(seed: u64) -> Vec<String> {
+        let (mut eng, mut sw) = world(seed);
+        for i in 0..N {
+            eng.schedule_up(Time(1 + i as u64 * 200_000), NodeIdx(i as u32));
+        }
+        sw.run_until(&mut eng, Time(30_000_000));
+        let schema = sw.provider.schema().clone();
+        let (_, bound) = sw.provider.bind(SQL, 0).unwrap();
+        let h = sw
+            .inject_query(&mut eng, NodeIdx(0), SQL, Duration::from_secs(600), &schema)
+            .unwrap();
+        sw.run_until(&mut eng, Time(45_000_000));
+
+        // Several synthetic vertices sharing one pool of child keys: every
+        // key after its first sighting is an exactly-once violation, and
+        // which sighting counts as "first" depends on vertex-map iteration
+        // order — exactly what this regression pins down.
+        for v in 0..4u128 {
+            let mut children = BTreeMap::new();
+            for c in 0..6u128 {
+                children.insert(Id(0x1000 + c), (1, Aggregate::empty(bound.agg)));
+            }
+            sw.vertices.insert(
+                (h, Id(0xdead_0000 + v)),
+                VertexState {
+                    children,
+                    holders: Vec::new(),
+                    out_version: 0,
+                },
+            );
+        }
+        // Kill the query but leave all its state: everything above (and
+        // any real tasks/submits the run built) becomes an orphan.
+        sw.queries[h as usize].active = false;
+        ChaosOracle::new(0).check(&sw, &eng)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 6 })]
+
+        /// The oracle walks order-stable registries (BTreeMaps), so two
+        /// independently built worlds under the same seed must report the
+        /// same violations in the same order. Hash-map registries would
+        /// fail this within a single process: `RandomState` differs per
+        /// map instance, not per run.
+        #[test]
+        fn verdict_ordering_identical_across_runs(seed in 0u64..1_000) {
+            let a = violations(seed);
+            let b = violations(seed);
+            prop_assert!(!a.is_empty(), "fault injection produced no violations");
+            prop_assert_eq!(a, b);
         }
     }
 }

@@ -10,7 +10,7 @@
 //!   estimates for a fixed query set — large-scale experiments stream
 //!   generated fragments through a summarization pass and drop them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use seaweed_store::exec::{count_matching, execute};
 use seaweed_store::{Aggregate, BoundQuery, DataSummary, Query, Schema, StoreError, Table};
@@ -40,6 +40,7 @@ pub trait DataProvider {
 }
 
 /// Real tables per endsystem.
+#[derive(Debug)]
 pub struct LiveTables {
     schema: Schema,
     tables: Vec<Table>,
@@ -121,15 +122,17 @@ impl DataProvider for LiveTables {
 /// keyed by the bound query's shape. Mirrors the paper's own simulator
 /// optimization: "We pre-computed the results of each query as well as
 /// the histograms on all endsystem data."
+#[derive(Debug)]
 pub struct Precomputed {
     /// Summary sizes per endsystem.
     summary_sizes: Vec<u32>,
     /// Per registered query: per-endsystem (estimate, aggregate, exact).
-    answers: HashMap<QueryKey, Vec<(f64, Aggregate, u64)>>,
+    answers: BTreeMap<QueryKey, Vec<(f64, Aggregate, u64)>>,
 }
 
-/// Hashable identity of a bound query.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// Ordered identity of a bound query (order-stable registry keys keep
+/// latent iteration hazards out of the data plane).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct QueryKey(String);
 
 fn key_of(query: &BoundQuery) -> QueryKey {
@@ -141,7 +144,7 @@ impl Precomputed {
     pub fn new(num_nodes: usize) -> Self {
         Precomputed {
             summary_sizes: vec![0; num_nodes],
-            answers: HashMap::new(),
+            answers: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,265 @@
+//! `lint.toml`: auditor configuration plus the checked-in baseline.
+//!
+//! The workspace has no `toml` crate, so this parses the narrow subset
+//! the file actually uses: `[section]` / `[[array-of-tables]]` headers,
+//! `key = "string"` and single-line `key = ["a", "b"]` arrays. That
+//! subset is a deliberate contract — keep the file simple.
+//!
+//! ```toml
+//! [lint]
+//! skip = ["rand"]                      # vendored shims, never audited
+//! deterministic = ["seaweed-core"]     # crates under D001/D005
+//!
+//! [[allow]]                            # baseline entry
+//! rule = "D004"
+//! path = "crates/bench/src/parallel.rs"
+//! contains = "std::thread"             # optional message filter
+//! reason = "the sanctioned worker pool"
+//! ```
+
+use crate::report::Finding;
+
+/// One baseline entry: suppresses findings of `rule` in `path` whose
+/// message contains `contains` (empty = any).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub contains: String,
+    pub reason: String,
+    /// Line in lint.toml, for stale-entry findings.
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crate names never audited (vendored shims).
+    pub skip: Vec<String>,
+    /// Crate names under the determinism-only rules (D001, D005).
+    pub deterministic: Vec<String>,
+    pub baseline: Vec<BaselineEntry>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            skip: ["rand", "proptest", "criterion"].map(String::from).to_vec(),
+            deterministic: [
+                "seaweed",
+                "seaweed-types",
+                "seaweed-sim",
+                "seaweed-overlay",
+                "seaweed-store",
+                "seaweed-availability",
+                "seaweed-analytic",
+                "seaweed-workload",
+                "seaweed-core",
+            ]
+            .map(String::from)
+            .to_vec(),
+            baseline: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses `lint.toml` text. Returns `Err` with a line-tagged message
+    /// on anything outside the supported subset.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(h) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                section = format!("[[{h}]]");
+                if h == "allow" {
+                    cfg.baseline.push(BaselineEntry {
+                        line: lineno,
+                        ..BaselineEntry::default()
+                    });
+                } else {
+                    return Err(format!("lint.toml:{lineno}: unknown table `[[{h}]]`"));
+                }
+                continue;
+            }
+            if let Some(h) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = h.to_string();
+                if h != "lint" {
+                    return Err(format!("lint.toml:{lineno}: unknown section `[{h}]`"));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match section.as_str() {
+                "lint" => {
+                    let list = parse_string_array(value).ok_or_else(|| {
+                        format!("lint.toml:{lineno}: `{key}` wants a [\"...\"] array")
+                    })?;
+                    match key {
+                        "skip" => cfg.skip = list,
+                        "deterministic" => cfg.deterministic = list,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{key}` in [lint]"
+                            ))
+                        }
+                    }
+                }
+                "[[allow]]" => {
+                    let s = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: `{key}` wants a \"string\""))?;
+                    let entry = cfg.baseline.last_mut().expect("inside [[allow]]");
+                    match key {
+                        "rule" => entry.rule = s,
+                        "path" => entry.path = s,
+                        "contains" => entry.contains = s,
+                        "reason" => entry.reason = s,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{key}` in [[allow]]"
+                            ))
+                        }
+                    }
+                }
+                _ => return Err(format!("lint.toml:{lineno}: `{key}` outside any section")),
+            }
+        }
+        for e in &cfg.baseline {
+            if e.rule.is_empty() || e.path.is_empty() || e.reason.is_empty() {
+                return Err(format!(
+                    "lint.toml:{}: [[allow]] entries need `rule`, `path` and `reason`",
+                    e.line
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Applies the baseline: suppressed findings are dropped, and every
+    /// entry that suppressed nothing becomes a D000 finding (the
+    /// baseline must shrink as code is fixed, never rot).
+    #[must_use]
+    pub fn apply_baseline(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut used = vec![false; self.baseline.len()];
+        let mut kept: Vec<Finding> = Vec::new();
+        for f in findings {
+            let suppressed = self.baseline.iter().enumerate().any(|(i, e)| {
+                let hit = e.rule == f.rule
+                    && e.path == f.path
+                    && (e.contains.is_empty() || f.message.contains(&e.contains));
+                if hit {
+                    used[i] = true;
+                }
+                hit
+            });
+            if !suppressed {
+                kept.push(f);
+            }
+        }
+        for (i, e) in self.baseline.iter().enumerate() {
+            if !used[i] {
+                kept.push(Finding {
+                    rule: "D000",
+                    path: "lint.toml".into(),
+                    line: e.line,
+                    message: format!(
+                        "stale baseline entry ({} in {}): it no longer suppresses anything — delete it",
+                        e.rule, e.path
+                    ),
+                });
+            }
+        }
+        kept
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string does not start a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let v = v.trim();
+    v.strip_prefix('"')?.strip_suffix('"').map(String::from)
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_config_and_baseline() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[lint]
+skip = ["rand", "proptest"]
+deterministic = ["seaweed-core"]
+
+[[allow]]
+rule = "D004"
+path = "crates/bench/src/parallel.rs"
+contains = "std::thread"
+reason = "sanctioned pool"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.skip, vec!["rand", "proptest"]);
+        assert_eq!(cfg.deterministic, vec!["seaweed-core"]);
+        assert_eq!(cfg.baseline.len(), 1);
+        assert_eq!(cfg.baseline[0].contains, "std::thread");
+    }
+
+    #[test]
+    fn rejects_incomplete_entries_and_unknown_keys() {
+        assert!(Config::parse("[[allow]]\nrule = \"D001\"\n").is_err());
+        assert!(Config::parse("[lint]\nbogus = [\"x\"]\n").is_err());
+        assert!(Config::parse("[wat]\n").is_err());
+    }
+
+    #[test]
+    fn baseline_suppresses_and_reports_stale() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"D002\"\npath = \"a.rs\"\nreason = \"r\"\n\n[[allow]]\nrule = \"D003\"\npath = \"b.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let findings = vec![Finding {
+            rule: "D002",
+            path: "a.rs".into(),
+            line: 1,
+            message: "wall clock".into(),
+        }];
+        let out = cfg.apply_baseline(findings);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "D000");
+        assert!(out[0].message.contains("stale baseline entry"));
+    }
+}

@@ -1,0 +1,406 @@
+//! A minimal Rust lexer.
+//!
+//! The auditor has no registry access, so `syn` is unavailable; instead
+//! we tokenize source files by hand and let the rules walk token
+//! streams. The lexer understands everything needed to *not* produce
+//! false positives from non-code text: line and (nested) block
+//! comments, string/char/byte literals, raw strings with arbitrary
+//! `#` fences, and lifetimes (so `'a` is never mistaken for an
+//! unterminated char). Comments are captured separately with line
+//! numbers because `// lint:allow(...)` markers live there.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text. Punctuation is a single character; identifiers and
+    /// literals carry their full source text.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer or float literal.
+    Number,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// `'a` and friends.
+    Lifetime,
+    /// A single punctuation character (`:`, `(`, `.`, ...).
+    Punct,
+}
+
+/// A comment, kept out of the token stream but preserved for the
+/// allow-marker scanner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// tolerated: the remainder of the file is swallowed into the token,
+/// which is the best a lint can do on malformed input.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (end, newlines) = scan_raw_string(b, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                let (end, newlines) = scan_quoted(b, i + 1, b'\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (end, newlines) = scan_quoted(b, i + 1, b'"');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'"' => {
+                let (end, newlines) = scan_quoted(b, i, b'"');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident
+                // not closed by another `'` (so `'a'` is a char but
+                // `'a` and `'static` are lifetimes).
+                if looks_like_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (end, newlines) = scan_quoted(b, i, b'\'');
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    line += newlines;
+                    i = end;
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers may contain `_`, `.`, exponents and type
+                // suffixes; a greedy alphanumeric-and-dot scan is fine
+                // for linting (we never interpret the value). Method
+                // calls on literals (`1.max(2)`) keep working because a
+                // `.` followed by an identifier start stops the scan.
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d == b'.' {
+                        if b.get(j + 1).is_some_and(|&n| is_ident_start(n)) {
+                            break;
+                        }
+                        j += 1;
+                    } else if d == b'_' || d.is_ascii_alphanumeric() {
+                        j += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b[j - 1], b'e' | b'E')
+                        && b[i..j].iter().any(|x| x.is_ascii_digit())
+                    {
+                        j += 1; // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` ... at `i`?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Scans a raw string starting at `i`; returns (end index, newline
+/// count).
+fn scan_raw_string(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut fence = 0usize;
+    while b.get(j) == Some(&b'#') {
+        fence += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+        } else if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(fence)
+                .filter(|&&c| c == b'#')
+                .count()
+                == fence
+        {
+            return (j + 1 + fence, newlines);
+        } else {
+            j += 1;
+        }
+    }
+    (j, newlines)
+}
+
+/// Scans a quoted literal (`"` or `'`) starting at the quote index;
+/// returns (index one past the closing quote, newline count).
+fn scan_quoted(b: &[u8], i: usize, quote: u8) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            c if c == quote => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// A lifetime is `'` followed by an identifier that is *not* closed by
+/// a `'` immediately after one ident char (which would be a char
+/// literal like `'a'`).
+fn looks_like_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(first) {
+        return false;
+    }
+    let mut j = i + 2;
+    while j < b.len() && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let l = lex("// HashMap in a comment\nlet x = 1; /* SystemTime */");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "SystemTime"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_swallow_keywords() {
+        assert_eq!(
+            idents(r#"let s = "Instant::now inside string";"#),
+            vec!["let", "s"]
+        );
+        assert_eq!(idents(r##"let s = r#"thread_rng"#;"##), vec!["let", "s"]);
+        assert_eq!(
+            idents("let c = 'x'; let l: &'static str = \"\";"),
+            vec!["let", "c", "let", "l", "str"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'b'");
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numbers_with_method_calls() {
+        let l = lex("let x = 1.0e-3f64; let y = 1.max(2);");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "1.0e-3f64"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "max"));
+    }
+}

@@ -1,0 +1,117 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+//! `seaweed-lint` — a workspace-wide determinism & safety auditor.
+//!
+//! Every result this reproduction produces rests on the simulator
+//! replaying byte-identically; this tool moves that contract from
+//! "hope a 32-seed sweep trips a regression" to "the build refuses
+//! it". It audits every workspace crate (vendored shims excluded)
+//! against the rule catalogue in [`rules`], honours inline
+//! `lint:allow` markers ([`allow`]) and the checked-in `lint.toml`
+//! baseline ([`config`]), and exits nonzero on any unbaselined
+//! finding.
+//!
+//! Run it as `cargo run -p seaweed-lint` from anywhere in the
+//! workspace. `--format json` emits machine-readable output;
+//! `--list-rules` prints the catalogue. See DESIGN.md "Static
+//! analysis" for the rule rationale and the policy on allowlists.
+
+pub mod allow;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use config::Config;
+use report::Finding;
+use rules::FileCtx;
+
+/// Lints one in-memory source file: lex, rule checks, inline-marker
+/// application. No baseline — that is a workspace-level concern.
+#[must_use]
+pub fn lint_source(
+    path: &str,
+    deterministic: bool,
+    is_crate_root: bool,
+    src: &str,
+) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let findings = rules::check_file(&FileCtx {
+        path,
+        deterministic,
+        is_crate_root,
+        tokens: &lexed.tokens,
+    });
+    let markers = allow::scan_markers(&lexed.comments);
+    allow::apply_markers(path, findings, &markers)
+}
+
+/// Result of a workspace run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Findings that survived markers and the baseline, sorted by
+    /// (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files audited.
+    pub files: usize,
+    /// Crates audited.
+    pub crates: usize,
+}
+
+/// Audits the whole workspace rooted at `root` with `cfg`.
+pub fn run_workspace(root: &Path, cfg: &Config) -> Result<RunResult, String> {
+    let crates = workspace::discover(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files = 0usize;
+    let mut audited = 0usize;
+    for c in &crates {
+        if cfg.skip.contains(&c.name) {
+            continue;
+        }
+        audited += 1;
+        let deterministic = cfg.deterministic.contains(&c.name);
+        for f in &c.files {
+            files += 1;
+            let abs = root.join(f);
+            let src = fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+            let path = f.to_string_lossy().replace('\\', "/");
+            let is_root = c.root_file.as_deref() == Some(f.as_path());
+            findings.extend(lint_source(&path, deterministic, is_root, &src));
+        }
+    }
+    let mut findings = cfg.apply_baseline(findings);
+    findings
+        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+    Ok(RunResult {
+        findings,
+        files,
+        crates: audited,
+    })
+}
+
+/// Loads `lint.toml` from the workspace root (defaults when absent).
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let p = root.join("lint.toml");
+    if !p.is_file() {
+        return Ok(Config::default());
+    }
+    let text = fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+    Config::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_end_to_end_with_marker() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(lint_source("x.rs", false, false, bad).len(), 1);
+        let ok = "// lint:allow(D002): human-facing progress only\nfn f() { let t = std::time::Instant::now(); }";
+        assert!(lint_source("x.rs", false, false, ok).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Findings and output formatting (human and machine-readable).
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `"D001"`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the human format, one per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders findings as a JSON document (hand-rolled: the workspace has
+/// no serde, and the schema is three scalar fields).
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let f = vec![Finding {
+            rule: "D001",
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "uses \"HashMap\"".into(),
+        }];
+        let j = render_json(&f);
+        assert!(j.contains("\\\"HashMap\\\""));
+        assert!(j.contains("\"count\": 1"));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+}

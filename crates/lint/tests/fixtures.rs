@@ -1,0 +1,109 @@
+//! Fixture suite: one known-bad and one known-good file per rule, the
+//! allow-marker round trip, and the end-to-end guarantee that the
+//! shipped workspace is lint-clean (which also proves the walker skips
+//! this `fixtures/` directory — the bad fixtures would fail it
+//! otherwise).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use seaweed_lint::report::Finding;
+use seaweed_lint::{lint_source, load_config, run_workspace};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints a fixture. All fixtures are audited as deterministic-crate
+/// files; `is_root` only matters for the D006 pair.
+fn lint_fixture(name: &str, is_root: bool) -> Vec<Finding> {
+    let src =
+        fs::read_to_string(fixture_dir().join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+    lint_source(name, true, is_root, &src)
+}
+
+/// The bad fixture trips `rule` (and only it) at least `min` times; the
+/// good twin is completely clean.
+fn assert_pair(rule: &str, is_root: bool, min: usize) {
+    let lower = rule.to_lowercase();
+    let bad = lint_fixture(&format!("{lower}_bad.rs"), is_root);
+    assert!(
+        bad.len() >= min && bad.iter().all(|f| f.rule == rule),
+        "{rule} bad fixture: expected >= {min} findings, all {rule}; got {bad:#?}"
+    );
+    let good = lint_fixture(&format!("{lower}_good.rs"), is_root);
+    assert!(good.is_empty(), "{rule} good fixture not clean: {good:#?}");
+}
+
+#[test]
+fn d001_hash_iteration_pair() {
+    assert_pair("D001", false, 2);
+}
+
+#[test]
+fn d002_wall_clock_pair() {
+    assert_pair("D002", false, 2);
+}
+
+#[test]
+fn d003_ambient_randomness_pair() {
+    assert_pair("D003", false, 3);
+}
+
+#[test]
+fn d004_threads_pair() {
+    assert_pair("D004", false, 2);
+}
+
+#[test]
+fn d005_float_sort_pair() {
+    assert_pair("D005", false, 2);
+}
+
+#[test]
+fn d006_forbid_unsafe_pair() {
+    assert_pair("D006", true, 1);
+}
+
+#[test]
+fn allow_markers_round_trip() {
+    // Justified markers (next-line and same-line) suppress everything.
+    let f = lint_fixture("allow_roundtrip.rs", false);
+    assert!(f.is_empty(), "markers failed to suppress: {f:#?}");
+
+    // A marker that suppresses nothing is itself a finding.
+    let f = lint_fixture("allow_unused.rs", false);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "D000");
+    assert!(f[0].message.contains("unused"), "{}", f[0].message);
+
+    // A reason-less marker is malformed AND does not suppress.
+    let f = lint_fixture("allow_malformed.rs", false);
+    let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+    assert!(
+        rules.contains(&"D000") && rules.contains(&"D002"),
+        "expected D000 + surviving D002, got {f:#?}"
+    );
+}
+
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let cfg = load_config(root).expect("lint.toml parses");
+    let res = run_workspace(root, &cfg).expect("workspace audit runs");
+    assert!(
+        res.findings.is_empty(),
+        "workspace has unbaselined findings:\n{}",
+        res.findings
+            .iter()
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The walker must have skipped this fixtures directory: had it been
+    // audited, every *_bad.rs above would have failed the assertion.
+    assert!(res.files > 0 && res.crates > 0);
+}

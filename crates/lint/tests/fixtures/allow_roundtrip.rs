@@ -1,0 +1,12 @@
+//! Marker fixture: every violation carries a justified `lint:allow`,
+//! exercising both placements (line above, same line).
+
+fn elapsed_ms() -> u128 {
+    // lint:allow(D002): fixture exercises next-line suppression
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}
+
+fn pick() -> u32 {
+    rand::random::<u32>() // lint:allow(D003): fixture exercises same-line suppression
+}

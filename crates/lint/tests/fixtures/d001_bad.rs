@@ -1,0 +1,16 @@
+//! D001 fixture: hash-collection iteration in a deterministic crate,
+//! including iteration reached through a `use ... as` alias.
+
+use std::collections::HashMap as Map;
+
+fn keys(index: &Map<u64, u64>) -> Vec<u64> {
+    index.keys().copied().collect()
+}
+
+fn total(counts: &std::collections::HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for v in counts.values() {
+        sum += v;
+    }
+    sum
+}

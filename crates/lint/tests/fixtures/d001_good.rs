@@ -1,0 +1,12 @@
+//! D001 fixture (clean): ordered-map iteration is fine, and hash maps
+//! are fine for point lookups — only their iteration order is unstable.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn total(counts: &BTreeMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+fn lookup(index: &HashMap<String, u64>, key: &str) -> u64 {
+    index.get(key).copied().unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+//! D002 fixture: wall-clock reads.
+
+fn elapsed_ms() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}
+
+fn unix_now() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}

@@ -1,0 +1,5 @@
+//! D002 fixture (clean): simulated components take the clock as data.
+
+fn deadline(now_micros: u64, timeout_micros: u64) -> u64 {
+    now_micros.saturating_add(timeout_micros)
+}

@@ -1,0 +1,15 @@
+//! D003 fixture: ambient (OS-seeded) randomness.
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}
+
+fn pick() -> u32 {
+    rand::random::<u32>()
+}
+
+fn fresh() -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::from_entropy()
+}

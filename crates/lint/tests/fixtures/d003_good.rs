@@ -1,0 +1,9 @@
+//! D003 fixture (clean): every RNG derives from an explicit seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen::<f64>()
+}

@@ -1,0 +1,8 @@
+//! D004 fixture: threads and channels outside the sanctioned pool.
+
+fn fan_out() -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    let worker = std::thread::spawn(move || tx.send(1).unwrap());
+    worker.join().unwrap();
+    rx.recv().unwrap()
+}

@@ -1,0 +1,5 @@
+//! D004 fixture (clean): sequential sweep, no concurrency primitives.
+
+fn fan_out(seeds: &[u64]) -> Vec<u64> {
+    seeds.iter().map(|s| s.wrapping_mul(2)).collect()
+}

@@ -1,0 +1,10 @@
+//! D005 fixture: float sort via `partial_cmp` in a deterministic crate
+//! (panics or key-dependent ordering on NaN).
+
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn rank_unstable(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+}

@@ -1,0 +1,5 @@
+//! D005 fixture (clean): `total_cmp` gives floats a total order.
+
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,3 @@
+//! D006 fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

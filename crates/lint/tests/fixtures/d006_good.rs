@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! D006 fixture (clean): a compliant crate root.
+
+pub fn noop() {}

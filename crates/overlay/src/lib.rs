@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! A Pastry structured overlay (MSPastry-style) running on the simulator.
 //!
 //! Seaweed is built on Pastry [Rowstron & Druschel, Middleware 2001] via

@@ -137,6 +137,7 @@ pub fn is_overlay_tag(tag: u64) -> bool {
 }
 
 /// The Pastry overlay over all simulated endsystems.
+#[derive(Debug)]
 pub struct Overlay {
     cfg: OverlayConfig,
     ids: Vec<Id>,
@@ -423,7 +424,7 @@ impl Overlay {
     /// leafset edge straddling the boundary stops carrying heartbeats,
     /// so both sides arm the same detection timers a real failure would
     /// — except the watched nodes stay up, which is why
-    /// [`detect_failure`](Self::detect_failure) treats up-but-unreachable
+    /// the (internal) failure detector treats up-but-unreachable
     /// as failed.
     pub fn partition_started<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, members: &[NodeIdx]) {
         let mut inside = vec![false; self.ids.len()];

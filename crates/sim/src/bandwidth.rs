@@ -79,6 +79,7 @@ impl HourAggregate {
 }
 
 /// Records bandwidth usage during a simulation run.
+#[derive(Debug)]
 pub struct BandwidthRecorder {
     n: usize,
     collect_cdf: bool,

@@ -608,6 +608,20 @@ pub struct Engine<M> {
     pub clamped_to_now: u64,
 }
 
+/// Manual impl: `M` (the application payload) need not be `Debug`, and
+/// the queue/topology internals are noise — summarize the run state.
+impl<M> std::fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("seq", &self.seq)
+            .field("num_up", &self.live.len())
+            .field("messages_sent", &self.messages_sent)
+            .field("timers_cancelled", &self.timers_cancelled)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<M> Engine<M> {
     /// Creates an engine over `topo`; all nodes start **down** — schedule
     /// [`Engine::schedule_up`] events (e.g. from an availability trace) to
@@ -1097,17 +1111,18 @@ impl<M> Engine<M> {
         // sorted by seq so the trace order is canonical rather than the
         // metadata map's (deterministic but arbitrary) iteration order.
         let collect = self.tracing_active();
-        let mut cancelled: Vec<(u64, Time)> = Vec::new();
+        let mut cancelled_log: Vec<(u64, Time)> = Vec::new();
         let meta = &mut self.timer_meta[node.idx()];
         let queue = &mut self.queue;
         let mut dropped = 0u64;
+        // lint:allow(D001): SeqMap uses the fixed-key SeqHasher over engine-assigned monotone seqs, so iteration order is identical across processes; the only order-sensitive output (the trace) is sorted below.
         meta.retain(|&seq, &mut (at, kind)| {
             if kind == TimerKind::Auto {
                 let removed = queue.cancel(at, seq);
                 debug_assert!(removed, "outstanding timer missing from queue");
                 dropped += 1;
                 if collect {
-                    cancelled.push((seq, at));
+                    cancelled_log.push((seq, at));
                 }
                 false
             } else {
@@ -1115,8 +1130,8 @@ impl<M> Engine<M> {
             }
         });
         self.timers_cancelled += dropped;
-        cancelled.sort_unstable_by_key(|&(seq, _)| seq);
-        for (seq, at) in cancelled {
+        cancelled_log.sort_unstable_by_key(|&(seq, _)| seq);
+        for (seq, at) in cancelled_log {
             self.trace(|| TraceEvent::TimerCancel { node, seq, at });
         }
     }

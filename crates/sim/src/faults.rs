@@ -10,7 +10,7 @@
 //! Determinism contract:
 //!
 //! * The injector draws from its **own** seeded RNG stream
-//!   ([`FAULTS_STREAM`]), never the engine's, so installing a plan does
+//!   (`FAULTS_STREAM`), never the engine's, so installing a plan does
 //!   not perturb the engine's loss draws, and an *empty* plan consumes
 //!   zero draws — a run without faults is bit-for-bit identical to a run
 //!   on an engine that predates this module.
@@ -160,6 +160,7 @@ impl FaultPlan {
 }
 
 /// Per-send verdict of the link-degradation check.
+#[derive(Debug)]
 pub enum LinkEffect {
     /// No window covers this pair: deliver normally.
     Pass,
@@ -171,6 +172,7 @@ pub enum LinkEffect {
 
 /// Runtime state of a [`FaultPlan`]: membership bitsets, the set of
 /// currently-open partitions, and the injector's private RNG stream.
+#[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: StdRng,

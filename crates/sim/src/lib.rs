@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! A deterministic discrete-event network simulator.
 //!
 //! This is the substrate every packet-level experiment in the paper runs on

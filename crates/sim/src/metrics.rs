@@ -106,7 +106,7 @@ impl Histogram {
 }
 
 /// Registry of named counters, gauges and histograms.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,

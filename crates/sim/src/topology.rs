@@ -68,6 +68,7 @@ impl Topology for UniformTopology {
 /// topology: `num_routers` routers in a three-tier hierarchy, all-pairs
 /// shortest-path RTTs, endsystems attached to random routers by 1 ms LAN
 /// links.
+#[derive(Debug)]
 pub struct CorpNetTopology {
     /// Half of the router-to-router RTT (i.e. one-way), in microseconds,
     /// as a flattened `num_routers × num_routers` matrix.

@@ -290,6 +290,7 @@ impl Default for TraceConfig {
 }
 
 /// Fixed-capacity ring buffer of [`TraceRecord`]s.
+#[derive(Debug)]
 pub struct Tracer {
     capacity: usize,
     buf: VecDeque<TraceRecord>,

@@ -14,7 +14,7 @@
 //! queries ... with range predicates on a single indexed column" (§4.3.2)
 //! — the tests at the bottom hold this implementation to that standard.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::sql::CmpOp;
 use crate::table::ColumnData;
@@ -186,7 +186,7 @@ impl StringHistogram {
     where
         I: IntoIterator<Item = &'a str>,
     {
-        let mut counts: HashMap<&str, u64> = HashMap::new();
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
         let mut total = 0u64;
         for v in values {
             *counts.entry(v).or_insert(0) += 1;

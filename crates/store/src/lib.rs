@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! A per-endsystem relational engine.
 //!
 //! Every endsystem in Seaweed runs queries and updates against its own

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! Common foundation types for the Seaweed delay-aware querying system.
 //!
 //! This crate holds everything shared by more than one layer of the stack:

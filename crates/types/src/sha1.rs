@@ -9,7 +9,7 @@
 use crate::id::Id;
 
 /// Streaming SHA-1 state.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha1 {
     h: [u32; 5],
     /// Bytes buffered toward the next 64-byte block.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! The Anemone network-monitoring workload (paper §4.1).
 //!
 //! Anemone [Mortier et al., SIGCOMM MineNet 2005] turns every endsystem

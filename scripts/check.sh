@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # The sim crate must also lint (and build) with tracing compiled out.
 cargo clippy -p seaweed-sim --all-targets --no-default-features -- -D warnings
 
+echo "==> seaweed-lint (determinism & safety audit)"
+cargo run -q -p seaweed-lint
+
+echo "==> cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 # --workspace: the root package alone does not pull in the bench bins,
 # and the chaos smoke below needs target/release/chaos01_faults.

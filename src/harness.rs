@@ -12,6 +12,7 @@ use seaweed_types::{Duration, Time};
 use seaweed_workload::AnemoneConfig;
 
 /// How endsystem availability is driven.
+#[derive(Debug)]
 pub enum Availability<'a> {
     /// Everyone comes up near t=0 (staggered by `stagger` per node) and
     /// stays up.
@@ -21,6 +22,7 @@ pub enum Availability<'a> {
 }
 
 /// World construction knobs.
+#[derive(Debug)]
 pub struct WorldConfig {
     pub n: usize,
     pub seed: u64,

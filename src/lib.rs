@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 //! # Seaweed — delay aware querying over highly distributed in-situ data
 //!
 //! This is the facade crate for a full reproduction of *"Delay Aware
