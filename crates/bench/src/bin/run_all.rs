@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "abl05_predictors",
     "abl06_delta_encoding",
     "chaos01_faults",
+    "scale01_endsystems",
 ];
 
 struct ExpOutcome {

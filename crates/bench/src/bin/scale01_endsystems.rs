@@ -1,0 +1,244 @@
+//! Scale 01: simulator throughput as the endsystem population grows.
+//!
+//! Sweeps N from `--base` (default 1,000) doubling up to `--max-n`
+//! (default 16,000) endsystems on the 298-router CorpNet topology: every
+//! endsystem joins the overlay, runs the metadata push loop, and one
+//! SUM query is injected and aggregated over the whole population.
+//!
+//! Two artifacts:
+//!
+//! * `results/scale01.csv` — deterministic columns only (events,
+//!   messages, bytes by traffic class, protocol counters). With a fixed
+//!   `--seed` the file is byte-stable across reruns and machines, so it
+//!   doubles as a CI determinism smoke (`scripts/check.sh`).
+//! * `BENCH_scale01.json` — the same points plus measured wall-clock
+//!   seconds and events/second, i.e. the machine-dependent numbers that
+//!   back the EXPERIMENTS.md scaling entry.
+
+use seaweed_bench::{write_csv, Args, OutTable};
+use seaweed_core::{LiveTables, Seaweed, SeaweedConfig, SeaweedEngine};
+use seaweed_overlay::{Overlay, OverlayConfig};
+use seaweed_sim::{CorpNetTopology, Engine, NodeIdx, SimConfig};
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+struct Point {
+    n: usize,
+    wall_s: f64,
+    events: u64,
+    messages: u64,
+    tx_bytes: [u64; 3],
+    meta_pushes: u64,
+    dissem_msgs: u64,
+    predictor_reports: u64,
+    result_submissions: u64,
+    rows: u64,
+}
+
+fn run_point(n: usize, seed: u64) -> Point {
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let mut tables = Vec::with_capacity(n);
+    for node in 0..n {
+        let mut t = Table::new(schema.clone());
+        t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+            .expect("seed row");
+        tables.push(t);
+    }
+    let topo = CorpNetTopology::new(n, seed);
+    let mut eng: SeaweedEngine = Engine::new(
+        Box::new(topo),
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    let overlay = Overlay::new(
+        Overlay::random_ids(n, seed),
+        OverlayConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    let mut sw = Seaweed::new(
+        overlay,
+        LiveTables::new(tables),
+        SeaweedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    // All endsystems come up within the first simulated minute, whatever
+    // the population, so the workload per endsystem is N-independent and
+    // the sweep isolates simulator scaling.
+    let step = (60_000_000 / n as u64).max(1);
+    for i in 0..n {
+        eng.schedule_up(Time(1 + i as u64 * step), NodeIdx(i as u32));
+    }
+
+    // lint:allow(D002): host-side benchmark timing for BENCH_scale01.json, never feeds simulated time
+    let t0 = std::time::Instant::now();
+    let mut events = 0u64;
+    let mut drive = |sw: &mut Seaweed<LiveTables>, eng: &mut SeaweedEngine, horizon: Time| {
+        while let Some((_, ev)) = eng.next_event_before(horizon) {
+            events += 1;
+            sw.dispatch(eng, ev);
+        }
+    };
+    // Joins plus one full metadata-push cycle (default mean period
+    // 17.5 min), then a population-wide aggregation query for the
+    // second half-hour.
+    drive(&mut sw, &mut eng, secs(900));
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(0),
+            "SELECT SUM(v) FROM T WHERE flag = 1",
+            Duration::from_hours(1),
+            &schema,
+        )
+        .expect("inject");
+    drive(&mut sw, &mut eng, secs(1800));
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let rows = sw.query(h).rows();
+    let stats = sw.stats;
+    let messages = eng.messages_sent;
+    let report = eng.finish();
+    Point {
+        n,
+        wall_s,
+        events,
+        messages,
+        tx_bytes: report.total_tx,
+        meta_pushes: stats.meta_pushes,
+        dissem_msgs: stats.disseminate_msgs,
+        predictor_reports: stats.predictor_reports,
+        result_submissions: stats.result_submissions,
+        rows,
+    }
+}
+
+fn write_json(path: &str, seed: u64, points: &[Point]) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"bench\": \"scale01_endsystems\",").expect("string write");
+    writeln!(out, "  \"seed\": {seed},").expect("string write");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"n\": {}, \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}, \
+             \"messages\": {}, \"tx_overlay_bytes\": {}, \"tx_maintenance_bytes\": {}, \
+             \"tx_query_bytes\": {}}}{comma}",
+            p.n,
+            p.wall_s,
+            p.events,
+            p.events as f64 / p.wall_s.max(1e-9),
+            p.messages,
+            p.tx_bytes[0],
+            p.tx_bytes[1],
+            p.tx_bytes[2],
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("  wrote {path}");
+}
+
+fn main() {
+    let args = Args::parse();
+    let base = args.get("base", 1_000usize);
+    let max_n = args.get("max-n", 16_000usize);
+    let seed = args.get("seed", 42u64);
+    let out = args.get_str("out", "results/scale01.csv");
+    let json = args.get_str("json", "BENCH_scale01.json");
+
+    let mut sizes = Vec::new();
+    let mut n = base;
+    while n <= max_n {
+        sizes.push(n);
+        n *= 2;
+    }
+    println!("Scale 01: N in {sizes:?}, seed {seed}");
+
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let p = run_point(n, seed);
+        println!(
+            "  N={:>6}: {:>9} events, {:>8} messages, {:>6.1}s wall ({:.0} events/s)",
+            p.n,
+            p.events,
+            p.messages,
+            p.wall_s,
+            p.events as f64 / p.wall_s.max(1e-9),
+        );
+        points.push(p);
+    }
+
+    // The CSV carries only simulation-deterministic columns: rerunning
+    // with the same seed must reproduce it byte-for-byte on any machine.
+    let rows: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n as f64,
+                p.events as f64,
+                p.messages as f64,
+                p.tx_bytes[0] as f64,
+                p.tx_bytes[1] as f64,
+                p.tx_bytes[2] as f64,
+                p.meta_pushes as f64,
+                p.dissem_msgs as f64,
+                p.predictor_reports as f64,
+                p.result_submissions as f64,
+                p.rows as f64,
+                p.rows as f64 / p.n as f64,
+            ]
+        })
+        .collect();
+    write_csv(
+        &out,
+        &[
+            "n",
+            "events",
+            "messages",
+            "tx_overlay_bytes",
+            "tx_maintenance_bytes",
+            "tx_query_bytes",
+            "meta_pushes",
+            "disseminate_msgs",
+            "predictor_reports",
+            "result_submissions",
+            "rows",
+            "completeness",
+        ],
+        &rows,
+    );
+    write_json(&json, seed, &points);
+
+    let mut t = OutTable::new(&["n", "events", "messages", "maint_MB", "wall_s", "events/s"]);
+    for p in &points {
+        t.row(vec![
+            p.n.to_string(),
+            p.events.to_string(),
+            p.messages.to_string(),
+            format!("{:.1}", p.tx_bytes[1] as f64 / 1e6),
+            format!("{:.1}", p.wall_s),
+            format!("{:.0}", p.events as f64 / p.wall_s.max(1e-9)),
+        ]);
+    }
+    t.print();
+}

@@ -107,6 +107,7 @@ impl<P: DataProvider> Seaweed<P> {
             slots: Vec::new(),
             local: self.empty_result(h),
             reported: false,
+            cached: None,
         };
 
         // The query root (first receiver, full range) reports straight to
@@ -352,6 +353,7 @@ impl<P: DataProvider> Seaweed<P> {
             .expect("slot exists");
         if slot.done.is_none() {
             slot.done = Some(result);
+            task.cached = None; // memoized merge no longer covers this slot
         }
         if task.slots.iter().all(|s| s.done.is_some()) {
             self.finish_task(eng, n, h, key);
@@ -393,6 +395,7 @@ impl<P: DataProvider> Seaweed<P> {
             for &(i, _) in &gave_up {
                 task.slots[i].done = Some(empty.clone());
             }
+            task.cached = None;
             for (_, r) in gave_up {
                 self.timelines[h as usize].give_ups += 1;
                 self.gave_up.push((n, h, r));
@@ -443,12 +446,18 @@ impl<P: DataProvider> Seaweed<P> {
             return;
         }
         task.reported = true;
-        let mut merged = task.local.clone();
-        for slot in &task.slots {
-            if let Some(r) = &slot.done {
-                merged.merge(r);
+        // Merge local + slot results once; retransmissions of a lost
+        // report reuse the memoized value instead of re-merging.
+        if task.cached.is_none() {
+            let mut merged = task.local.clone();
+            for slot in &task.slots {
+                if let Some(r) = &slot.done {
+                    merged.merge(r);
+                }
             }
+            task.cached = Some(merged);
         }
+        let merged = task.cached.clone().expect("just memoized");
         let parent = task.parent;
         let range = task.range;
         let size = match &merged {

@@ -34,17 +34,15 @@ impl<P: DataProvider> Seaweed<P> {
         }
         let size = self.meta_push_size(owner);
         let members = self.overlay.replica_set(owner, self.cfg.k_metadata);
-        for m in members {
-            self.stats.meta_pushes += 1;
-            self.overlay.send_app(
-                eng,
-                owner,
-                m,
-                SeaweedMsg::MetaPush { owner },
-                size,
-                TrafficClass::Maintenance,
-            );
-        }
+        self.stats.meta_pushes += members.len() as u64;
+        self.overlay.multicast_app(
+            eng,
+            owner,
+            &members,
+            SeaweedMsg::MetaPush { owner },
+            size,
+            TrafficClass::Maintenance,
+        );
     }
 
     /// Arms the next randomized periodic push (mean `push_period`).

@@ -341,6 +341,11 @@ pub(crate) struct DissemTask {
     /// Locally accumulated result (own contribution + dead ranges).
     pub local: RangeResult,
     pub reported: bool,
+    /// Memoized `local ⊕ slots` merge from the last report, reused
+    /// verbatim when a lost report is retransmitted. Invalidated whenever
+    /// a slot's `done` result changes (fill, give-up, heal re-open) so it
+    /// can never drift from the canonical local-then-slot-order merge.
+    pub cached: Option<RangeResult>,
 }
 
 #[derive(Debug)]
@@ -359,6 +364,13 @@ pub(crate) struct VertexState {
     pub holders: Vec<NodeIdx>,
     /// Version of the last aggregate propagated upward.
     pub out_version: u64,
+    /// Memoized merge of `children` in ascending key order. Kept exactly
+    /// in sync by the submit path: a report appending a child *after* the
+    /// current maximum key extends the fold in place (bit-identical to a
+    /// full recompute, since f64 merge order is unchanged); any other
+    /// mutation — mid-map insert or in-place replacement — clears it, and
+    /// the next propagation recomputes from scratch.
+    pub cached: Option<Aggregate>,
 }
 
 /// A pending (unacked) upward submission from a vertex or leaf, keyed by
@@ -753,7 +765,12 @@ impl<P: DataProvider> Seaweed<P> {
     /// interleave injections with event processing).
     pub fn dispatch(&mut self, eng: &mut SeaweedEngine, ev: Event<OverlayMsg<SeaweedMsg>>) {
         let initial: Vec<OverlayEvent<SeaweedMsg>> = match ev {
-            Event::Message { from, to, payload } => self.overlay.on_message(eng, from, to, payload),
+            Event::Message { from, to, payload } => {
+                // `into_owned` only clones while other in-flight copies
+                // still share the allocation (multicast fan-out or fault
+                // duplication); the last copy out is a free move.
+                self.overlay.on_message(eng, from, to, payload.into_owned())
+            }
             Event::Timer { node, tag } if is_overlay_tag(tag) => {
                 self.overlay.on_timer(eng, node, tag)
             }
@@ -1118,10 +1135,13 @@ impl<P: DataProvider> Seaweed<P> {
         pushes.sort_unstable_by_key(|&(h, v, _)| (h, v));
         for (h, vertex, primary) in pushes {
             let state = &self.vertices[&(h, Id(vertex))];
-            let mut merged = Aggregate::empty(self.queries[h as usize].bound.agg);
-            for (_, a) in state.children.values() {
-                merged.merge(a);
-            }
+            let merged = state.cached.unwrap_or_else(|| {
+                let mut m = Aggregate::empty(self.queries[h as usize].bound.agg);
+                for (_, a) in state.children.values() {
+                    m.merge(a);
+                }
+                m
+            });
             let version = state.out_version;
             let origin = self.queries[h as usize].origin;
             if origin == primary {
@@ -1188,6 +1208,7 @@ impl<P: DataProvider> Seaweed<P> {
                     slot.done = None;
                     slot.reissues = 0;
                     task.reported = false;
+                    task.cached = None; // slot re-opened: memoized merge is stale
                     if !rearm.contains(&key) {
                         rearm.push(key);
                     }

@@ -300,9 +300,32 @@ impl<P: DataProvider> Seaweed<P> {
         self.ensure_vertex_member(eng, at, h, vertex);
 
         let state = self.vertices.get_mut(&(h, vertex)).expect("ensured");
-        let entry = state.children.entry(child).or_insert((0, agg));
-        if version >= entry.0 {
-            *entry = (version, agg);
+        // Keep the memoized children-merge exact: appending a child past
+        // the current maximum key extends the fold in place (same f64
+        // operation order as a recompute); replacing a child or inserting
+        // mid-map invalidates it; a stale duplicate leaves both the map
+        // and the cache untouched.
+        let appends_at_max = state
+            .children
+            .last_key_value()
+            .is_none_or(|(&max, _)| child > max);
+        match state.children.entry(child) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((version, agg));
+                if appends_at_max {
+                    if let Some(c) = &mut state.cached {
+                        c.merge(&agg);
+                    }
+                } else {
+                    state.cached = None;
+                }
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if version >= e.get().0 {
+                    e.insert((version, agg));
+                    state.cached = None;
+                }
+            }
         }
         let children_count = state.children.len();
 
@@ -352,11 +375,22 @@ impl<P: DataProvider> Seaweed<P> {
     fn propagate_up(&mut self, eng: &mut SeaweedEngine, at: NodeIdx, h: QueryHandle, vertex: Id) {
         let qid = self.queries[h as usize].id;
         let b = self.overlay.config().b;
+        let empty = Aggregate::empty(self.queries[h as usize].bound.agg);
         let state = self.vertices.get_mut(&(h, vertex)).expect("vertex exists");
-        let mut merged = Aggregate::empty(self.queries[h as usize].bound.agg);
-        for (_, a) in state.children.values() {
-            merged.merge(a);
-        }
+        // Reuse the memoized children-merge when the submit path kept it
+        // current (the common case: one new child appended); recompute in
+        // canonical ascending-key order otherwise.
+        let merged = match state.cached {
+            Some(m) => m,
+            None => {
+                let mut m = empty;
+                for (_, a) in state.children.values() {
+                    m.merge(a);
+                }
+                state.cached = Some(m);
+                m
+            }
+        };
         state.out_version += 1;
         let version = state.out_version;
 

@@ -374,6 +374,7 @@ mod tests {
                     children,
                     holders: Vec::new(),
                     out_version: 0,
+                    cached: None,
                 },
             );
         }

@@ -11,7 +11,7 @@ use seaweed_availability::ReturnPrediction;
 use seaweed_types::{Duration, LogBuckets};
 
 /// A (partial) completeness predictor.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone)]
 pub struct Predictor {
     buckets: LogBuckets,
     /// Rows available immediately (delay "zero").
@@ -20,6 +20,34 @@ pub struct Predictor {
     later: Vec<f64>,
     /// Number of endsystems folded in (for diagnostics).
     endsystems: u64,
+    /// Memoized wire encoding, cleared by every mutation. Excluded from
+    /// `Debug`/`PartialEq` so observable behaviour (event-log
+    /// fingerprints, equality) is independent of encoding history.
+    encoded: std::cell::OnceCell<Vec<u8>>,
+}
+
+/// Matches the historical derived output field-for-field (the cache is
+/// omitted): predictors appear inside Debug-formatted event logs whose
+/// fingerprints must stay byte-identical.
+impl std::fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor")
+            .field("buckets", &self.buckets)
+            .field("now_rows", &self.now_rows)
+            .field("later", &self.later)
+            .field("endsystems", &self.endsystems)
+            .finish()
+    }
+}
+
+/// Semantic equality: the encoding cache is ignored.
+impl PartialEq for Predictor {
+    fn eq(&self, other: &Self) -> bool {
+        self.buckets == other.buckets
+            && self.now_rows == other.now_rows
+            && self.later == other.later
+            && self.endsystems == other.endsystems
+    }
 }
 
 impl Predictor {
@@ -35,6 +63,7 @@ impl Predictor {
             now_rows: 0.0,
             later: vec![0.0; buckets.len()],
             endsystems: 0,
+            encoded: std::cell::OnceCell::new(),
         }
     }
 
@@ -43,6 +72,7 @@ impl Predictor {
     pub fn add_available(&mut self, rows: f64) {
         self.now_rows += rows.max(0.0);
         self.endsystems += 1;
+        self.encoded.take();
     }
 
     /// Folds in an unavailable endsystem expected to return according to
@@ -54,6 +84,7 @@ impl Predictor {
             self.later[i] += rows * weight;
         }
         self.endsystems += 1;
+        self.encoded.take();
     }
 
     /// Merges another predictor (element-wise; both must share bucketing).
@@ -64,6 +95,7 @@ impl Predictor {
             *a += b;
         }
         self.endsystems += other.endsystems;
+        self.encoded.take();
     }
 
     /// Expected rows queryable within `delay` of the prediction instant
@@ -162,16 +194,27 @@ impl Predictor {
     /// an estimate; 24 bits of mantissa dwarf its accuracy.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_size() as usize);
-        out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.extend_from_slice(&(self.later.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.endsystems.to_le_bytes());
-        out.extend_from_slice(&(self.now_rows as f32).to_le_bytes());
-        for &v in &self.later {
-            out.extend_from_slice(&(v as f32).to_le_bytes());
-        }
-        debug_assert_eq!(out.len(), self.wire_size() as usize);
-        out
+        self.encoded_bytes().to_vec()
+    }
+
+    /// The wire encoding, memoized: the byte buffer is built on first
+    /// access and reused until the next mutation. Repeated encodes of an
+    /// unchanged predictor (per-completion reports, retransmissions) cost
+    /// a slice borrow instead of a fresh serialization.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> &[u8] {
+        self.encoded.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.wire_size() as usize);
+            out.extend_from_slice(&MAGIC.to_le_bytes());
+            out.extend_from_slice(&(self.later.len() as u32).to_le_bytes());
+            out.extend_from_slice(&self.endsystems.to_le_bytes());
+            out.extend_from_slice(&(self.now_rows as f32).to_le_bytes());
+            for &v in &self.later {
+                out.extend_from_slice(&(v as f32).to_le_bytes());
+            }
+            debug_assert_eq!(out.len(), self.wire_size() as usize);
+            out
+        })
     }
 
     /// Decodes a predictor previously produced by [`Predictor::encode`]
@@ -200,6 +243,7 @@ impl Predictor {
             now_rows,
             later,
             endsystems,
+            encoded: std::cell::OnceCell::new(),
         })
     }
 }

@@ -45,6 +45,10 @@ pub struct LiveTables {
     schema: Schema,
     tables: Vec<Table>,
     summaries: Vec<DataSummary>,
+    /// Per-endsystem summary wire sizes, refreshed alongside the
+    /// summaries: [`DataProvider::summary_wire_size`] is charged on every
+    /// metadata push, so it must not re-walk histograms each time.
+    summary_sizes: Vec<u32>,
 }
 
 impl LiveTables {
@@ -59,11 +63,13 @@ impl LiveTables {
         for t in &tables {
             assert_eq!(*t.schema(), schema, "fragments must share a schema");
         }
-        let summaries = tables.iter().map(DataSummary::build).collect();
+        let summaries: Vec<DataSummary> = tables.iter().map(DataSummary::build).collect();
+        let summary_sizes = summaries.iter().map(DataSummary::wire_size).collect();
         LiveTables {
             schema,
             tables,
             summaries,
+            summary_sizes,
         }
     }
 
@@ -90,6 +96,7 @@ impl LiveTables {
     /// changed, §3.2.2).
     pub fn refresh_summary(&mut self, node: usize) {
         self.summaries[node] = DataSummary::build(&self.tables[node]);
+        self.summary_sizes[node] = self.summaries[node].wire_size();
     }
 
     /// Parses and binds a query against this application's schema.
@@ -102,7 +109,7 @@ impl LiveTables {
 
 impl DataProvider for LiveTables {
     fn summary_wire_size(&self, node: usize) -> u32 {
-        self.summaries[node].wire_size()
+        self.summary_sizes[node]
     }
 
     fn estimate_rows(&self, node: usize, query: &BoundQuery) -> f64 {

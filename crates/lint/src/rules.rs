@@ -20,6 +20,7 @@
 //! | D004 | all audited crates   | `std::thread` / `std::sync::mpsc` concurrency |
 //! | D005 | deterministic crates | float-ordered sorts via `partial_cmp` (NaN breaks total order) |
 //! | D006 | all audited crates   | crate root missing `#![forbid(unsafe_code)]` |
+//! | D007 | deterministic crates | `.clone()` of an engine message payload (per-destination payload clones defeat the shared-payload fan-out; use `Payload`/`multicast`) |
 
 use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
@@ -46,6 +47,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("D004", "no std::thread / std::sync::mpsc outside the sanctioned bench worker pool"),
     ("D005", "no float-ordered sorts via partial_cmp in deterministic crates — use total_cmp"),
     ("D006", "every crate root carries #![forbid(unsafe_code)]"),
+    ("D007", "no .clone() of engine message payloads in deterministic crates — share via Payload/multicast; only the engine's fault-duplication path may copy"),
 ];
 
 /// Methods whose call on a hash collection observes iteration order.
@@ -78,6 +80,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
     if ctx.deterministic {
         d001_hash_iteration(ctx, &mut out);
         d005_partial_cmp_sorts(ctx, &mut out);
+        d007_payload_clone(ctx, &mut out);
     }
     d002_wall_clock(ctx, &mut out);
     d003_ambient_randomness(ctx, &mut out);
@@ -507,6 +510,47 @@ fn d005_partial_cmp_sorts(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+// --------------------------------------------------------------- D007
+
+/// Identifiers that denote an engine message payload by the workspace's
+/// own naming convention (`Engine::send(.., payload, ..)` and every
+/// protocol handler use this name for the in-flight message body).
+const PAYLOAD_IDENTS: &[&str] = &["payload"];
+
+/// Flags `.clone()` whose direct receiver is a message payload. Since the
+/// shared-payload envelope landed, fan-out goes through
+/// `Engine::multicast`/`send_shared` and the engine's fault-duplication
+/// path shares the `Rc` instead of cloning — a fresh `payload.clone()`
+/// reintroduces a per-destination copy of the full message body. Like
+/// D001, resolution is by name within the file; rename the local or add
+/// an inline `// lint:allow(D007): ...` marker for a justified copy.
+fn d007_payload_clone(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && t.text == "clone"
+            && i >= 1
+            && is_punct(&tokens[i - 1], '.')
+            && tokens.get(i + 1).is_some_and(|u| is_punct(u, '('))
+        {
+            if let Some(recv) = direct_receiver(tokens, i - 1) {
+                if PAYLOAD_IDENTS.contains(&recv.as_str()) {
+                    out.push(finding(
+                        ctx,
+                        "D007",
+                        t.line,
+                        format!(
+                            "`{recv}.clone()` copies a full message payload per destination; \
+                             share one allocation via `Engine::multicast`/`send_shared` \
+                             (`Payload` envelope) instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 // --------------------------------------------------------------- D006
 
 fn d006_forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
@@ -654,6 +698,36 @@ mod tests {
             )
             .is_empty(),
             "partial_cmp outside a sort comparator is not D005"
+        );
+    }
+
+    #[test]
+    fn d007_payload_clone() {
+        let f = check(
+            "fn f() { for &to in dests { eng.send(from, to, payload.clone(), 64, c); } }",
+            true,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D007");
+        assert!(
+            check(
+                "fn f() { eng.multicast(from, dests, payload, 64, c); }",
+                true
+            )
+            .is_empty(),
+            "multicast without cloning is clean"
+        );
+        assert!(
+            check("fn f() { let p = config.clone(); }", true).is_empty(),
+            "cloning non-payload values is not D007"
+        );
+        assert!(
+            check(
+                "fn f() { for &to in dests { eng.send(from, to, payload.clone(), 64, c); } }",
+                false
+            )
+            .is_empty(),
+            "rule only runs in deterministic crates"
         );
     }
 

@@ -66,6 +66,11 @@ fn d006_forbid_unsafe_pair() {
 }
 
 #[test]
+fn d007_payload_clone_pair() {
+    assert_pair("D007", false, 2);
+}
+
+#[test]
 fn allow_markers_round_trip() {
     // Justified markers (next-line and same-line) suppress everything.
     let f = lint_fixture("allow_roundtrip.rs", false);

@@ -1,0 +1,14 @@
+//! D007 fixture: per-destination clones of an engine message payload —
+//! the allocation pattern the shared-payload envelope exists to remove.
+
+fn push_to_replicas(eng: &mut Engine, members: &[NodeIdx], payload: MetaPush) {
+    for &to in members {
+        eng.send(OWNER, to, payload.clone(), 512, TrafficClass::Maintenance);
+    }
+}
+
+fn duplicate_for_children(out: &mut Vec<(NodeIdx, Msg)>, children: &[NodeIdx], payload: Msg) {
+    for &child in children {
+        out.push((child, payload.clone()));
+    }
+}

@@ -1,0 +1,14 @@
+//! D007 fixture (clean): one shared allocation serves the whole fan-out,
+//! and clones of things that are not message payloads stay legal.
+
+fn push_to_replicas(eng: &mut Engine, members: &[NodeIdx], payload: MetaPush) {
+    eng.multicast(OWNER, members, payload, 512, TrafficClass::Maintenance);
+}
+
+fn duplicate_handle(rc: &Rc<Msg>) -> Rc<Msg> {
+    Rc::clone(rc)
+}
+
+fn copy_config(config: &SimConfig) -> SimConfig {
+    config.clone()
+}

@@ -1008,6 +1008,29 @@ impl Overlay {
         );
     }
 
+    /// Sends one direct application message to every destination in
+    /// `dests`, sharing a single payload allocation across all of them
+    /// (see [`seaweed_sim::Engine::multicast`]). Byte-identical event
+    /// order and accounting to calling [`Overlay::send_app`] once per
+    /// destination.
+    pub fn multicast_app<A: Clone>(
+        &mut self,
+        eng: &mut OverlayEngine<A>,
+        from: NodeIdx,
+        dests: &[NodeIdx],
+        payload: A,
+        size: u32,
+        class: TrafficClass,
+    ) {
+        eng.multicast(
+            from,
+            dests,
+            OverlayMsg::App(payload),
+            wire::HEADER + size,
+            class,
+        );
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn forward_or_deliver<A: Clone>(
         &mut self,
@@ -1173,7 +1196,7 @@ mod tests {
         while let Some((_, ev)) = eng.next_event_before(horizon) {
             match ev {
                 Event::Message { from, to, payload } => {
-                    out.extend(ov.on_message(eng, from, to, payload));
+                    out.extend(ov.on_message(eng, from, to, payload.into_owned()));
                 }
                 Event::Timer { node, tag } if is_overlay_tag(tag) => {
                     out.extend(ov.on_timer(eng, node, tag));

@@ -15,7 +15,7 @@ fn drive(eng: &mut Eng, ov: &mut Overlay, horizon: Time) -> Vec<OverlayEvent<u64
     while let Some((_, ev)) = eng.next_event_before(horizon) {
         match ev {
             Event::Message { from, to, payload } => {
-                out.extend(ov.on_message(eng, from, to, payload))
+                out.extend(ov.on_message(eng, from, to, payload.into_owned()))
             }
             Event::Timer { node, tag } if is_overlay_tag(tag) => {
                 out.extend(ov.on_timer(eng, node, tag))

@@ -36,6 +36,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,14 +86,79 @@ impl NodeIdx {
     }
 }
 
+/// A message payload travelling through the engine: either owned by the
+/// single in-flight copy, or shared (`Rc`-backed) between several — the
+/// fan-out and fault-duplication paths hand every queued copy the same
+/// allocation instead of deep-cloning per destination. The DES is
+/// single-threaded (lint rule D004), so `Rc` suffices.
+///
+/// The envelope is transparent: it `Deref`s to the payload for reads and
+/// its `Debug` output is exactly the inner payload's, so event-log
+/// fingerprints are byte-identical to the historical by-value
+/// representation. Consumers that need ownership call
+/// [`Payload::into_owned`], which only clones when other in-flight
+/// copies still share the allocation.
+pub enum Payload<M> {
+    /// The only copy; moving it out is free.
+    Owned(M),
+    /// One of several copies sharing an allocation.
+    Shared(Rc<M>),
+}
+
+impl<M> Payload<M> {
+    /// Extracts the payload, cloning only if the allocation is still
+    /// shared with other queued copies (the last copy out is free).
+    #[must_use]
+    pub fn into_owned(self) -> M
+    where
+        M: Clone,
+    {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        }
+    }
+
+    /// Converts into the shared representation without touching the
+    /// payload itself (an owned payload is boxed into a fresh `Rc`).
+    #[must_use]
+    pub fn into_rc(self) -> Rc<M> {
+        match self {
+            Payload::Owned(m) => Rc::new(m),
+            Payload::Shared(rc) => rc,
+        }
+    }
+}
+
+impl<M> std::ops::Deref for Payload<M> {
+    type Target = M;
+
+    fn deref(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(rc) => rc,
+        }
+    }
+}
+
+/// Transparent: prints exactly as the inner payload would, so Debug-based
+/// event-log fingerprints cannot tell owned from shared.
+impl<M: std::fmt::Debug> std::fmt::Debug for Payload<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// An event delivered to the application.
 #[derive(Debug)]
 pub enum Event<M> {
-    /// A network message arrived at `to`.
+    /// A network message arrived at `to`. The payload envelope is
+    /// transparent for reads ([`Payload`] derefs to `M`); call
+    /// [`Payload::into_owned`] to take ownership.
     Message {
         from: NodeIdx,
         to: NodeIdx,
-        payload: M,
+        payload: Payload<M>,
     },
     /// A timer fired. `tag` is whatever was passed to
     /// [`Engine::set_timer`] / [`Engine::set_detached_timer`]. A regular
@@ -123,7 +189,7 @@ enum Pending<M> {
     Message {
         from: NodeIdx,
         to: NodeIdx,
-        payload: M,
+        payload: Payload<M>,
         size: u32,
         class: TrafficClass,
     },
@@ -672,28 +738,36 @@ impl<M> Engine<M> {
     /// construction, so plan events occupy a deterministic prefix of the
     /// sequence-number space.
     fn schedule_fault_plan(&mut self) {
-        let Some(inj) = &self.faults else { return };
-        let plan = inj.plan().clone();
-        for (i, p) in plan.partitions.iter().enumerate() {
-            let idx = u32::try_from(i).expect("partition count fits u32");
-            self.push(p.from, Pending::PartitionStart { partition: idx });
-            self.push(p.until, Pending::PartitionEnd { partition: idx });
-        }
-        for c in &plan.crashes {
-            self.push(c.at, Pending::NodeCrash { node: c.node });
-            self.push(c.at + c.rejoin_after, Pending::NodeUp { node: c.node });
-        }
-        for o in &plan.outages {
-            for &m in &o.members {
-                let node = NodeIdx(m);
-                if o.amnesia {
-                    self.push(o.down_at, Pending::NodeCrash { node });
-                } else {
-                    self.push(o.down_at, Pending::NodeDown { node });
+        // Temporarily take the injector so `self.push` (which needs
+        // `&mut self`) can run while we iterate the plan — no clone of
+        // the whole plan just to appease the borrow checker.
+        let Some(inj) = self.faults.take() else {
+            return;
+        };
+        {
+            let plan = inj.plan();
+            for (i, p) in plan.partitions.iter().enumerate() {
+                let idx = u32::try_from(i).expect("partition count fits u32");
+                self.push(p.from, Pending::PartitionStart { partition: idx });
+                self.push(p.until, Pending::PartitionEnd { partition: idx });
+            }
+            for c in &plan.crashes {
+                self.push(c.at, Pending::NodeCrash { node: c.node });
+                self.push(c.at + c.rejoin_after, Pending::NodeUp { node: c.node });
+            }
+            for o in &plan.outages {
+                for &m in &o.members {
+                    let node = NodeIdx(m);
+                    if o.amnesia {
+                        self.push(o.down_at, Pending::NodeCrash { node });
+                    } else {
+                        self.push(o.down_at, Pending::NodeDown { node });
+                    }
+                    self.push(o.up_at, Pending::NodeUp { node });
                 }
-                self.push(o.up_at, Pending::NodeUp { node });
             }
         }
+        self.faults = Some(inj);
     }
 
     /// Current simulated time.
@@ -789,10 +863,51 @@ impl<M> Engine<M> {
     /// multiplier), base random loss, reordering jitter, duplication.
     /// Without a plan the behaviour — including the engine RNG's draw
     /// sequence — is identical to the fault-free engine.
-    pub fn send(&mut self, from: NodeIdx, to: NodeIdx, payload: M, size: u32, class: TrafficClass)
-    where
-        M: Clone,
-    {
+    pub fn send(&mut self, from: NodeIdx, to: NodeIdx, payload: M, size: u32, class: TrafficClass) {
+        self.send_envelope(from, to, Payload::Owned(payload), size, class);
+    }
+
+    /// Sends one destination a payload that is (or may become) shared
+    /// with other in-flight messages. Identical semantics and accounting
+    /// to [`Engine::send`] — only the payload's ownership differs.
+    pub fn send_shared(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        payload: Rc<M>,
+        size: u32,
+        class: TrafficClass,
+    ) {
+        self.send_envelope(from, to, Payload::Shared(payload), size, class);
+    }
+
+    /// Fans one payload out to every destination in `dests` (in slice
+    /// order) with a single allocation shared by all queued copies.
+    /// Equivalent — byte-for-byte, including RNG draw order, sequence
+    /// numbers, traces and bandwidth accounting — to calling
+    /// [`Engine::send`] once per destination with a fresh clone.
+    pub fn multicast(
+        &mut self,
+        from: NodeIdx,
+        dests: &[NodeIdx],
+        payload: M,
+        size: u32,
+        class: TrafficClass,
+    ) {
+        let rc = Rc::new(payload);
+        for &to in dests {
+            self.send_envelope(from, to, Payload::Shared(Rc::clone(&rc)), size, class);
+        }
+    }
+
+    fn send_envelope(
+        &mut self,
+        from: NodeIdx,
+        to: NodeIdx,
+        payload: Payload<M>,
+        size: u32,
+        class: TrafficClass,
+    ) {
         debug_assert!(self.up[from.idx()], "down node {from:?} tried to send");
         self.messages_sent += 1;
         self.recorder.record_tx(self.now, from.idx(), class, size);
@@ -855,13 +970,16 @@ impl<M> Engine<M> {
             jitter = inj.reorder_jitter();
             duplicated = inj.duplicate();
         }
-        if duplicated {
+        let payload = if duplicated {
+            // The duplicate shares the original's allocation — no deep
+            // clone of the payload, only a second reference.
+            let rc = payload.into_rc();
             self.push(
                 self.now + latency + jitter,
                 Pending::Message {
                     from,
                     to,
-                    payload: payload.clone(),
+                    payload: Payload::Shared(Rc::clone(&rc)),
                     size,
                     class,
                 },
@@ -872,7 +990,10 @@ impl<M> Engine<M> {
                 .faults
                 .as_mut()
                 .map_or(Duration::ZERO, FaultInjector::reorder_jitter);
-        }
+            Payload::Shared(rc)
+        } else {
+            payload
+        };
         self.push(
             self.now + latency + jitter,
             Pending::Message {
@@ -1252,7 +1373,7 @@ mod tests {
             Event::Message { from, to, payload } => {
                 assert_eq!(from, NodeIdx(0));
                 assert_eq!(to, NodeIdx(1));
-                assert_eq!(payload, "hello");
+                assert_eq!(payload.into_owned(), "hello");
             }
             other => panic!("unexpected {other:?}"),
         }

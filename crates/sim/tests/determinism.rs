@@ -270,8 +270,90 @@ fn run_traced(script: &[Action], seed: u64, trace: bool) -> (Vec<String>, String
     (log, format!("{report:?}"), jsonl)
 }
 
+/// Like `run_faulty`, but every fan-out goes through either the shared-
+/// payload [`Engine::multicast`] or the equivalent per-destination
+/// clone-and-send loop, selected by `multicast`. The payload is a real
+/// allocation (`Vec<u64>`) so sharing is observable if it ever leaked
+/// into behaviour. Returns the event log and the report rendering.
+fn run_fanout(
+    script: &[Action],
+    seed: u64,
+    scheduler: SchedulerKind,
+    multicast: bool,
+) -> (Vec<String>, String) {
+    let mut eng: Engine<Vec<u64>> = Engine::new(
+        Box::new(UniformTopology::new(8, Duration::from_millis(3))),
+        SimConfig {
+            seed,
+            loss_rate: 0.05,
+            scheduler,
+            faults: Some(chaos_plan()),
+            ..SimConfig::default()
+        },
+    );
+    let fan = |eng: &mut Engine<Vec<u64>>, from: NodeIdx, payload: Vec<u64>| {
+        let dests: Vec<NodeIdx> = (0..8u32).map(NodeIdx).filter(|&d| d != from).collect();
+        if multicast {
+            eng.multicast(from, &dests, payload, 256, TrafficClass::Maintenance);
+        } else {
+            for &to in &dests {
+                // lint:allow(D007): this IS the clone-per-destination baseline the equivalence proptest compares multicast against
+                eng.send(from, to, payload.clone(), 256, TrafficClass::Maintenance);
+            }
+        }
+    };
+    eng.schedule_up(Time::ZERO, NodeIdx(0));
+    let _ = eng.next_event_before(Time(1));
+    for a in script {
+        match *a {
+            Action::Up(n, t) => eng.schedule_up(Time(1 + t), NodeIdx(u32::from(n))),
+            Action::Down(n, t) => eng.schedule_down(Time(1 + t), NodeIdx(u32::from(n))),
+            Action::Timer(n, d, tag) => {
+                let _ = eng.set_timer(NodeIdx(u32::from(n)), Duration::from_micros(d), tag);
+            }
+        }
+    }
+    let mut log = Vec::new();
+    let mut fanouts = 0u32;
+    while let Some((t, ev)) = eng.next_event_before(Time::ZERO + Duration::from_secs(20)) {
+        log.push(format!("{t:?} {ev:?}"));
+        match ev {
+            // Every delivery echoes a bounded fan-out so shared payloads
+            // are re-sent from inside the loop, racing the fault windows.
+            Event::Message { to, payload, .. } if fanouts < 40 && eng.is_up(to) => {
+                fanouts += 1;
+                let mut next = payload.into_owned();
+                next.push(u64::from(fanouts));
+                fan(&mut eng, to, next);
+            }
+            Event::NodeUp { node } => {
+                fan(&mut eng, node, vec![u64::from(node.0); 16]);
+            }
+            _ => {}
+        }
+    }
+    let report = eng.finish();
+    (log, format!("{report:?}"))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shared-payload multicast is behaviourally invisible: for any churn
+    /// script under the full chaos plan (loss, duplication, reordering,
+    /// partitions, crash-amnesia), fanning a payload out via one
+    /// `multicast` call produces byte-identical event logs and bandwidth
+    /// reports to the per-destination clone-and-send loop it replaced —
+    /// under both scheduler implementations.
+    #[test]
+    fn multicast_matches_clone_loop(script in actions(), seed in 0u64..200) {
+        for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let (log_m, rep_m) = run_fanout(&script, seed, scheduler, true);
+            let (log_c, rep_c) = run_fanout(&script, seed, scheduler, false);
+            prop_assert_eq!(log_m, log_c);
+            prop_assert_eq!(rep_m, rep_c);
+        }
+    }
 
     /// The timer wheel and the reference heap deliver byte-identical
     /// event sequences and bandwidth reports for any script of churn,

@@ -17,12 +17,34 @@ use crate::table::Table;
 pub const DEFAULT_BUCKETS: usize = 64;
 
 /// Replicable summary of one endsystem's fragment of one table.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Summaries are immutable after [`DataSummary::build`] (an endsystem
+/// rebuilds the whole summary when its fragment changes), so the wire
+/// size is memoized on first use.
+#[derive(Clone)]
 pub struct DataSummary {
     /// Total rows in the fragment.
     pub row_count: u64,
     /// `(column index, histogram)` for each indexed column.
     pub histograms: Vec<(usize, ColumnHistogram)>,
+    /// Memoized [`DataSummary::wire_size`]; derived from the fields above,
+    /// hence excluded from `Debug`/`PartialEq`.
+    wire: std::cell::OnceCell<u32>,
+}
+
+impl std::fmt::Debug for DataSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataSummary")
+            .field("row_count", &self.row_count)
+            .field("histograms", &self.histograms)
+            .finish()
+    }
+}
+
+impl PartialEq for DataSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.row_count == other.row_count && self.histograms == other.histograms
+    }
 }
 
 impl DataSummary {
@@ -46,6 +68,7 @@ impl DataSummary {
         DataSummary {
             row_count: table.num_rows() as u64,
             histograms,
+            wire: std::cell::OnceCell::new(),
         }
     }
 
@@ -88,13 +111,16 @@ impl DataSummary {
     }
 
     /// Serialized size in bytes — what metadata replication pays per push.
+    /// Computed once and memoized (summaries are immutable after build).
     #[must_use]
     pub fn wire_size(&self) -> u32 {
-        8 + self
-            .histograms
-            .iter()
-            .map(|(_, h)| 4 + h.wire_size())
-            .sum::<u32>()
+        *self.wire.get_or_init(|| {
+            8 + self
+                .histograms
+                .iter()
+                .map(|(_, h)| 4 + h.wire_size())
+                .sum::<u32>()
+        })
     }
 
     /// Size of a delta encoding against the previously pushed version —

@@ -26,6 +26,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (Criterion benches must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "==> chaos smoke (fixed seed: oracles clean, CSV byte-stable)"
 ./target/release/chaos01_faults --seed 7 --seeds 4 --out results/chaos01_smoke_a.csv
 ./target/release/chaos01_faults --seed 7 --seeds 4 --out results/chaos01_smoke_b.csv >/dev/null
@@ -40,5 +43,15 @@ echo "==> trace smoke (fixed seed: CSV and JSONL trace byte-stable)"
 cmp results/obs01_smoke_a.csv results/obs01_smoke_b.csv
 cmp results/obs01_trace_a.jsonl results/obs01_trace_b.jsonl
 rm -f results/obs01_smoke_{a,b}.csv results/obs01_trace_{a,b}.jsonl
+
+echo "==> scale smoke (fixed seed, small N: CSV byte-stable)"
+# The CSV carries only simulation-deterministic columns; the JSON twin
+# holds wall-clock and is machine-dependent, so only the CSV is compared.
+./target/release/scale01_endsystems --base 100 --max-n 200 --seed 7 \
+  --out results/scale01_smoke_a.csv --json results/scale01_smoke_a.json
+./target/release/scale01_endsystems --base 100 --max-n 200 --seed 7 \
+  --out results/scale01_smoke_b.csv --json results/scale01_smoke_b.json >/dev/null
+cmp results/scale01_smoke_a.csv results/scale01_smoke_b.csv
+rm -f results/scale01_smoke_{a,b}.csv results/scale01_smoke_{a,b}.json
 
 echo "OK"
