@@ -36,6 +36,8 @@ const EXPERIMENTS: &[&str] = &[
     "abl06_delta_encoding",
     "chaos01_faults",
     "scale01_endsystems",
+    // Last: the Farsite-scale run dwarfs everything above it.
+    "scale02_farsite",
 ];
 
 struct ExpOutcome {

@@ -235,9 +235,11 @@ impl<P: DataProvider> Seaweed<P> {
         if r.contains(self.overlay.id_of(n)) {
             acc.add_available(self.provider.estimate_rows(n.idx(), bound));
         }
-        // Enumerate endsystem ids inside r (the index is over all
-        // endsystems, available or not).
-        for x in ids_in_range(&self.id_index, r) {
+        // Enumerate endsystem ids inside r (the ring index's universe
+        // covers all endsystems, available or not) without materializing
+        // a Vec — a full-circle range at Farsite scale would otherwise
+        // allocate N entries per dissemination leaf.
+        for x in self.overlay.ring_index().all_in_range(r) {
             if x == n || eng.is_up(x) {
                 // Available endsystems answer for themselves elsewhere in
                 // the broadcast. (An up-but-not-yet-joined endsystem will
@@ -288,7 +290,7 @@ impl<P: DataProvider> Seaweed<P> {
                 Err(_) => self.stats.exec_failures += 1,
             }
         }
-        for x in ids_in_range(&self.id_index, r) {
+        for x in self.overlay.ring_index().all_in_range(r) {
             if x == n || eng.is_up(x) {
                 continue; // live endsystems answer with fresh values
             }
@@ -319,24 +321,20 @@ impl<P: DataProvider> Seaweed<P> {
         // Find this node's task owning that subrange. Heal-time re-issues
         // can leave one node with several tasks whose slots cover the
         // same range (an old given-up slot plus a fresh one), so collect
-        // every candidate in sorted order and prefer a still-pending slot
-        // — map iteration order must not decide which task fills. (The
-        // task map is a BTreeMap, so the explicit sort is a no-op kept
-        // as a guard against the container type changing.)
-        let mut candidates: Vec<TaskKey> = self
+        // every candidate and prefer a still-pending slot — container
+        // iteration order must not decide which task fills.
+        // `candidate_keys` returns ascending key order under both hot
+        // state layouts, which pins the tie-break.
+        let candidates: Vec<TaskKey> = self
             .tasks
-            .iter()
-            .filter(|(&(node, qh, _, _), task)| {
-                node == n.0 && qh == h && task.slots.iter().any(|s| s.range == range)
-            })
-            .map(|(&k, _)| k)
-            .collect();
-        candidates.sort_unstable();
+            .candidate_keys(n.0, h, |task| task.slots.iter().any(|s| s.range == range));
         let key = candidates
             .iter()
             .copied()
             .find(|k| {
-                self.tasks[k]
+                self.tasks
+                    .get(k)
+                    .expect("just collected")
                     .slots
                     .iter()
                     .any(|s| s.range == range && s.done.is_none())
@@ -573,27 +571,6 @@ impl<P: DataProvider> Seaweed<P> {
     }
 }
 
-/// Endsystems whose ids fall within `r`.
-fn ids_in_range(index: &std::collections::BTreeMap<u128, NodeIdx>, r: &IdRange) -> Vec<NodeIdx> {
-    if r.is_empty() {
-        return Vec::new();
-    }
-    if r.is_full() {
-        return index.values().copied().collect();
-    }
-    let start = r.start().0;
-    let width = r.width().expect("not full");
-    let end = start.wrapping_add(width); // exclusive
-    let mut out = Vec::new();
-    if start < end {
-        out.extend(index.range(start..end).map(|(_, &n)| n));
-    } else {
-        out.extend(index.range(start..).map(|(_, &n)| n));
-        out.extend(index.range(..end).map(|(_, &n)| n));
-    }
-    out
-}
-
 /// Is `inner` entirely contained in `outer`?
 fn range_within(inner: &IdRange, outer: &IdRange) -> bool {
     if inner.is_empty() || outer.is_full() {
@@ -613,20 +590,6 @@ fn range_within(inner: &IdRange, outer: &IdRange) -> bool {
 mod tests {
     use super::*;
     use seaweed_types::Id;
-
-    #[test]
-    fn ids_in_range_handles_wrap() {
-        let mut index = std::collections::BTreeMap::new();
-        for v in [0u128, 10, 100, u128::MAX - 5] {
-            index.insert(v, NodeIdx(v as u32));
-        }
-        let r = IdRange::between(Id(u128::MAX - 10), Id(50));
-        let hits = ids_in_range(&index, &r);
-        assert_eq!(hits.len(), 3); // MAX-5, 0, 10
-        let full = ids_in_range(&index, &IdRange::FULL);
-        assert_eq!(full.len(), 4);
-        assert!(ids_in_range(&index, &IdRange::EMPTY).is_empty());
-    }
 
     #[test]
     fn range_within_cases() {

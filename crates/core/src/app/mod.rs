@@ -20,6 +20,7 @@
 mod disseminate;
 mod metadata;
 mod results;
+mod storage;
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -34,6 +35,7 @@ use seaweed_types::{sha1, Duration, Id, IdRange, Time};
 use crate::obs::QueryTimeline;
 use crate::predictor::Predictor;
 use crate::provider::DataProvider;
+use storage::{NodeQueryStore, SubmitStore, TaskStore, VertexStore};
 
 /// Engine type the full Seaweed stack runs on.
 pub type SeaweedEngine = Engine<OverlayMsg<SeaweedMsg>>;
@@ -390,8 +392,6 @@ pub struct Seaweed<P: DataProvider> {
     pub cfg: SeaweedConfig,
     pub overlay: Overlay,
     pub provider: P,
-    /// All endsystem ids, ordered, for range enumeration.
-    pub(crate) id_index: BTreeMap<u128, NodeIdx>,
 
     // ---- metadata plane ----
     pub(crate) models: Vec<AvailabilityModel>,
@@ -414,19 +414,19 @@ pub struct Seaweed<P: DataProvider> {
     /// Bitmask per node of queries whose local execution is scheduled or
     /// in flight.
     pub(crate) exec_pending: Vec<u64>,
-    pub(crate) tasks: BTreeMap<TaskKey, DissemTask>,
-    pub(crate) vertices: BTreeMap<(QueryHandle, Id), VertexState>,
+    pub(crate) tasks: TaskStore,
+    pub(crate) vertices: VertexStore,
     pub(crate) node_vertices: Vec<Vec<(QueryHandle, Id)>>,
-    pub(crate) pending_submits: BTreeMap<(u32, QueryHandle, u128), PendingSubmit>,
+    pub(crate) pending_submits: SubmitStore,
     /// Latest epoch each endsystem has executed for a continuous query.
-    pub(crate) cont_epoch: BTreeMap<(u32, QueryHandle), u64>,
+    pub(crate) cont_epoch: NodeQueryStore<u64>,
     /// The aggregation-tree vertex each endsystem persisted for its leaf
     /// submissions (§3.4: "It then persists that vertexId with the
     /// query") — reused across availability sessions so a rejoining
     /// endsystem updates the *same* child slot instead of forking a new
     /// tree path. Survives crash-amnesia: it is persisted with the
     /// query, not soft state.
-    pub(crate) leaf_targets: BTreeMap<(u32, QueryHandle), Id>,
+    pub(crate) leaf_targets: NodeQueryStore<Id>,
     /// Dissemination subranges abandoned after exhausting reissues
     /// (`(issuing node, query, range)` in give-up order). A partition
     /// can swallow a whole subtree of the broadcast; at heal time each
@@ -464,7 +464,7 @@ pub struct Seaweed<P: DataProvider> {
 impl<P: DataProvider> std::fmt::Debug for Seaweed<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Seaweed")
-            .field("endsystems", &self.id_index.len())
+            .field("endsystems", &self.overlay.ids().len())
             .field("queries", &self.queries.len())
             .field("tasks", &self.tasks.len())
             .field("vertices", &self.vertices.len())
@@ -482,20 +482,16 @@ impl<P: DataProvider> Seaweed<P> {
     #[must_use]
     pub fn new(overlay: Overlay, provider: P, cfg: SeaweedConfig) -> Self {
         let n = overlay.ids().len();
-        let id_index: BTreeMap<u128, NodeIdx> = overlay
-            .ids()
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (id.0, NodeIdx(i as u32)))
-            .collect();
-        assert_eq!(id_index.len(), n, "endsystem ids must be unique");
+        // Hot-state container backend; the overlay's ring index (which
+        // asserts id uniqueness) doubles as the ordered id universe for
+        // range enumeration, so no separate id map is kept here.
+        let layout = overlay.config().layout;
         Seaweed {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x05ea_eeda_4400),
             models: (0..n).map(|_| AvailabilityModel::new(cfg.model)).collect(),
             cfg,
             overlay,
             provider,
-            id_index,
             down_since: vec![Some(Time::ZERO); n],
             holders: vec![Vec::new(); n],
             held_by: vec![Vec::new(); n],
@@ -505,12 +501,12 @@ impl<P: DataProvider> Seaweed<P> {
             knows_query: vec![0; n],
             submitted: vec![0; n],
             exec_pending: vec![0; n],
-            tasks: BTreeMap::new(),
-            vertices: BTreeMap::new(),
+            tasks: TaskStore::new(layout, n),
+            vertices: VertexStore::new(layout),
             node_vertices: vec![Vec::new(); n],
-            pending_submits: BTreeMap::new(),
-            cont_epoch: BTreeMap::new(),
-            leaf_targets: BTreeMap::new(),
+            pending_submits: SubmitStore::new(layout, n),
+            cont_epoch: NodeQueryStore::new(layout, n),
+            leaf_targets: NodeQueryStore::new(layout, n),
             gave_up: Vec::new(),
             amnesia_meta: vec![Vec::new(); n],
             amnesia_vertices: vec![Vec::new(); n],
@@ -1023,14 +1019,14 @@ impl<P: DataProvider> Seaweed<P> {
         let q = &mut self.queries[query as usize];
         q.active = false;
         // Drop protocol state lazily held for this query.
-        self.tasks.retain(|&(_, qh, _, _), _| qh != query);
-        self.vertices.retain(|&(qh, _), _| qh != query);
+        self.tasks.clear_query(query);
+        self.vertices.clear_query(query);
         for nv in &mut self.node_vertices {
             nv.retain(|&(qh, _)| qh != query);
         }
-        self.pending_submits.retain(|&(_, qh, _), _| qh != query);
-        self.cont_epoch.retain(|&(_, qh), _| qh != query);
-        self.leaf_targets.retain(|&(_, qh), _| qh != query);
+        self.pending_submits.clear_query(query);
+        self.cont_epoch.clear_query(query);
+        self.leaf_targets.clear_query(query);
         self.gave_up.retain(|&(_, qh, _)| qh != query);
     }
 
@@ -1053,8 +1049,8 @@ impl<P: DataProvider> Seaweed<P> {
     fn on_node_down(&mut self, _eng: &mut SeaweedEngine, n: NodeIdx) {
         self.down_since[n.idx()] = Some(_eng.now());
         // Local volatile query state dies with the node; parents reissue.
-        self.tasks.retain(|&(node, _, _, _), _| node != n.0);
-        self.pending_submits.retain(|&(node, _, _), _| node != n.0);
+        self.tasks.clear_node(n.0);
+        self.pending_submits.clear_node(n.0);
         // The engine auto-cancelled this node's timers; drop the matching
         // deferred actions (query expiry is detached and survives).
         self.timers.retain(|_, a| a.node() != Some(n));
@@ -1079,7 +1075,7 @@ impl<P: DataProvider> Seaweed<P> {
         self.stats.amnesia_crashes += 1;
         self.knows_query[n.idx()] = 0;
         self.submitted[n.idx()] = 0;
-        self.cont_epoch.retain(|&(node, _), _| node != n.0);
+        self.cont_epoch.clear_node(n.0);
         // Metadata copies held for other owners are gone *now*: prune the
         // holder lists so nobody counts them, but stash the owner list so
         // first-detection repair can still re-replicate from survivors.
@@ -1119,7 +1115,7 @@ impl<P: DataProvider> Seaweed<P> {
     fn on_partition_healed(&mut self, eng: &mut SeaweedEngine) {
         let b = self.overlay.config().b;
         let mut pushes: Vec<(QueryHandle, u128, NodeIdx)> = Vec::new();
-        for (&(h, vertex), state) in &self.vertices {
+        for ((h, vertex), state) in self.vertices.iter() {
             let q = &self.queries[h as usize];
             if !q.active || state.children.is_empty() {
                 continue;
@@ -1134,7 +1130,7 @@ impl<P: DataProvider> Seaweed<P> {
         }
         pushes.sort_unstable_by_key(|&(h, v, _)| (h, v));
         for (h, vertex, primary) in pushes {
-            let state = &self.vertices[&(h, Id(vertex))];
+            let state = self.vertices.get(&(h, Id(vertex))).expect("pushed above");
             let merged = state.cached.unwrap_or_else(|| {
                 let mut m = Aggregate::empty(self.queries[h as usize].bound.agg);
                 for (_, a) in state.children.values() {
@@ -1189,15 +1185,11 @@ impl<P: DataProvider> Seaweed<P> {
                 continue;
             }
             if issuer == n {
-                let mut candidates: Vec<TaskKey> = self
+                // Ascending key order under both layouts; the first
+                // candidate is picked, so the order is protocol-visible.
+                let candidates: Vec<TaskKey> = self
                     .tasks
-                    .iter()
-                    .filter(|(&(node, qh, _, _), task)| {
-                        node == n.0 && qh == h && task.slots.iter().any(|s| s.range == range)
-                    })
-                    .map(|(&k, _)| k)
-                    .collect();
-                candidates.sort_unstable();
+                    .candidate_keys(n.0, h, |task| task.slots.iter().any(|s| s.range == range));
                 if let Some(key) = candidates.first().copied() {
                     let task = self.tasks.get_mut(&key).expect("just found");
                     let slot = task

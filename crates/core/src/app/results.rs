@@ -92,7 +92,7 @@ impl<P: DataProvider> Seaweed<P> {
     ) {
         let q = &self.queries[h as usize];
         let epoch = eng.now().saturating_since(q.injected).as_micros() / interval.as_micros();
-        let already = self.cont_epoch.get(&(n.0, h)).copied();
+        let already = self.cont_epoch.get(n.0, h);
         if already != Some(epoch) {
             let now_secs = (eng.now().as_micros() / 1_000_000) as i64;
             let bound = seaweed_store::Query::parse(&q.text)
@@ -100,7 +100,7 @@ impl<P: DataProvider> Seaweed<P> {
                 .expect("continuous query re-binds (validated at injection)");
             match self.provider.execute(n.idx(), &bound) {
                 Ok(agg) => {
-                    self.cont_epoch.insert((n.0, h), epoch);
+                    self.cont_epoch.insert(n.0, h, epoch);
                     let my_id = self.overlay.id_of(n);
                     let target = self.leaf_vertex(n, h);
                     self.stats.result_submissions += 1;
@@ -140,7 +140,7 @@ impl<P: DataProvider> Seaweed<P> {
     /// so resubmissions after churn update the same child slot rather
     /// than forking a second tree path.
     pub(crate) fn leaf_vertex(&mut self, n: NodeIdx, h: QueryHandle) -> Id {
-        if let Some(&v) = self.leaf_targets.get(&(n.0, h)) {
+        if let Some(v) = self.leaf_targets.get(n.0, h) {
             return v;
         }
         let qid = self.queries[h as usize].id;
@@ -154,7 +154,7 @@ impl<P: DataProvider> Seaweed<P> {
                 Some(p) => break p,
             }
         };
-        self.leaf_targets.insert((n.0, h), target);
+        self.leaf_targets.insert(n.0, h, target);
         target
     }
 

@@ -1,0 +1,617 @@
+//! Dual-backend hot-state containers for the protocol layer.
+//!
+//! Every per-query/per-node table the handlers touch on the hot path
+//! lives behind one of the stores below, each with two layouts selected
+//! at construction from [`LayoutKind`]:
+//!
+//! * **`Map`** — the original workspace-wide `BTreeMap` keyed by wide
+//!   composite tuples (`(node, query, start, width)` and friends). This
+//!   is the retained baseline the layout-equivalence proptest pins the
+//!   arena against.
+//! * **`Arena`** — state bucketed by dense `u32` node index (a `Vec`
+//!   addressed directly) or per-query slab slots, so the common
+//!   operations — "this node went down, drop its soft state", "this
+//!   query expired, drop everything it owns", point lookups keyed by a
+//!   node the caller already holds as a dense index — touch only the
+//!   entries involved instead of walking a map of the whole world.
+//!
+//! Iteration order is part of the protocol's determinism contract, so
+//! each store's iterators are arranged to visit entries in *exactly* the
+//! order the map backend would: node-major buckets replay the
+//! `(node, ...)` lexicographic order, and per-query vertex maps replay
+//! `(query, id)` order. The chaos-plan equivalence proptest in
+//! `tests/layout_equivalence.rs` holds the two backends to byte-identical
+//! event logs and bandwidth reports.
+
+use std::collections::BTreeMap;
+
+use seaweed_overlay::LayoutKind;
+use seaweed_types::Id;
+
+use super::{DissemTask, PendingSubmit, QueryHandle, TaskKey, VertexState};
+
+/// Dissemination tasks, keyed `(node, query, range start, range width)`.
+#[derive(Debug)]
+pub(crate) enum TaskStore {
+    Map(BTreeMap<TaskKey, DissemTask>),
+    /// One map per endsystem, keyed by the remainder of the task key, so
+    /// node-death cleanup drops one bucket instead of filtering the
+    /// world.
+    Arena {
+        per_node: Vec<BTreeMap<(QueryHandle, u128, u128), DissemTask>>,
+        len: usize,
+    },
+}
+
+impl TaskStore {
+    pub fn new(layout: LayoutKind, n: usize) -> Self {
+        match layout {
+            LayoutKind::Map => TaskStore::Map(BTreeMap::new()),
+            LayoutKind::Arena => TaskStore::Arena {
+                per_node: (0..n).map(|_| BTreeMap::new()).collect(),
+                len: 0,
+            },
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            TaskStore::Map(m) => m.len(),
+            TaskStore::Arena { len, .. } => *len,
+        }
+    }
+
+    pub fn get(&self, key: &TaskKey) -> Option<&DissemTask> {
+        match self {
+            TaskStore::Map(m) => m.get(key),
+            TaskStore::Arena { per_node, .. } => {
+                per_node[key.0 as usize].get(&(key.1, key.2, key.3))
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &TaskKey) -> Option<&mut DissemTask> {
+        match self {
+            TaskStore::Map(m) => m.get_mut(key),
+            TaskStore::Arena { per_node, .. } => {
+                per_node[key.0 as usize].get_mut(&(key.1, key.2, key.3))
+            }
+        }
+    }
+
+    pub fn insert(&mut self, key: TaskKey, task: DissemTask) {
+        match self {
+            TaskStore::Map(m) => {
+                m.insert(key, task);
+            }
+            TaskStore::Arena { per_node, len } => {
+                if per_node[key.0 as usize]
+                    .insert((key.1, key.2, key.3), task)
+                    .is_none()
+                {
+                    *len += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops every task issued at `node` (its volatile state died with
+    /// it). O(own entries) under the arena layout.
+    pub fn clear_node(&mut self, node: u32) {
+        match self {
+            TaskStore::Map(m) => m.retain(|&(n, _, _, _), _| n != node),
+            TaskStore::Arena { per_node, len } => {
+                let bucket = std::mem::take(&mut per_node[node as usize]);
+                *len -= bucket.len();
+            }
+        }
+    }
+
+    /// Drops every task belonging to an expired query.
+    pub fn clear_query(&mut self, query: QueryHandle) {
+        match self {
+            TaskStore::Map(m) => m.retain(|&(_, qh, _, _), _| qh != query),
+            TaskStore::Arena { per_node, len } => {
+                for bucket in per_node {
+                    let before = bucket.len();
+                    bucket.retain(|&(qh, _, _), _| qh != query);
+                    *len -= before - bucket.len();
+                }
+            }
+        }
+    }
+
+    /// All task keys in ascending `(node, query, start, width)` order —
+    /// identical between layouts.
+    pub fn keys(&self) -> Box<dyn Iterator<Item = TaskKey> + '_> {
+        match self {
+            TaskStore::Map(m) => Box::new(m.keys().copied()),
+            TaskStore::Arena { per_node, .. } => {
+                Box::new(per_node.iter().enumerate().flat_map(|(n, bucket)| {
+                    bucket.keys().map(move |&(q, s, w)| (n as u32, q, s, w))
+                }))
+            }
+        }
+    }
+
+    /// Keys of `node`'s tasks for `query` whose task satisfies `pred`,
+    /// in ascending key order under both layouts (the heal/report paths
+    /// pick the first candidate, so this order is protocol-visible).
+    pub fn candidate_keys(
+        &self,
+        node: u32,
+        query: QueryHandle,
+        mut pred: impl FnMut(&DissemTask) -> bool,
+    ) -> Vec<TaskKey> {
+        match self {
+            TaskStore::Map(m) => m
+                .range((node, query, 0, 0)..=(node, query, u128::MAX, u128::MAX))
+                .filter(|(_, t)| pred(t))
+                .map(|(&k, _)| k)
+                .collect(),
+            TaskStore::Arena { per_node, .. } => per_node[node as usize]
+                .range((query, 0, 0)..=(query, u128::MAX, u128::MAX))
+                .filter(|(_, t)| pred(t))
+                .map(|(&(q, s, w), _)| (node, q, s, w))
+                .collect(),
+        }
+    }
+}
+
+/// Aggregation-tree vertices, keyed `(query, vertex id)`.
+#[derive(Debug)]
+pub(crate) enum VertexStore {
+    Map(BTreeMap<(QueryHandle, Id), VertexState>),
+    /// Per-query id maps resolving into one shared slab of state slots.
+    /// Freed slots are wiped (`std::mem::take`) before entering the free
+    /// list, so a recycled slot can never leak a dead query's children
+    /// or holders into a new handle. Live entries = `slots` minus
+    /// `free`, and iteration (query-major, id ascending) replays the
+    /// `(query, id)` lexicographic order of the map backend exactly.
+    Arena {
+        by_id: Vec<BTreeMap<u128, u32>>,
+        slots: Vec<VertexState>,
+        free: Vec<u32>,
+    },
+}
+
+impl VertexStore {
+    pub fn new(layout: LayoutKind) -> Self {
+        match layout {
+            LayoutKind::Map => VertexStore::Map(BTreeMap::new()),
+            LayoutKind::Arena => VertexStore::Arena {
+                by_id: Vec::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+            },
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            VertexStore::Map(m) => m.len(),
+            VertexStore::Arena { slots, free, .. } => slots.len() - free.len(),
+        }
+    }
+
+    pub fn contains_key(&self, key: &(QueryHandle, Id)) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn get(&self, key: &(QueryHandle, Id)) -> Option<&VertexState> {
+        match self {
+            VertexStore::Map(m) => m.get(key),
+            VertexStore::Arena { by_id, slots, .. } => by_id
+                .get(key.0 as usize)?
+                .get(&key.1 .0)
+                .map(|&slot| &slots[slot as usize]),
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &(QueryHandle, Id)) -> Option<&mut VertexState> {
+        match self {
+            VertexStore::Map(m) => m.get_mut(key),
+            VertexStore::Arena { by_id, slots, .. } => by_id
+                .get(key.0 as usize)?
+                .get(&key.1 .0)
+                .map(|&slot| &mut slots[slot as usize]),
+        }
+    }
+
+    pub fn insert(&mut self, key: (QueryHandle, Id), state: VertexState) {
+        match self {
+            VertexStore::Map(m) => {
+                m.insert(key, state);
+            }
+            VertexStore::Arena { by_id, slots, free } => {
+                let q = key.0 as usize;
+                if by_id.len() <= q {
+                    by_id.resize_with(q + 1, BTreeMap::new);
+                }
+                if let Some(&slot) = by_id[q].get(&key.1 .0) {
+                    slots[slot as usize] = state;
+                } else {
+                    let slot = match free.pop() {
+                        Some(slot) => {
+                            slots[slot as usize] = state;
+                            slot
+                        }
+                        None => {
+                            slots.push(state);
+                            (slots.len() - 1) as u32
+                        }
+                    };
+                    by_id[q].insert(key.1 .0, slot);
+                }
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: &(QueryHandle, Id)) -> Option<VertexState> {
+        match self {
+            VertexStore::Map(m) => m.remove(key),
+            VertexStore::Arena { by_id, slots, free } => {
+                let slot = by_id.get_mut(key.0 as usize)?.remove(&key.1 .0)?;
+                free.push(slot);
+                Some(std::mem::take(&mut slots[slot as usize]))
+            }
+        }
+    }
+
+    /// Drops every vertex of an expired query.
+    pub fn clear_query(&mut self, query: QueryHandle) {
+        match self {
+            VertexStore::Map(m) => m.retain(|&(qh, _), _| qh != query),
+            VertexStore::Arena { by_id, slots, free } => {
+                let Some(bucket) = by_id.get_mut(query as usize) else {
+                    return;
+                };
+                for (_, slot) in std::mem::take(bucket) {
+                    slots[slot as usize] = VertexState::default();
+                    free.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Entries in ascending `(query, vertex id)` order — identical
+    /// between layouts.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = ((QueryHandle, Id), &VertexState)> + '_> {
+        match self {
+            VertexStore::Map(m) => Box::new(m.iter().map(|(&k, v)| (k, v))),
+            VertexStore::Arena { by_id, slots, .. } => {
+                Box::new(by_id.iter().enumerate().flat_map(move |(q, bucket)| {
+                    bucket.iter().map(move |(&id, &slot)| {
+                        ((q as QueryHandle, Id(id)), &slots[slot as usize])
+                    })
+                }))
+            }
+        }
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = (QueryHandle, Id)> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+/// In-flight upward submissions, keyed `(node, query, child key)`.
+#[derive(Debug)]
+pub(crate) enum SubmitStore {
+    Map(BTreeMap<(u32, QueryHandle, u128), PendingSubmit>),
+    /// One map per submitting endsystem; node-death cleanup drops one
+    /// bucket.
+    Arena {
+        per_node: Vec<BTreeMap<(QueryHandle, u128), PendingSubmit>>,
+        len: usize,
+    },
+}
+
+impl SubmitStore {
+    pub fn new(layout: LayoutKind, n: usize) -> Self {
+        match layout {
+            LayoutKind::Map => SubmitStore::Map(BTreeMap::new()),
+            LayoutKind::Arena => SubmitStore::Arena {
+                per_node: (0..n).map(|_| BTreeMap::new()).collect(),
+                len: 0,
+            },
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            SubmitStore::Map(m) => m.len(),
+            SubmitStore::Arena { len, .. } => *len,
+        }
+    }
+
+    pub fn get(&self, key: &(u32, QueryHandle, u128)) -> Option<&PendingSubmit> {
+        match self {
+            SubmitStore::Map(m) => m.get(key),
+            SubmitStore::Arena { per_node, .. } => per_node[key.0 as usize].get(&(key.1, key.2)),
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &(u32, QueryHandle, u128)) -> Option<&mut PendingSubmit> {
+        match self {
+            SubmitStore::Map(m) => m.get_mut(key),
+            SubmitStore::Arena { per_node, .. } => {
+                per_node[key.0 as usize].get_mut(&(key.1, key.2))
+            }
+        }
+    }
+
+    pub fn insert(&mut self, key: (u32, QueryHandle, u128), sub: PendingSubmit) {
+        match self {
+            SubmitStore::Map(m) => {
+                m.insert(key, sub);
+            }
+            SubmitStore::Arena { per_node, len } => {
+                if per_node[key.0 as usize]
+                    .insert((key.1, key.2), sub)
+                    .is_none()
+                {
+                    *len += 1;
+                }
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: &(u32, QueryHandle, u128)) -> Option<PendingSubmit> {
+        match self {
+            SubmitStore::Map(m) => m.remove(key),
+            SubmitStore::Arena { per_node, len } => {
+                let removed = per_node[key.0 as usize].remove(&(key.1, key.2));
+                if removed.is_some() {
+                    *len -= 1;
+                }
+                removed
+            }
+        }
+    }
+
+    pub fn clear_node(&mut self, node: u32) {
+        match self {
+            SubmitStore::Map(m) => m.retain(|&(n, _, _), _| n != node),
+            SubmitStore::Arena { per_node, len } => {
+                let bucket = std::mem::take(&mut per_node[node as usize]);
+                *len -= bucket.len();
+            }
+        }
+    }
+
+    pub fn clear_query(&mut self, query: QueryHandle) {
+        match self {
+            SubmitStore::Map(m) => m.retain(|&(_, qh, _), _| qh != query),
+            SubmitStore::Arena { per_node, len } => {
+                for bucket in per_node {
+                    let before = bucket.len();
+                    bucket.retain(|&(qh, _), _| qh != query);
+                    *len -= before - bucket.len();
+                }
+            }
+        }
+    }
+
+    /// All keys in ascending `(node, query, child)` order — identical
+    /// between layouts.
+    pub fn keys(&self) -> Box<dyn Iterator<Item = (u32, QueryHandle, u128)> + '_> {
+        match self {
+            SubmitStore::Map(m) => Box::new(m.keys().copied()),
+            SubmitStore::Arena { per_node, .. } => Box::new(
+                per_node
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(n, bucket)| bucket.keys().map(move |&(q, c)| (n as u32, q, c))),
+            ),
+        }
+    }
+}
+
+/// Small `Copy` values keyed `(node, query)` — continuous-query epochs
+/// and persisted leaf vertex ids. The arena layout is one lazily
+/// allocated dense block per query (a bitset of occupied node slots plus
+/// a value array), recycled through a pool when the query expires with
+/// its occupancy bits cleared so a reused block starts empty.
+#[derive(Debug)]
+pub(crate) enum NodeQueryStore<T: Copy + Default> {
+    Map(BTreeMap<(u32, QueryHandle), T>),
+    Arena(NodeTable<T>),
+}
+
+#[derive(Debug)]
+pub(crate) struct NodeTable<T> {
+    n: usize,
+    /// `blocks[query]`, allocated on first insert for that handle.
+    blocks: Vec<Option<Block<T>>>,
+    /// Recycled blocks with occupancy cleared.
+    pool: Vec<Block<T>>,
+}
+
+#[derive(Debug)]
+struct Block<T> {
+    /// Occupancy bitset over dense node indices.
+    set: Vec<u64>,
+    vals: Vec<T>,
+}
+
+impl<T: Copy + Default> NodeQueryStore<T> {
+    pub fn new(layout: LayoutKind, n: usize) -> Self {
+        match layout {
+            LayoutKind::Map => NodeQueryStore::Map(BTreeMap::new()),
+            LayoutKind::Arena => NodeQueryStore::Arena(NodeTable {
+                n,
+                blocks: Vec::new(),
+                pool: Vec::new(),
+            }),
+        }
+    }
+
+    pub fn get(&self, node: u32, query: QueryHandle) -> Option<T> {
+        match self {
+            NodeQueryStore::Map(m) => m.get(&(node, query)).copied(),
+            NodeQueryStore::Arena(t) => {
+                let block = t.blocks.get(query as usize)?.as_ref()?;
+                let (w, b) = (node as usize / 64, node as usize % 64);
+                (block.set[w] & (1u64 << b) != 0).then(|| block.vals[node as usize])
+            }
+        }
+    }
+
+    pub fn insert(&mut self, node: u32, query: QueryHandle, val: T) {
+        match self {
+            NodeQueryStore::Map(m) => {
+                m.insert((node, query), val);
+            }
+            NodeQueryStore::Arena(t) => {
+                let NodeTable { n, blocks, pool } = t;
+                let q = query as usize;
+                if blocks.len() <= q {
+                    blocks.resize_with(q + 1, || None);
+                }
+                let block = blocks[q].get_or_insert_with(|| {
+                    pool.pop().unwrap_or_else(|| Block {
+                        set: vec![0; n.div_ceil(64)],
+                        vals: vec![T::default(); *n],
+                    })
+                });
+                let (w, b) = (node as usize / 64, node as usize % 64);
+                block.set[w] |= 1u64 << b;
+                block.vals[node as usize] = val;
+            }
+        }
+    }
+
+    /// Drops `node`'s entry for every query (crash-amnesia wipe).
+    pub fn clear_node(&mut self, node: u32) {
+        match self {
+            NodeQueryStore::Map(m) => m.retain(|&(n, _), _| n != node),
+            NodeQueryStore::Arena(t) => {
+                let (w, b) = (node as usize / 64, node as usize % 64);
+                for block in t.blocks.iter_mut().flatten() {
+                    block.set[w] &= !(1u64 << b);
+                }
+            }
+        }
+    }
+
+    /// Returns an expired query's block to the pool with its occupancy
+    /// cleared.
+    pub fn clear_query(&mut self, query: QueryHandle) {
+        match self {
+            NodeQueryStore::Map(m) => m.retain(|&(_, qh), _| qh != query),
+            NodeQueryStore::Arena(t) => {
+                let Some(mut block) = t.blocks.get_mut(query as usize).and_then(Option::take)
+                else {
+                    return;
+                };
+                block.set.fill(0);
+                t.pool.push(block);
+            }
+        }
+    }
+
+    /// All occupied keys in ascending `(node, query)` order — identical
+    /// between layouts. Oracle-only; the protocol never iterates these.
+    pub fn keys(&self) -> Box<dyn Iterator<Item = (u32, QueryHandle)> + '_> {
+        match self {
+            NodeQueryStore::Map(m) => Box::new(m.keys().copied()),
+            NodeQueryStore::Arena(t) => {
+                let mut keys: Vec<(u32, QueryHandle)> = Vec::new();
+                for (q, block) in t.blocks.iter().enumerate() {
+                    let Some(block) = block else { continue };
+                    for (w, &word) in block.set.iter().enumerate() {
+                        let mut cur = word;
+                        while cur != 0 {
+                            let node = (w * 64 + cur.trailing_zeros() as usize) as u32;
+                            keys.push((node, q as QueryHandle));
+                            cur &= cur - 1;
+                        }
+                    }
+                }
+                keys.sort_unstable();
+                Box::new(keys.into_iter())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaweed_store::{AggFunc, Aggregate};
+
+    #[test]
+    fn vertex_slab_recycles_without_leaking() {
+        let mut vs = VertexStore::new(LayoutKind::Arena);
+        let mut st = VertexState::default();
+        st.children
+            .insert(Id(7), (3, Aggregate::empty(AggFunc::Count)));
+        st.out_version = 5;
+        vs.insert((0, Id(100)), st);
+        assert_eq!(vs.len(), 1);
+
+        vs.clear_query(0);
+        assert_eq!(vs.len(), 0);
+        assert!(vs.get(&(0, Id(100))).is_none());
+
+        // The recycled slot must come back blank for the new handle.
+        vs.insert((1, Id(200)), VertexState::default());
+        let fresh = vs.get(&(1, Id(200))).unwrap();
+        assert!(fresh.children.is_empty());
+        assert_eq!(fresh.out_version, 0);
+        assert!(fresh.cached.is_none());
+        assert_eq!(vs.keys().collect::<Vec<_>>(), vec![(1, Id(200))]);
+
+        // remove() wipes too.
+        assert_eq!(vs.remove(&(1, Id(200))).unwrap().children.len(), 0);
+        assert_eq!(vs.len(), 0);
+    }
+
+    #[test]
+    fn node_table_blocks_recycle_clean() {
+        let mut nq: NodeQueryStore<u64> = NodeQueryStore::new(LayoutKind::Arena, 130);
+        nq.insert(0, 0, 11);
+        nq.insert(129, 0, 22);
+        assert_eq!(nq.get(129, 0), Some(22));
+        assert_eq!(nq.keys().collect::<Vec<_>>(), vec![(0, 0), (129, 0)]);
+
+        nq.clear_query(0);
+        assert_eq!(nq.get(0, 0), None);
+
+        // Query 1 gets the pooled block; nothing from query 0 shows.
+        nq.insert(5, 1, 33);
+        assert_eq!(nq.get(0, 1), None);
+        assert_eq!(nq.get(129, 1), None);
+        assert_eq!(nq.get(5, 1), Some(33));
+
+        nq.clear_node(5);
+        assert_eq!(nq.get(5, 1), None);
+        assert_eq!(nq.keys().count(), 0);
+    }
+
+    #[test]
+    fn per_node_stores_clear_in_o_own_entries() {
+        let mut ss = SubmitStore::new(LayoutKind::Arena, 4);
+        ss.insert((1, 0, 9), sub(1));
+        ss.insert((1, 2, 9), sub(2));
+        ss.insert((3, 0, 9), sub(3));
+        assert_eq!(ss.len(), 3);
+        assert_eq!(
+            ss.keys().collect::<Vec<_>>(),
+            vec![(1, 0, 9), (1, 2, 9), (3, 0, 9)]
+        );
+        ss.clear_node(1);
+        assert_eq!(ss.len(), 1);
+        ss.clear_query(0);
+        assert_eq!(ss.len(), 0);
+    }
+
+    fn sub(version: u64) -> PendingSubmit {
+        PendingSubmit {
+            target_vertex: Id(0),
+            version,
+            agg: Aggregate::empty(AggFunc::Count),
+            attempts: 0,
+        }
+    }
+}

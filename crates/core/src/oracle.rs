@@ -81,7 +81,7 @@ impl ChaosOracle {
         for (h, q) in sw.queries.iter().enumerate() {
             let h = h as u32;
             let mut seen: std::collections::BTreeMap<Id, u128> = std::collections::BTreeMap::new();
-            for (&(qh, vertex), state) in &sw.vertices {
+            for ((qh, vertex), state) in sw.vertices.iter() {
                 if qh != h {
                     continue;
                 }
@@ -130,14 +130,14 @@ impl ChaosOracle {
     /// (3) Terminated queries leave no protocol state behind.
     fn check_no_orphans<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
         let dead = |h: u32| !sw.queries[h as usize].active;
-        for &(node, h, _, _) in sw.tasks.keys() {
+        for (node, h, _, _) in sw.tasks.keys() {
             if dead(h) {
                 out.push(format!(
                     "node {node}: dissemination task for dead query {h}"
                 ));
             }
         }
-        for &(h, vertex) in sw.vertices.keys() {
+        for (h, vertex) in sw.vertices.keys() {
             if dead(h) {
                 out.push(format!(
                     "vertex {:x}: state survives dead query {h}",
@@ -155,17 +155,17 @@ impl ChaosOracle {
                 }
             }
         }
-        for &(node, h, _) in sw.pending_submits.keys() {
+        for (node, h, _) in sw.pending_submits.keys() {
             if dead(h) {
                 out.push(format!("node {node}: pending submit for dead query {h}"));
             }
         }
-        for &(node, h) in sw.cont_epoch.keys() {
+        for (node, h) in sw.cont_epoch.keys() {
             if dead(h) {
                 out.push(format!("node {node}: epoch record for dead query {h}"));
             }
         }
-        for &(node, h) in sw.leaf_targets.keys() {
+        for (node, h) in sw.leaf_targets.keys() {
             if dead(h) {
                 out.push(format!("node {node}: leaf target for dead query {h}"));
             }
@@ -230,7 +230,7 @@ impl ChaosOracle {
                 }
             }
         }
-        for (&(h, vertex), state) in &sw.vertices {
+        for ((h, vertex), state) in sw.vertices.iter() {
             for &m in &state.holders {
                 if !sw.node_vertices[m.idx()].contains(&(h, vertex)) {
                     out.push(format!(

@@ -416,6 +416,36 @@ mod tests {
     }
 
     #[test]
+    fn mutate_after_encode_invalidates_memoized_bytes() {
+        // Every mutator must clear the memoized wire encoding; a stale
+        // cell would silently replay the pre-mutation bytes on the next
+        // report retransmission.
+        let mut p = Predictor::new();
+        p.add_available(10.0);
+        let first = p.encode();
+
+        p.add_available(5.0);
+        let after_add = p.encode();
+        assert_ne!(first, after_add, "add_available must re-encode");
+
+        p.add_unavailable(3.0, &point(Duration::from_hours(1)));
+        let after_unavail = p.encode();
+        assert_ne!(after_add, after_unavail, "add_unavailable must re-encode");
+
+        let mut other = Predictor::new();
+        other.add_available(2.0);
+        let _ = other.encode();
+        other.merge(&p);
+        let after_merge = other.encode();
+        assert_ne!(first, after_merge, "merge must re-encode");
+
+        // Each snapshot decodes back to the state at encode time.
+        let decoded = Predictor::decode(&after_unavail, LogBuckets::standard()).expect("decodes");
+        assert_eq!(decoded.endsystems(), p.endsystems());
+        assert!((decoded.total_rows() - p.total_rows()).abs() < 1e-3);
+    }
+
+    #[test]
     fn wire_size_is_constant() {
         let mut p = Predictor::new();
         let before = p.wire_size();

@@ -40,9 +40,11 @@
 
 pub mod node;
 pub mod overlay;
+pub mod ring;
 pub mod wire;
 
 pub use node::NodeState;
 pub use overlay::{
     is_overlay_tag, Overlay, OverlayConfig, OverlayEngine, OverlayEvent, OverlayMsg, OverlayStats,
 };
+pub use ring::{LayoutKind, RingIndex};

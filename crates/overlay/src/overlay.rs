@@ -8,6 +8,7 @@ use seaweed_sim::{Engine, NodeIdx, TimerHandle, TrafficClass};
 use seaweed_types::{Duration, Id, IdRange};
 
 use crate::node::NodeState;
+use crate::ring::{LayoutKind, RingIndex};
 use crate::wire;
 
 /// Engine type every overlay-based application runs on.
@@ -32,6 +33,11 @@ pub struct OverlayConfig {
     /// Seed for id assignment jitter-free operations (bootstrap pick,
     /// detection jitter).
     pub seed: u64,
+    /// Hot-state container layout, for this crate's ring and the
+    /// protocol layer's per-query registries (which read it via
+    /// [`Overlay::config`]). `Map` retains the original BTreeMap
+    /// containers as the equivalence-test baseline.
+    pub layout: LayoutKind,
 }
 
 impl Default for OverlayConfig {
@@ -43,6 +49,7 @@ impl Default for OverlayConfig {
             detect_delay: Duration::from_secs(40),
             leafset_refresh: Duration::from_secs(60),
             seed: 0,
+            layout: LayoutKind::default(),
         }
     }
 }
@@ -142,9 +149,15 @@ pub struct Overlay {
     cfg: OverlayConfig,
     ids: Vec<Id>,
     nodes: Vec<NodeState>,
-    /// Ground-truth map of *joined, live* nodes keyed by id (the oracle
-    /// used for membership convergence; see crate docs).
-    ring: BTreeMap<u128, NodeIdx>,
+    /// Ground truth of *joined, live* nodes (the oracle used for
+    /// membership convergence; see crate docs): the sorted-vec universe
+    /// plus a live bitset. Maintained under every layout — its
+    /// membership-ignoring range scans serve the protocol layer in both.
+    index: RingIndex,
+    /// Retained map baseline, populated and consulted only under
+    /// [`LayoutKind::Map`]; the layout-equivalence proptest pins the two
+    /// walk implementations byte-identical.
+    ring_map: Option<BTreeMap<u128, NodeIdx>>,
     /// Joined live nodes as a dense list for O(1) random bootstrap picks.
     joined_list: Vec<NodeIdx>,
     joined_pos: Vec<usize>,
@@ -185,12 +198,15 @@ impl Overlay {
             .map(|&id| NodeState::new(id, rows, cols))
             .collect();
         let n = ids.len();
+        let index = RingIndex::new(&ids);
+        let ring_map = (cfg.layout == LayoutKind::Map).then(BTreeMap::new);
         Overlay {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x0ea1_a700_1a7e_5700),
             cfg,
             ids,
             nodes,
-            ring: BTreeMap::new(),
+            index,
+            ring_map,
             joined_list: Vec::new(),
             joined_pos: vec![NO_POS; n],
             listed_by: vec![BTreeSet::new(); n],
@@ -305,7 +321,7 @@ impl Overlay {
             }
         }
         // Include an exact-id match if present (ring_neighbors skip it).
-        if let Some(&exact) = self.ring.get(&id.0) {
+        if let Some(exact) = self.ring_get(id.0) {
             if !cands.contains(&exact) {
                 cands.push(exact);
             }
@@ -327,7 +343,7 @@ impl Overlay {
     /// path).
     #[must_use]
     pub fn oracle_root(&self, key: Id) -> Option<NodeIdx> {
-        if let Some(&exact) = self.ring.get(&key.0) {
+        if let Some(exact) = self.ring_get(key.0) {
             return Some(exact);
         }
         let mut best: Option<NodeIdx> = None;
@@ -389,7 +405,10 @@ impl Overlay {
     pub fn node_down<A: Clone>(&mut self, eng: &mut OverlayEngine<A>, n: NodeIdx) {
         let was_joined = self.nodes[n.idx()].joined;
         if was_joined {
-            self.ring.remove(&self.ids[n.idx()].0);
+            self.index.remove(n);
+            if let Some(map) = &mut self.ring_map {
+                map.remove(&self.ids[n.idx()].0);
+            }
             let pos = self.joined_pos[n.idx()];
             if pos != NO_POS {
                 self.joined_list.swap_remove(pos);
@@ -785,7 +804,10 @@ impl Overlay {
         // with unreachable far-side members.
         self.rebuild_leafset_where(n, &|m| eng.reachable(n, m));
         self.nodes[n.idx()].joined = true;
-        self.ring.insert(self.ids[n.idx()].0, n);
+        self.index.insert(n);
+        if let Some(map) = &mut self.ring_map {
+            map.insert(self.ids[n.idx()].0, n);
+        }
         self.joined_pos[n.idx()] = self.joined_list.len();
         self.joined_list.push(n);
 
@@ -902,6 +924,42 @@ impl Overlay {
         changed
     }
 
+    /// The live ring index (always maintained, whatever the layout).
+    /// The protocol layer uses its universe scans for range enumeration.
+    #[must_use]
+    pub fn ring_index(&self) -> &RingIndex {
+        &self.index
+    }
+
+    /// Exact live lookup, dispatched on the configured layout.
+    fn ring_get(&self, key: u128) -> Option<NodeIdx> {
+        match &self.ring_map {
+            Some(map) => map.get(&key).copied(),
+            None => self.index.get_live(key),
+        }
+    }
+
+    /// Takes the first `count` walk results that are not the exact key
+    /// and satisfy `keep` (shared tail of the cw/ccw walks).
+    fn take_neighbors(
+        &self,
+        walk: impl Iterator<Item = NodeIdx>,
+        id: Id,
+        count: usize,
+        keep: &dyn Fn(NodeIdx) -> bool,
+    ) -> Vec<NodeIdx> {
+        let mut out = Vec::with_capacity(count);
+        for n in walk {
+            if out.len() >= count {
+                break;
+            }
+            if self.ids[n.idx()] != id && keep(n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+
     /// Nearest joined live nodes clockwise from `id` (excluding the exact
     /// key match).
     fn ring_neighbors_cw(&self, id: Id, count: usize) -> Vec<NodeIdx> {
@@ -914,23 +972,20 @@ impl Overlay {
         count: usize,
         keep: &dyn Fn(NodeIdx) -> bool,
     ) -> Vec<NodeIdx> {
-        let mut out = Vec::with_capacity(count);
-        if self.ring.is_empty() || count == 0 {
-            return out;
+        if self.index.live_count() == 0 || count == 0 {
+            return Vec::new();
         }
-        for (_, &n) in self
-            .ring
-            .range((id.0.wrapping_add(1))..)
-            .chain(self.ring.range(..=id.0))
-        {
-            if out.len() >= count {
-                break;
-            }
-            if self.ids[n.idx()] != id && keep(n) {
-                out.push(n);
-            }
+        match &self.ring_map {
+            Some(map) => self.take_neighbors(
+                map.range((id.0.wrapping_add(1))..)
+                    .chain(map.range(..=id.0))
+                    .map(|(_, &n)| n),
+                id,
+                count,
+                keep,
+            ),
+            None => self.take_neighbors(self.index.cw_live_from(id), id, count, keep),
         }
-        out
     }
 
     fn ring_neighbors_ccw(&self, id: Id, count: usize) -> Vec<NodeIdx> {
@@ -943,24 +998,21 @@ impl Overlay {
         count: usize,
         keep: &dyn Fn(NodeIdx) -> bool,
     ) -> Vec<NodeIdx> {
-        let mut out = Vec::with_capacity(count);
-        if self.ring.is_empty() || count == 0 {
-            return out;
+        if self.index.live_count() == 0 || count == 0 {
+            return Vec::new();
         }
-        for (_, &n) in self
-            .ring
-            .range(..id.0)
-            .rev()
-            .chain(self.ring.range(id.0..).rev())
-        {
-            if out.len() >= count {
-                break;
-            }
-            if self.ids[n.idx()] != id && keep(n) {
-                out.push(n);
-            }
+        match &self.ring_map {
+            Some(map) => self.take_neighbors(
+                map.range(..id.0)
+                    .rev()
+                    .chain(map.range(id.0..).rev())
+                    .map(|(_, &n)| n),
+                id,
+                count,
+                keep,
+            ),
+            None => self.take_neighbors(self.index.ccw_live_from(id), id, count, keep),
         }
-        out
     }
 
     fn update_heartbeat_rate<A: Clone>(&self, eng: &mut OverlayEngine<A>, n: NodeIdx) {

@@ -1,0 +1,417 @@
+//! Sorted-vector ring index: the arena/SoA replacement for the
+//! `BTreeMap<u128, NodeIdx>` ground-truth ring.
+//!
+//! The endsystem population is fixed for the lifetime of a run (ids
+//! persist across availability sessions), so the index precomputes a
+//! *static universe* — every id sorted ascending, with its node — and
+//! tracks joined/live membership in a bitset over the sorted ranks.
+//! Lookups are a binary search, successor/predecessor walks are bit
+//! scans over adjacent words, and range enumeration is a pair of slice
+//! iterations with zero allocation. At Farsite scale (51,663
+//! endsystems) the whole index is ~1.6 MB of contiguous memory versus a
+//! pointer-chased B-tree of 128-bit keys.
+//!
+//! Walk order reproduces the retained map implementation exactly:
+//! clockwise from `id` visits ids in `(id..]` wrapping, ascending;
+//! counter-clockwise visits `[..id)` descending then wraps. One benign
+//! divergence is documented on [`RingIndex::cw_live_from`]: the map
+//! backend double-visits the ring when `id == u128::MAX` (its
+//! `wrapping_add(1)` overflows to an all-covering range chain); the
+//! index visits each member once. Ids are uniform random 128-bit
+//! values, so the colliding key has probability 2^-128 per run.
+
+use seaweed_sim::NodeIdx;
+use seaweed_types::{Id, IdRange};
+
+/// Hot-state container layout selector, read by both the overlay and the
+/// protocol layer above it (mirroring how `SchedulerKind` selects the
+/// timer backend). `Map` retains the original BTreeMap-keyed containers
+/// as the equivalence baseline; `Arena` is the dense layout. The
+/// `layout_equivalence` proptest pins event logs and BandwidthReports
+/// byte-identical between the two under the full chaos plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LayoutKind {
+    /// 128-bit-id-keyed `BTreeMap` containers (the original
+    /// implementation, retained as the determinism baseline).
+    Map,
+    /// Sorted-vec ring index plus dense per-node / per-query slabs.
+    #[default]
+    Arena,
+}
+
+/// The static sorted universe of endsystem ids plus a live-membership
+/// bitset. See the module docs for the layout rationale.
+pub struct RingIndex {
+    /// All endsystem ids, ascending. Immutable after construction.
+    keys: Vec<u128>,
+    /// `nodes[rank]` is the endsystem owning `keys[rank]`.
+    nodes: Vec<NodeIdx>,
+    /// `rank_of[node]` is the node's rank in `keys`.
+    rank_of: Vec<u32>,
+    /// Joined-live membership bitset over ranks.
+    words: Vec<u64>,
+    /// Number of set bits in `words`.
+    live: usize,
+}
+
+impl std::fmt::Debug for RingIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingIndex")
+            .field("universe", &self.keys.len())
+            .field("live", &self.live)
+            .finish()
+    }
+}
+
+impl RingIndex {
+    /// Builds the index over a fixed id assignment. All nodes start
+    /// non-member (down).
+    ///
+    /// # Panics
+    /// Panics if two endsystems share an id — the circular namespace
+    /// requires unique points.
+    #[must_use]
+    pub fn new(ids: &[Id]) -> Self {
+        let mut order: Vec<u32> = (0..ids.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| ids[i as usize].0);
+        let keys: Vec<u128> = order.iter().map(|&i| ids[i as usize].0).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "endsystem ids must be unique"
+        );
+        let nodes: Vec<NodeIdx> = order.iter().map(|&i| NodeIdx(i)).collect();
+        let mut rank_of = vec![0u32; ids.len()];
+        for (rank, &n) in nodes.iter().enumerate() {
+            rank_of[n.idx()] = rank as u32;
+        }
+        RingIndex {
+            words: vec![0u64; keys.len().div_ceil(64)],
+            keys,
+            nodes,
+            rank_of,
+            live: 0,
+        }
+    }
+
+    /// Number of endsystems in the universe (member or not).
+    #[must_use]
+    pub fn universe_len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of joined live members.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Marks `n` as a joined live member.
+    pub fn insert(&mut self, n: NodeIdx) {
+        let rank = self.rank_of[n.idx()] as usize;
+        let bit = 1u64 << (rank % 64);
+        if self.words[rank / 64] & bit == 0 {
+            self.words[rank / 64] |= bit;
+            self.live += 1;
+        }
+    }
+
+    /// Clears `n`'s membership.
+    pub fn remove(&mut self, n: NodeIdx) {
+        let rank = self.rank_of[n.idx()] as usize;
+        let bit = 1u64 << (rank % 64);
+        if self.words[rank / 64] & bit != 0 {
+            self.words[rank / 64] &= !bit;
+            self.live -= 1;
+        }
+    }
+
+    /// The live member owning exactly `key`, if any.
+    #[must_use]
+    pub fn get_live(&self, key: u128) -> Option<NodeIdx> {
+        let rank = self.keys.binary_search(&key).ok()?;
+        (self.words[rank / 64] & (1u64 << (rank % 64)) != 0).then(|| self.nodes[rank])
+    }
+
+    /// Live members clockwise from `id`: ids strictly greater than `id`
+    /// ascending, then wrapping through the smallest ids up to and
+    /// including an exact match (which callers skip, as the map walk
+    /// did). Matches the retained `range((id+1)..).chain(range(..=id))`
+    /// order; see the module docs for the `id == u128::MAX` divergence.
+    pub fn cw_live_from(&self, id: Id) -> impl Iterator<Item = NodeIdx> + '_ {
+        let split = self.keys.partition_point(|&k| k <= id.0);
+        SetRanksFwd::new(&self.words, split, self.keys.len())
+            .chain(SetRanksFwd::new(&self.words, 0, split))
+            .map(move |rank| self.nodes[rank])
+    }
+
+    /// Live members counter-clockwise from `id`: ids strictly smaller
+    /// than `id` descending, then wrapping through the largest ids down
+    /// to an exact match. Matches `range(..id).rev().chain(range(id..)
+    /// .rev())`.
+    pub fn ccw_live_from(&self, id: Id) -> impl Iterator<Item = NodeIdx> + '_ {
+        let split = self.keys.partition_point(|&k| k < id.0);
+        SetRanksRev::new(&self.words, 0, split)
+            .chain(SetRanksRev::new(&self.words, split, self.keys.len()))
+            .map(move |rank| self.nodes[rank])
+    }
+
+    /// Every endsystem (member or not) whose id falls in `r`, ascending
+    /// by id with the wrap seam at the namespace top — byte-for-byte the
+    /// enumeration order of the former `BTreeMap` range scans, without
+    /// materializing a `Vec`.
+    pub fn all_in_range(&self, r: &IdRange) -> impl Iterator<Item = NodeIdx> + '_ {
+        // Two half-open rank windows: [a, b) then [c, d).
+        let (a, b, c, d) = if r.is_empty() {
+            (0, 0, 0, 0)
+        } else if r.is_full() {
+            (0, self.keys.len(), 0, 0)
+        } else {
+            let start = r.start().0;
+            let end = start.wrapping_add(r.width().expect("not full")); // exclusive
+            let lo = self.keys.partition_point(|&k| k < start);
+            let hi = self.keys.partition_point(|&k| k < end);
+            if start < end {
+                (lo, hi, 0, 0)
+            } else {
+                (lo, self.keys.len(), 0, hi)
+            }
+        };
+        self.nodes[a..b]
+            .iter()
+            .chain(self.nodes[c..d].iter())
+            .copied()
+    }
+}
+
+/// Set ranks in `[from, to)`, ascending, by word-at-a-time bit scan.
+struct SetRanksFwd<'a> {
+    words: &'a [u64],
+    /// Current word index.
+    wi: usize,
+    /// Unconsumed bits of `words[wi]` at or after the start cursor.
+    cur: u64,
+    to: usize,
+}
+
+impl<'a> SetRanksFwd<'a> {
+    fn new(words: &'a [u64], from: usize, to: usize) -> Self {
+        let wi = from / 64;
+        let cur = if from < to {
+            words[wi] & (u64::MAX << (from % 64))
+        } else {
+            0
+        };
+        SetRanksFwd { words, wi, cur, to }
+    }
+}
+
+impl Iterator for SetRanksFwd<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let rank = self.wi * 64 + self.cur.trailing_zeros() as usize;
+                if rank >= self.to {
+                    return None;
+                }
+                self.cur &= self.cur - 1;
+                return Some(rank);
+            }
+            self.wi += 1;
+            if self.wi * 64 >= self.to {
+                return None;
+            }
+            self.cur = self.words[self.wi];
+        }
+    }
+}
+
+/// Set ranks in `[from, to)`, descending.
+struct SetRanksRev<'a> {
+    words: &'a [u64],
+    wi: usize,
+    /// Unconsumed bits of `words[wi]` at or before the end cursor.
+    cur: u64,
+    from: usize,
+}
+
+impl<'a> SetRanksRev<'a> {
+    fn new(words: &'a [u64], from: usize, to: usize) -> Self {
+        if from >= to {
+            return SetRanksRev {
+                words,
+                wi: 0,
+                cur: 0,
+                from: usize::MAX,
+            };
+        }
+        let last = to - 1;
+        let wi = last / 64;
+        let keep = last % 64;
+        let mask = if keep == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (keep + 1)) - 1
+        };
+        SetRanksRev {
+            words,
+            wi,
+            cur: words[wi] & mask,
+            from,
+        }
+    }
+}
+
+impl Iterator for SetRanksRev<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.from == usize::MAX {
+            return None;
+        }
+        loop {
+            if self.cur != 0 {
+                let bit = 63 - self.cur.leading_zeros() as usize;
+                let rank = self.wi * 64 + bit;
+                if rank < self.from {
+                    return None;
+                }
+                self.cur &= !(1u64 << bit);
+                return Some(rank);
+            }
+            if self.wi == 0 || self.wi * 64 <= self.from {
+                return None;
+            }
+            self.wi -= 1;
+            self.cur = self.words[self.wi];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+
+    /// A universe plus the map baseline, with a pseudorandom subset live.
+    fn world(n: usize, seed: u64) -> (Vec<Id>, RingIndex, BTreeMap<u128, NodeIdx>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids: Vec<Id> = (0..n).map(|_| Id::random(&mut rng)).collect();
+        let mut index = RingIndex::new(&ids);
+        let mut map = BTreeMap::new();
+        for (i, id) in ids.iter().enumerate() {
+            if rng.gen_bool(0.7) {
+                index.insert(NodeIdx(i as u32));
+                map.insert(id.0, NodeIdx(i as u32));
+            }
+        }
+        (ids, index, map)
+    }
+
+    /// The map backend's clockwise walk, verbatim.
+    fn map_cw(map: &BTreeMap<u128, NodeIdx>, id: Id) -> Vec<NodeIdx> {
+        map.range((id.0.wrapping_add(1))..)
+            .chain(map.range(..=id.0))
+            .map(|(_, &n)| n)
+            .collect()
+    }
+
+    fn map_ccw(map: &BTreeMap<u128, NodeIdx>, id: Id) -> Vec<NodeIdx> {
+        map.range(..id.0)
+            .rev()
+            .chain(map.range(id.0..).rev())
+            .map(|(_, &n)| n)
+            .collect()
+    }
+
+    #[test]
+    fn live_walks_match_map_backend() {
+        for seed in 0..8 {
+            let (ids, index, map) = world(64, seed);
+            let mut probes: Vec<Id> = ids.iter().step_by(7).copied().collect();
+            probes.extend([Id(0), Id(1), Id(u128::MAX - 1)]);
+            for id in probes {
+                let cw: Vec<NodeIdx> = index.cw_live_from(id).collect();
+                assert_eq!(cw, map_cw(&map, id), "cw from {id:?} seed {seed}");
+                let ccw: Vec<NodeIdx> = index.ccw_live_from(id).collect();
+                assert_eq!(ccw, map_ccw(&map, id), "ccw from {id:?} seed {seed}");
+                assert_eq!(index.get_live(id.0), map.get(&id.0).copied());
+            }
+        }
+    }
+
+    #[test]
+    fn membership_updates_track_live_count() {
+        let ids: Vec<Id> = (0..10u128).map(|v| Id(v * 1000)).collect();
+        let mut index = RingIndex::new(&ids);
+        assert_eq!(index.live_count(), 0);
+        index.insert(NodeIdx(3));
+        index.insert(NodeIdx(3)); // idempotent
+        index.insert(NodeIdx(7));
+        assert_eq!(index.live_count(), 2);
+        assert_eq!(index.get_live(3000), Some(NodeIdx(3)));
+        index.remove(NodeIdx(3));
+        index.remove(NodeIdx(3)); // idempotent
+        assert_eq!(index.live_count(), 1);
+        assert_eq!(index.get_live(3000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "endsystem ids must be unique")]
+    fn duplicate_ids_panic() {
+        let _ = RingIndex::new(&[Id(1), Id(2), Id(1)]);
+    }
+
+    /// Naive baseline for range enumeration: linear filter in universe
+    /// (sorted-with-wrap-seam) order.
+    fn naive_in_range(ids: &[Id], r: &IdRange) -> Vec<NodeIdx> {
+        let mut ranked: Vec<(u128, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.0, i as u32))
+            .collect();
+        ranked.sort_unstable();
+        let start = if r.is_full() { 0 } else { r.start().0 };
+        let seam = ranked.iter().position(|&(k, _)| k >= start).unwrap_or(0);
+        ranked.rotate_left(seam);
+        ranked
+            .into_iter()
+            .filter(|&(k, _)| r.contains(Id(k)))
+            .map(|(_, i)| NodeIdx(i))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `all_in_range` vs the naive linear filter across wrapping
+        /// ranges, with the edge widths the dissemination splitter
+        /// produces: width-1 slivers, the full circle, and ranges whose
+        /// exclusive end wraps to exactly 0.
+        #[test]
+        fn all_in_range_matches_naive(seed in 0u64..1_000, start in any::<u128>(), width in any::<u128>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ids: Vec<Id> = (0..33).map(|_| Id::random(&mut rng)).collect();
+            let index = RingIndex::new(&ids);
+            let ranges = [
+                IdRange::new(Id(start), width),
+                IdRange::new(Id(start), 1),
+                IdRange::FULL,
+                IdRange::EMPTY,
+                // Exclusive end exactly 0 (wraps the seam).
+                IdRange::new(Id(start), start.wrapping_neg().max(1)),
+                IdRange::between(Id(u128::MAX), Id(1)),
+            ];
+            for r in ranges {
+                let got: Vec<NodeIdx> = index.all_in_range(&r).collect();
+                prop_assert_eq!(got, naive_in_range(&ids, &r), "range {}", r);
+            }
+        }
+    }
+}

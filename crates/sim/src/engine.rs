@@ -105,6 +105,25 @@ pub enum Payload<M> {
     Shared(Rc<M>),
 }
 
+thread_local! {
+    /// Deep clones taken by the [`Payload::into_owned`] fallback when the
+    /// allocation was still shared. The DES is single-threaded (lint rule
+    /// D004) and `into_owned` has no engine handle, so a thread-local is
+    /// the one place this can be counted; it accumulates monotonically
+    /// across every engine on the thread.
+    static PAYLOAD_FALLBACK_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Running count (this thread) of deep clones the [`Payload::into_owned`]
+/// fallback has taken — each one is a fan-out copy consumed by value while
+/// sibling copies were still queued. Single-destination sends always carry
+/// [`Payload::Owned`], so this counts only genuine shared-consumption, the
+/// regression class lint rule D007 exists to catch.
+#[must_use]
+pub fn payload_fallback_clones() -> u64 {
+    PAYLOAD_FALLBACK_CLONES.with(std::cell::Cell::get)
+}
+
 impl<M> Payload<M> {
     /// Extracts the payload, cloning only if the allocation is still
     /// shared with other queued copies (the last copy out is free).
@@ -115,7 +134,10 @@ impl<M> Payload<M> {
     {
         match self {
             Payload::Owned(m) => m,
-            Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+            Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| {
+                PAYLOAD_FALLBACK_CLONES.with(|c| c.set(c.get() + 1));
+                (*rc).clone()
+            }),
         }
     }
 
@@ -894,6 +916,16 @@ impl<M> Engine<M> {
         size: u32,
         class: TrafficClass,
     ) {
+        // A single destination needs no sharing: hand over ownership so
+        // the consumer's `into_owned` can never hit the clone fallback.
+        if let [to] = dests {
+            self.send_envelope(from, *to, Payload::Owned(payload), size, class);
+            return;
+        }
+        debug_assert!(
+            dests.len() != 1,
+            "single-destination delivery must take the owned path"
+        );
         let rc = Rc::new(payload);
         for &to in dests {
             self.send_envelope(from, to, Payload::Shared(Rc::clone(&rc)), size, class);
@@ -1298,6 +1330,7 @@ impl<M> Engine<M> {
         m.set_counter("sim.messages_sent", self.messages_sent);
         m.set_counter("sim.timers_cancelled", self.timers_cancelled);
         m.set_counter("sim.clamped_to_now", self.clamped_to_now);
+        m.set_counter("sim.payload_fallback_clones", payload_fallback_clones());
         m.record_drop_stats(&self.drop_stats());
         let totals = self.recorder.totals_tx();
         m.set_counter("sim.tx_bytes.overlay", totals[0]);
@@ -1376,6 +1409,44 @@ mod tests {
                 assert_eq!(payload.into_owned(), "hello");
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multicast_fallback_clone_is_metered_and_single_dest_is_free() {
+        let mut e = engine(3, 0);
+        for i in 0..3 {
+            e.schedule_up(Time::ZERO, NodeIdx(i));
+            let _ = e.next_event_before(Time(1));
+        }
+        let horizon = Time::ZERO + Duration::from_secs(1);
+
+        // Single destination: the owned fast path, no fallback possible.
+        let before = payload_fallback_clones();
+        e.multicast(NodeIdx(0), &[NodeIdx(1)], "solo", 10, TrafficClass::Query);
+        let (_, ev) = e.next_event_before(horizon).unwrap();
+        let Event::Message { payload, .. } = ev else {
+            panic!("expected message");
+        };
+        assert_eq!(payload.into_owned(), "solo");
+        assert_eq!(payload_fallback_clones(), before);
+
+        // Two destinations: the first copy consumed by value clones (its
+        // sibling still holds the allocation); the last copy moves free.
+        e.multicast(
+            NodeIdx(0),
+            &[NodeIdx(1), NodeIdx(2)],
+            "pair",
+            10,
+            TrafficClass::Query,
+        );
+        for step in 1..=2u64 {
+            let (_, ev) = e.next_event_before(horizon).unwrap();
+            let Event::Message { payload, .. } = ev else {
+                panic!("expected message");
+            };
+            assert_eq!(payload.into_owned(), "pair");
+            assert_eq!(payload_fallback_clones(), before + 1, "step {step}");
         }
     }
 

@@ -37,7 +37,9 @@ pub mod topology;
 pub mod trace;
 
 pub use bandwidth::{BandwidthRecorder, BandwidthReport, DropStats, TrafficClass};
-pub use engine::{Engine, Event, NodeIdx, Payload, SchedulerKind, SimConfig, TimerHandle};
+pub use engine::{
+    payload_fallback_clones, Engine, Event, NodeIdx, Payload, SchedulerKind, SimConfig, TimerHandle,
+};
 pub use faults::{CrashSpec, FaultPlan, LinkFaultSpec, OutageSpec, PartitionSpec};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use topology::{CorpNetTopology, Topology, UniformTopology};

@@ -20,13 +20,16 @@ pub const DEFAULT_BUCKETS: usize = 64;
 ///
 /// Summaries are immutable after [`DataSummary::build`] (an endsystem
 /// rebuilds the whole summary when its fragment changes), so the wire
-/// size is memoized on first use.
+/// size is memoized on first use. The fields are sealed behind read-only
+/// accessors precisely because of that memoization: a public field
+/// mutated after the first [`DataSummary::wire_size`] call would
+/// silently serve a stale size.
 #[derive(Clone)]
 pub struct DataSummary {
     /// Total rows in the fragment.
-    pub row_count: u64,
+    row_count: u64,
     /// `(column index, histogram)` for each indexed column.
-    pub histograms: Vec<(usize, ColumnHistogram)>,
+    histograms: Vec<(usize, ColumnHistogram)>,
     /// Memoized [`DataSummary::wire_size`]; derived from the fields above,
     /// hence excluded from `Debug`/`PartialEq`.
     wire: std::cell::OnceCell<u32>,
@@ -99,6 +102,18 @@ impl DataSummary {
             selectivity *= sel.clamp(0.0, 1.0);
         }
         total * selectivity
+    }
+
+    /// Total rows in the summarized fragment.
+    #[must_use]
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// `(column index, histogram)` for each indexed column.
+    #[must_use]
+    pub fn histograms(&self) -> &[(usize, ColumnHistogram)] {
+        &self.histograms
     }
 
     /// The histogram for a column, if that column is indexed.
@@ -244,7 +259,29 @@ mod tests {
         // same order of magnitude.
         let size = s.wire_size();
         assert!((1_000..=20_000).contains(&size), "wire size {size}");
-        assert_eq!(s.histograms.len(), 4);
+        assert_eq!(s.histograms().len(), 4);
+    }
+
+    #[test]
+    fn rebuild_after_fragment_change_reencodes() {
+        // Summaries are immutable-after-build (the fields are sealed), so
+        // "mutate then encode" means rebuilding from the grown fragment;
+        // the fresh summary must carry a fresh memoized wire size, not
+        // the old cell's value.
+        let small = DataSummary::build(&flow_table(500));
+        let small_size = small.wire_size();
+        let big = DataSummary::build(&flow_table(20_000));
+        assert_eq!(big.row_count(), 20_000);
+        assert!(
+            big.wire_size() > small_size,
+            "grown fragment must re-encode: {} vs {}",
+            big.wire_size(),
+            small_size
+        );
+        // A clone carries the same memoized size (fields are frozen, so
+        // sharing the filled cell is sound).
+        let clone = big.clone();
+        assert_eq!(clone.wire_size(), big.wire_size());
     }
 
     #[test]

@@ -54,4 +54,12 @@ echo "==> scale smoke (fixed seed, small N: CSV byte-stable)"
 cmp results/scale01_smoke_a.csv results/scale01_smoke_b.csv
 rm -f results/scale01_smoke_{a,b}.csv results/scale01_smoke_{a,b}.json
 
+echo "==> scale02 smoke (fixed seed, small N, Farsite point disabled: CSV byte-stable)"
+./target/release/scale02_farsite --base 100 --max-n 200 --farsite-n 0 --seed 7 \
+  --out results/scale02_smoke_a.csv --json results/scale02_smoke_a.json
+./target/release/scale02_farsite --base 100 --max-n 200 --farsite-n 0 --seed 7 \
+  --out results/scale02_smoke_b.csv --json results/scale02_smoke_b.json >/dev/null
+cmp results/scale02_smoke_a.csv results/scale02_smoke_b.csv
+rm -f results/scale02_smoke_{a,b}.csv results/scale02_smoke_{a,b}.json
+
 echo "OK"
