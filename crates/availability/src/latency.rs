@@ -1,0 +1,129 @@
+//! Per-endsystem observed reply-latency distributions.
+//!
+//! Hedged dissemination needs an *expected-reply quantile*: how long a
+//! delegator should wait for a subrange report before paying for a backup
+//! send. The model here is deliberately simple — a per-observer geometric
+//! histogram of completed subrange round-trips — because it only has to
+//! answer one question ("is this reply late?") and must stay deterministic
+//! and cheap at Farsite scale. Storage is struct-of-arrays: one shared
+//! bucket spec, flat per-endsystem count rows.
+
+use seaweed_types::{Duration, LogBuckets};
+
+/// Geometric buckets spanning the plausible reply-latency range: LAN
+/// round-trips (~ms) through multi-reissue stragglers (~minutes).
+const BUCKETS: usize = 32;
+/// 1 ms, in the `Duration` micro-tick representation.
+const MIN_LATENCY: Duration = Duration(1_000);
+/// 60 s.
+const MAX_LATENCY: Duration = Duration(60_000_000);
+
+/// Per-endsystem reply-latency histograms over a shared bucket spec.
+///
+/// `observe` records a completed subrange round-trip as seen by the
+/// delegating endsystem; `quantile` answers with a conservative (upper
+/// bucket edge) delay estimate once the observer has enough samples, and
+/// `None` before that — callers fall back to a fraction of the reissue
+/// timeout.
+#[derive(Clone, Debug)]
+pub struct ReplyLatencyStats {
+    buckets: LogBuckets,
+    /// Flat `[endsystem][bucket]` counts.
+    counts: Vec<u32>,
+    /// Per-endsystem total observations.
+    totals: Vec<u64>,
+}
+
+impl ReplyLatencyStats {
+    #[must_use]
+    pub fn new(num_endsystems: usize) -> Self {
+        let buckets = LogBuckets::new(MIN_LATENCY, MAX_LATENCY, BUCKETS);
+        ReplyLatencyStats {
+            counts: vec![0; num_endsystems * buckets.len()],
+            totals: vec![0; num_endsystems],
+            buckets,
+        }
+    }
+
+    /// Records one completed reply round-trip observed by `endsystem`.
+    pub fn observe(&mut self, endsystem: usize, latency: Duration) {
+        let row = endsystem * self.buckets.len();
+        self.counts[row + self.buckets.index(latency)] += 1;
+        self.totals[endsystem] += 1;
+    }
+
+    /// Observations recorded by `endsystem` so far.
+    #[must_use]
+    pub fn observations(&self, endsystem: usize) -> u64 {
+        self.totals[endsystem]
+    }
+
+    /// The `q`-quantile of `endsystem`'s observed reply latency, as the
+    /// upper edge of the bucket where the cumulative count reaches `q`
+    /// (conservative: never hedges earlier than the observed quantile).
+    /// `None` until at least `min_observations` samples exist.
+    #[must_use]
+    pub fn quantile(&self, endsystem: usize, q: f64, min_observations: u64) -> Option<Duration> {
+        let total = self.totals[endsystem];
+        if total < min_observations.max(1) {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let row = endsystem * self.buckets.len();
+        let mut acc = 0u64;
+        for i in 0..self.buckets.len() {
+            acc += u64::from(self.counts[row + i]);
+            if acc as f64 >= q * total as f64 {
+                // The overflow bucket has no meaningful upper edge; its
+                // midpoint (2× the histogram range) is already far beyond
+                // any sane hedge delay and callers clamp further.
+                if i == self.buckets.len() - 1 {
+                    return Some(self.buckets.midpoint(i));
+                }
+                return Some(self.buckets.upper_edge(i));
+            }
+        }
+        Some(self.buckets.midpoint(self.buckets.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_estimate_below_min_observations() {
+        let mut s = ReplyLatencyStats::new(2);
+        for _ in 0..3 {
+            s.observe(0, Duration::from_millis(20));
+        }
+        assert_eq!(s.quantile(0, 0.9, 4), None);
+        s.observe(0, Duration::from_millis(20));
+        assert!(s.quantile(0, 0.9, 4).is_some());
+        // Per-endsystem isolation: endsystem 1 saw nothing.
+        assert_eq!(s.observations(1), 0);
+        assert_eq!(s.quantile(1, 0.9, 1), None);
+    }
+
+    #[test]
+    fn quantile_is_conservative_and_monotone() {
+        let mut s = ReplyLatencyStats::new(1);
+        for ms in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 500] {
+            s.observe(0, Duration::from_millis(ms));
+        }
+        let p50 = s.quantile(0, 0.5, 1).unwrap();
+        let p99 = s.quantile(0, 0.99, 1).unwrap();
+        assert!(p50 >= Duration::from_millis(10), "upper edge: {p50:?}");
+        assert!(p50 < Duration::from_millis(50));
+        assert!(p99 >= Duration::from_millis(500));
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn outliers_land_in_overflow() {
+        let mut s = ReplyLatencyStats::new(1);
+        s.observe(0, Duration::from_hours(2));
+        let q = s.quantile(0, 0.9, 1).unwrap();
+        assert!(q > MAX_LATENCY);
+    }
+}

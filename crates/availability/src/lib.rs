@@ -24,11 +24,13 @@
 pub mod farsite;
 pub mod gnutella;
 pub mod hourweek;
+pub mod latency;
 pub mod model;
 pub mod trace;
 
 pub use farsite::{FarsiteConfig, Profile};
 pub use gnutella::GnutellaConfig;
 pub use hourweek::HourOfWeekModel;
+pub use latency::ReplyLatencyStats;
 pub use model::{AvailabilityModel, ModelConfig, ReturnPrediction};
 pub use trace::{AvailabilityTrace, TraceStats};

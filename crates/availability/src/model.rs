@@ -82,6 +82,28 @@ impl ReturnPrediction {
             .map(|(_, w)| w)
             .sum()
     }
+
+    /// The `q`-quantile of the return delay: the smallest mass point whose
+    /// cumulative weight reaches `q` (clamped to `0..=1`). `None` when the
+    /// prediction is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.mass.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut points = self.mass.clone();
+        points.sort_by_key(|&(d, _)| d);
+        let total: f64 = points.iter().map(|(_, w)| w).sum();
+        let mut acc = 0.0;
+        for (d, w) in &points {
+            acc += w;
+            if acc >= q * total {
+                return Some(*d);
+            }
+        }
+        points.last().map(|&(d, _)| d)
+    }
 }
 
 /// The availability model proper.

@@ -1,0 +1,419 @@
+//! Ablation 07: hedged dissemination under correlated-branch-outage
+//! chaos — tail delay versus hedging bandwidth.
+//!
+//! Scenario per seed: a correlated branch outage (the smallest branch
+//! not containing the origin, ≤ 10% of the population) takes its
+//! endsystems down across the query injection, a degraded router pair
+//! adds loss and latency, and the base plan keeps random loss,
+//! duplication and reordering. Subranges whose primary replica sits in
+//! the dead or degraded region only complete after 5 s reissue chains —
+//! that is the tail hedging attacks: a backup replica-set member gets
+//! the task at the hedge threshold instead.
+//!
+//! Sweeps the hedge threshold (fraction of `dissem_timeout`, plus
+//! hedging off) × churn (bystander crash/rejoin cycles during the
+//! query) × replica selection (`IdOrder` vs `AvailAware`) and reports,
+//! per configuration, the p50/p90/p99 of delay-to-0.9-completeness
+//! across seeds next to the dissemination bandwidth and the hedge
+//! ledger. The headline comparison (default 0.5 threshold vs off) is
+//! printed per churn × selection cell. Exits non-zero on any oracle
+//! violation; with a fixed `--seed` the CSV is byte-stable.
+
+use seaweed_bench::{jobs, run_sweep, write_csv, Args, OutTable};
+use seaweed_core::{ChaosOracle, HedgeConfig, LiveTables, Seaweed, SeaweedConfig, SeaweedEngine};
+use seaweed_overlay::{Overlay, OverlayConfig, SelectionKind};
+use seaweed_sim::{
+    CorpNetTopology, CrashSpec, Engine, FaultPlan, LinkFaultSpec, NodeIdx, OutageSpec, SimConfig,
+};
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+/// Horizon used for censored runs (0.9-completeness never reached).
+const HORIZON_S: u64 = 1500;
+
+/// The correlated-branch-outage plan: the smallest non-empty branch that
+/// does not contain the origin goes down (no amnesia) across the query
+/// injection, and one router pair is degraded. `churn` adds two
+/// bystander crash/rejoin cycles inside the query window.
+fn outage_plan(topo: &CorpNetTopology, n: usize, churn: bool) -> FaultPlan {
+    let branch = topo
+        .branch_routers()
+        .filter(|&r| {
+            let sub = topo.subtree_endsystems(r);
+            !sub.is_empty() && !sub.contains(&0) && sub.len() * 10 <= n
+        })
+        .min_by_key(|&r| topo.subtree_endsystems(r).len())
+        .or_else(|| {
+            topo.branch_routers()
+                .filter(|&r| !topo.subtree_endsystems(r).contains(&0))
+                .min_by_key(|&r| topo.subtree_endsystems(r).len())
+        })
+        .expect("a branch router without the origin");
+    let outage = OutageSpec::branch_outage(topo, branch, secs(595), secs(700), false);
+
+    let za = topo.router_of(NodeIdx(1)) as u32;
+    let mut zb = topo.router_of(NodeIdx(2)) as u32;
+    if zb == za {
+        zb = topo.router_of(NodeIdx(3)) as u32;
+    }
+
+    let crashes = if churn {
+        let excluded = &outage.members;
+        let bystanders: Vec<u32> = (1..n as u32)
+            .filter(|m| !excluded.contains(m))
+            .take(2)
+            .collect();
+        vec![
+            CrashSpec {
+                node: NodeIdx(bystanders[0]),
+                at: secs(601),
+                rejoin_after: Duration::from_secs(40),
+            },
+            CrashSpec {
+                node: NodeIdx(bystanders[1]),
+                at: secs(604),
+                rejoin_after: Duration::from_secs(30),
+            },
+        ]
+    } else {
+        Vec::new()
+    };
+
+    FaultPlan {
+        partitions: Vec::new(),
+        link_faults: vec![LinkFaultSpec {
+            zone_a: za,
+            zone_b: zb,
+            from: secs(595),
+            until: secs(700),
+            extra_loss: 0.15,
+            latency_mult: 3.0,
+        }],
+        crashes,
+        outages: vec![outage],
+        dup_rate: 0.02,
+        reorder_window: Duration::from_millis(50),
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    /// Hedge threshold as a fraction of `dissem_timeout`; `None` = off.
+    hedge: Option<f64>,
+    churn: bool,
+    selection: SelectionKind,
+}
+
+struct RunOutcome {
+    /// Delay to 0.9-completeness, censored at the horizon.
+    t90: Duration,
+    dissem_bytes: u64,
+    hedges_sent: u64,
+    hedge_wins: u64,
+    hedge_losses: u64,
+    hedge_wasted_bytes: u64,
+    give_ups: u64,
+    reissues: u64,
+    violations: Vec<String>,
+}
+
+fn run_one(cfg: Config, seed: u64, n: usize, routers: usize) -> RunOutcome {
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let mut tables = Vec::with_capacity(n);
+    for node in 0..n {
+        let mut t = Table::new(schema.clone());
+        t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+            .expect("seed row");
+        tables.push(t);
+    }
+    let topo = CorpNetTopology::with_params(n, routers, Duration::MILLISECOND, seed);
+    let plan = outage_plan(&topo, n, cfg.churn);
+    let mut eng: SeaweedEngine = Engine::new(
+        Box::new(topo),
+        SimConfig {
+            seed,
+            loss_rate: 0.01,
+            faults: Some(plan),
+            ..SimConfig::default()
+        },
+    );
+    let overlay = Overlay::new(
+        Overlay::random_ids(n, seed),
+        OverlayConfig {
+            seed,
+            selection: cfg.selection,
+            ..Default::default()
+        },
+    );
+    let mut sw = Seaweed::new(
+        overlay,
+        LiveTables::new(tables),
+        SeaweedConfig {
+            seed,
+            hedge: cfg.hedge.map(|fraction| HedgeConfig {
+                fallback_fraction: fraction,
+                ..HedgeConfig::default()
+            }),
+            ..Default::default()
+        },
+    );
+    for i in 0..n {
+        eng.schedule_up(Time(1 + i as u64 * 300_000), NodeIdx(i as u32));
+    }
+    sw.run_until(&mut eng, secs(600));
+    let h = sw
+        .inject_query(
+            &mut eng,
+            NodeIdx(0),
+            "SELECT SUM(v) FROM T WHERE flag = 1",
+            Duration::from_hours(4),
+            &schema,
+        )
+        .expect("inject");
+
+    let oracle = ChaosOracle::new(n as u64);
+    let mut violations = Vec::new();
+    for t in [650, 720, 1000, HORIZON_S] {
+        sw.run_until(&mut eng, secs(t));
+        violations.extend(oracle.check(&sw, &eng));
+    }
+
+    let t90 = sw
+        .timeline(h)
+        .time_to_completeness(0.9, n as f64)
+        .unwrap_or_else(|| secs(HORIZON_S).saturating_since(secs(600)));
+    RunOutcome {
+        t90,
+        dissem_bytes: sw.stats.dissem_bytes,
+        hedges_sent: sw.stats.hedges_sent,
+        hedge_wins: sw.stats.hedge_wins,
+        hedge_losses: sw.stats.hedge_losses,
+        hedge_wasted_bytes: sw.stats.hedge_wasted_bytes,
+        give_ups: sw.stats.dissem_give_ups,
+        reissues: sw.stats.dissem_reissues,
+        violations,
+    }
+}
+
+/// Nearest-rank percentile of already-run delays (integer sort, no
+/// float comparisons).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+struct Aggregate {
+    cfg: Config,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    mean_dissem_bytes: u64,
+    hedges_sent: u64,
+    hedge_wins: u64,
+    hedge_losses: u64,
+    hedge_wasted_bytes: u64,
+    give_ups: u64,
+    reissues: u64,
+    oracle_ok: bool,
+}
+
+fn label(cfg: Config) -> String {
+    let hedge = cfg
+        .hedge
+        .map_or_else(|| "off".to_owned(), |f| format!("{f:.2}"));
+    format!(
+        "hedge={hedge} churn={} sel={}",
+        u8::from(cfg.churn),
+        match cfg.selection {
+            SelectionKind::IdOrder => "id",
+            SelectionKind::AvailAware => "avail",
+        }
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 36usize);
+    let routers = args.get("routers", 24usize);
+    let seed0 = args.get("seed", 42u64);
+    let seeds = args.get("seeds", 24u64);
+    let out = args.get_str("out", "results/abl07.csv");
+
+    let mut configs = Vec::new();
+    for churn in [false, true] {
+        for selection in [SelectionKind::IdOrder, SelectionKind::AvailAware] {
+            for hedge in [None, Some(0.25), Some(0.5), Some(0.75)] {
+                configs.push(Config {
+                    hedge,
+                    churn,
+                    selection,
+                });
+            }
+        }
+    }
+    println!(
+        "Ablation 07: hedged dissemination, {n} endsystems, {routers} routers, \
+         {} configs x seeds {seed0}..{}",
+        configs.len(),
+        seed0 + seeds
+    );
+
+    let runs: Vec<(Config, u64)> = configs
+        .iter()
+        .flat_map(|&c| (seed0..seed0 + seeds).map(move |s| (c, s)))
+        .collect();
+    // lint:allow(D002): operator-facing progress timing for a host-side experiment driver, never feeds simulated time
+    let t0 = std::time::Instant::now();
+    let outcomes = run_sweep(runs.clone(), jobs(&args, runs.len()), |_, &(c, s)| {
+        run_one(c, s, n, routers)
+    });
+    println!(
+        "  {} runs simulated in {:.1}s",
+        runs.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut failed = false;
+    let aggregates: Vec<Aggregate> = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, &cfg)| {
+            let slice = &outcomes[ci * seeds as usize..(ci + 1) * seeds as usize];
+            let mut delays: Vec<u64> = slice.iter().map(|o| o.t90.as_micros()).collect();
+            delays.sort_unstable();
+            let mut oracle_ok = true;
+            for (o, (_, seed)) in slice.iter().zip(&runs[ci * seeds as usize..]) {
+                for v in &o.violations {
+                    eprintln!("  {} seed {seed}: ORACLE VIOLATION: {v}", label(cfg));
+                    oracle_ok = false;
+                    failed = true;
+                }
+            }
+            Aggregate {
+                cfg,
+                p50: percentile(&delays, 50),
+                p90: percentile(&delays, 90),
+                p99: percentile(&delays, 99),
+                mean_dissem_bytes: slice.iter().map(|o| o.dissem_bytes).sum::<u64>() / seeds.max(1),
+                hedges_sent: slice.iter().map(|o| o.hedges_sent).sum(),
+                hedge_wins: slice.iter().map(|o| o.hedge_wins).sum(),
+                hedge_losses: slice.iter().map(|o| o.hedge_losses).sum(),
+                hedge_wasted_bytes: slice.iter().map(|o| o.hedge_wasted_bytes).sum(),
+                give_ups: slice.iter().map(|o| o.give_ups).sum(),
+                reissues: slice.iter().map(|o| o.reissues).sum(),
+                oracle_ok,
+            }
+        })
+        .collect();
+
+    let rows: Vec<Vec<f64>> = aggregates
+        .iter()
+        .map(|a| {
+            vec![
+                a.cfg.hedge.unwrap_or(-1.0),
+                f64::from(u8::from(a.cfg.churn)),
+                f64::from(u8::from(a.cfg.selection == SelectionKind::AvailAware)),
+                seeds as f64,
+                a.p50 as f64,
+                a.p90 as f64,
+                a.p99 as f64,
+                a.mean_dissem_bytes as f64,
+                a.hedges_sent as f64,
+                a.hedge_wins as f64,
+                a.hedge_losses as f64,
+                a.hedge_wasted_bytes as f64,
+                a.give_ups as f64,
+                f64::from(u8::from(a.oracle_ok)),
+            ]
+        })
+        .collect();
+    write_csv(
+        &out,
+        &[
+            "hedge_fraction",
+            "churn",
+            "avail_aware",
+            "seeds",
+            "p50_t90_us",
+            "p90_t90_us",
+            "p99_t90_us",
+            "mean_dissem_bytes",
+            "hedges_sent",
+            "hedge_wins",
+            "hedge_losses",
+            "hedge_wasted_bytes",
+            "give_ups",
+            "oracle_ok",
+        ],
+        &rows,
+    );
+
+    let mut t = OutTable::new(&[
+        "config", "p50 t90", "p90 t90", "p99 t90", "dissem B", "hedges", "wins", "wasted B",
+        "reiss", "giveup", "oracle",
+    ]);
+    let fmt_s = |us: u64| format!("{:.2}s", us as f64 / 1e6);
+    for a in &aggregates {
+        t.row(vec![
+            label(a.cfg),
+            fmt_s(a.p50),
+            fmt_s(a.p90),
+            fmt_s(a.p99),
+            a.mean_dissem_bytes.to_string(),
+            a.hedges_sent.to_string(),
+            a.hedge_wins.to_string(),
+            a.hedge_wasted_bytes.to_string(),
+            a.reissues.to_string(),
+            a.give_ups.to_string(),
+            if a.oracle_ok { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    t.print();
+
+    // Headline: default threshold (0.5 x dissem_timeout) vs hedging off,
+    // per churn x selection cell.
+    println!("  default threshold (0.5) vs off:");
+    for churn in [false, true] {
+        for selection in [SelectionKind::IdOrder, SelectionKind::AvailAware] {
+            let find = |hedge: Option<f64>| {
+                aggregates.iter().find(|a| {
+                    a.cfg.churn == churn && a.cfg.selection == selection && a.cfg.hedge == hedge
+                })
+            };
+            let (Some(off), Some(def)) = (find(None), find(Some(0.5))) else {
+                continue;
+            };
+            let p99_cut = 100.0 - 100.0 * def.p99 as f64 / off.p99 as f64;
+            let p50_delta = 100.0 * def.p50 as f64 / off.p50 as f64 - 100.0;
+            let bw_extra =
+                100.0 * def.mean_dissem_bytes as f64 / off.mean_dissem_bytes as f64 - 100.0;
+            println!(
+                "    churn={} sel={:>5}: p99 {} -> {} ({p99_cut:+.1}% cut), \
+                 p50 {p50_delta:+.2}%, dissem bytes {bw_extra:+.2}%",
+                u8::from(churn),
+                match selection {
+                    SelectionKind::IdOrder => "id",
+                    SelectionKind::AvailAware => "avail",
+                },
+                fmt_s(off.p99),
+                fmt_s(def.p99),
+            );
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all oracles clean across {} runs", runs.len());
+}

@@ -9,18 +9,23 @@
 //! aggregate back along the reverse edges; silent subranges are reissued
 //! after a timeout.
 
-use seaweed_overlay::OverlayEvent;
+use seaweed_overlay::{OverlayEvent, SelectionKind};
 use seaweed_sim::{NodeIdx, TrafficClass};
-use seaweed_types::IdRange;
+use seaweed_types::{Duration, Id, IdRange};
 
 use super::{
-    DissemTask, QueryHandle, QueryKind, RangeResult, Seaweed, SeaweedEngine, SeaweedMsg,
+    AppTimer, DissemTask, QueryHandle, QueryKind, RangeResult, Seaweed, SeaweedEngine, SeaweedMsg,
     SubrangeSlot, TaskKey, TimerAction,
 };
 use crate::predictor::Predictor;
 use crate::provider::DataProvider;
 use crate::wire;
 use seaweed_store::Aggregate;
+
+/// Cover candidates considered around a subrange midpoint when picking
+/// dissemination targets (primary + backups). Matches the paper's
+/// vertex-replica scale: a handful of ring-local endsystems.
+const COVER_CANDIDATES: usize = 4;
 
 impl<P: DataProvider> Seaweed<P> {
     /// Origin-side: route the query to the root of its queryId with the
@@ -53,6 +58,72 @@ impl<P: DataProvider> Seaweed<P> {
         // If the origin is itself the root, the delivery comes back
         // synchronously; feed it through the normal dispatch path.
         self.cascade(eng, evs);
+    }
+
+    /// Arms the origin-side watchdog behind every query injection. The
+    /// kickoff is one unretried message, and the root's task state dies
+    /// with the root, so a root crash right after delivery silences the
+    /// query forever — no slot timer anywhere covers the top of the
+    /// tree. Tail tolerance closes the gap by treating the kickoff like
+    /// any other delegation: silent past the reissue timeout means
+    /// re-send. No-op (and so baseline-invisible) when tail tolerance is
+    /// off.
+    pub(crate) fn arm_query_kick(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        h: QueryHandle,
+    ) {
+        if !self.tail_tolerance_active() {
+            return;
+        }
+        let t = self.set_app_timer(
+            eng,
+            origin,
+            self.cfg.dissem_timeout,
+            TimerAction::QueryKick {
+                node: origin,
+                query: h,
+            },
+        );
+        self.queries[h as usize].kick_timer = Some(t);
+    }
+
+    /// The watchdog fired: if the origin still has no aggregate at all,
+    /// re-route the full-range kickoff (landing on whichever node now
+    /// owns the query id — dedup absorbs it if the original root is
+    /// alive and collecting) and re-arm, up to the configured reissue
+    /// budget.
+    pub(crate) fn on_query_kick(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        h: QueryHandle,
+    ) {
+        let budget = self.cfg.max_reissues;
+        let q = &mut self.queries[h as usize];
+        q.kick_timer = None;
+        // The watchdog guards the dissemination tree's own deliverable.
+        // Result rows flow through the separate aggregation-tree path
+        // and can arrive even when the dissemination root died — the
+        // query then has rows but no completeness estimate, which is
+        // exactly the outage the re-kick must repair.
+        let got_report = match q.kind {
+            QueryKind::View { .. } => q.latest.is_some(),
+            _ => q.predictor.is_some(),
+        };
+        if !q.active || got_report {
+            return;
+        }
+        if q.kicks >= budget {
+            eng.record_app_event(origin, "sim.app.query_kick.exhausted", u64::from(h));
+            return;
+        }
+        q.kicks += 1;
+        self.stats.query_kicks += 1;
+        eng.record_app_event(origin, "sim.app.query_kick", u64::from(h));
+        self.start_dissemination(eng, origin, h);
+        self.arm_query_kick(eng, origin, h);
     }
 
     /// Drains a batch of overlay events produced outside the main
@@ -89,7 +160,20 @@ impl<P: DataProvider> Seaweed<P> {
         self.learn_query(eng, n, h);
 
         let key: TaskKey = (n.0, h, range.start().0, range.width().unwrap_or(0));
+        let tail_tolerant = self.tail_tolerance_active();
         if let Some(task) = self.tasks.get_mut(&key) {
+            // Hedges and availability-aware re-routes can hand the same
+            // range to us from a *second* parent. Pre-tail-tolerance the
+            // duplicate was swallowed and the new parent starved into
+            // reissue chains; with the features on, remember the extra
+            // parent so the (re-)report fans out to every delegator.
+            if tail_tolerant
+                && parent != n
+                && task.parent.is_some_and(|p| p != parent)
+                && !task.extra_parents.contains(&parent)
+            {
+                task.extra_parents.push(parent);
+            }
             if task.reported {
                 // The parent reissued because our report was lost in
                 // flight: retransmit it.
@@ -103,11 +187,14 @@ impl<P: DataProvider> Seaweed<P> {
 
         let mut task = DissemTask {
             parent: Some(parent),
+            extra_parents: Vec::new(),
             range,
             slots: Vec::new(),
             local: self.empty_result(h),
             reported: false,
             cached: None,
+            timeout_timer: None,
+            hedge_timer: None,
         };
 
         // The query root (first receiver, full range) reports straight to
@@ -141,8 +228,14 @@ impl<P: DataProvider> Seaweed<P> {
                     stack.push(s);
                 }
             } else {
-                // Delegate to the closest live endsystem to the subrange
-                // midpoint.
+                // Delegate toward the subrange midpoint — always. Routing
+                // by key terminates at the live region owner, which splits
+                // or absorbs; sending to any other replica's exact id
+                // would just append a forwarding hop (or, transitively, a
+                // forwarding *chain*). Availability-aware selection
+                // instead steers the recovery paths: reissue and hedge
+                // targets (see `divert_target_key` / `hedge_target`).
+                let target = r.midpoint();
                 let q = &self.queries[h as usize];
                 let size = wire::disseminate(q.text.len());
                 self.stats.disseminate_msgs += 1;
@@ -152,7 +245,7 @@ impl<P: DataProvider> Seaweed<P> {
                 let evs = self.overlay.route(
                     eng,
                     n,
-                    r.midpoint(),
+                    target,
                     SeaweedMsg::Disseminate {
                         query: h,
                         range: r,
@@ -166,23 +259,221 @@ impl<P: DataProvider> Seaweed<P> {
                     range: r,
                     done: None,
                     reissues: 0,
+                    sent_at: eng.now(),
+                    hedge: None,
                 });
             }
         }
 
         let done = task.slots.is_empty();
+        // A task that forwards its entire range in one slot is a pure
+        // relay (we own none of it) — hedge backups land here. Racing
+        // the relay's single delegation would add another racer to the
+        // same subtree the original delegator's timer already covers, so
+        // relays reissue but never hedge; that keeps a losing hedge at
+        // one request + one reply instead of a hedge-of-hedges chain.
+        let pure_relay = task.slots.len() == 1 && task.slots[0].range == range;
         self.tasks.insert(key, task);
         if done {
             self.finish_task(eng, n, h, key);
         } else {
-            self.set_app_timer(
+            let timeout = self.set_app_timer(
                 eng,
                 n,
                 self.cfg.dissem_timeout,
                 TimerAction::DissemTimeout { node: n, task: key },
             );
+            let hedge = (self.cfg.hedge.is_some() && !pure_relay).then(|| {
+                let delay = self.hedge_delay(n);
+                self.set_app_timer(
+                    eng,
+                    n,
+                    delay,
+                    TimerAction::HedgeTimeout { node: n, task: key },
+                )
+            });
+            let task = self.tasks.get_mut(&key).expect("just inserted");
+            task.timeout_timer = Some(timeout);
+            task.hedge_timer = hedge;
         }
         out_events
+    }
+
+    /// Routing key for *re*-delegating a silent subrange: its midpoint
+    /// under [`SelectionKind::IdOrder`] (the pre-hedging baseline,
+    /// preserved bit-for-bit). Under [`SelectionKind::AvailAware`], while
+    /// the presumptive owner-side replica is believed up the midpoint is
+    /// still used (the first send probably got unlucky, not the
+    /// geometry); when it is down, the retry goes to the best-ranked
+    /// *live* cover candidate instead of another round trip into the
+    /// outage. The divert is one hop by construction: the candidate's own
+    /// onward delegation is plain midpoint routing, which terminates at a
+    /// live region owner.
+    fn divert_target_key(&self, eng: &SeaweedEngine, n: NodeIdx, r: &IdRange) -> Id {
+        let mid = r.midpoint();
+        if self.overlay.config().selection != SelectionKind::AvailAware {
+            return mid;
+        }
+        let owner = self.overlay.cover_candidates(mid, 1).first().copied();
+        if owner.is_none_or(|x| eng.is_up(x)) {
+            return mid;
+        }
+        self.overlay
+            .select_cover(mid, COVER_CANDIDATES, |x| self.avail_score(eng, x))
+            .into_iter()
+            .find(|&x| x != n && eng.is_up(x))
+            .map_or(mid, |x| self.overlay.id_of(x))
+    }
+
+    /// The backup cover pick for a still-silent subrange: the best-ranked
+    /// *live* candidate around the midpoint that is neither ourselves nor
+    /// the owner-side replica the original delegation targeted.
+    fn hedge_target(&self, eng: &SeaweedEngine, n: NodeIdx, r: &IdRange) -> Option<NodeIdx> {
+        let mid = r.midpoint();
+        let primary = self.overlay.cover_candidates(mid, 1).first().copied();
+        self.overlay
+            .select_cover(mid, COVER_CANDIDATES, |x| self.avail_score(eng, x))
+            .into_iter()
+            .find(|&x| x != n && Some(x) != primary && eng.is_up(x))
+    }
+
+    /// Availability score for replica selection, higher = better. An
+    /// endsystem believed up now beats any down one; among down ones, the
+    /// sooner the availability model expects a return, the higher. The
+    /// monolithic simulation uses engine liveness plus the shared model
+    /// tables as the stand-in for the replicated per-endsystem metadata a
+    /// real delegator would consult (same convention as range
+    /// absorption). Integer-valued so ranking needs no float compares.
+    fn avail_score(&self, eng: &SeaweedEngine, x: NodeIdx) -> u64 {
+        if eng.is_up(x) {
+            return u64::MAX;
+        }
+        let down_since = self.down_since[x.idx()].unwrap_or_else(|| eng.now());
+        let pred = self.models[x.idx()].predict_return(eng.now(), down_since);
+        let eta = pred.quantile(0.5).unwrap_or_else(|| pred.expected());
+        (u64::MAX / 2).saturating_sub(eta.as_micros())
+    }
+
+    /// How long to wait for a subrange reply before hedging: the
+    /// configured quantile of this delegator's observed reply-latency
+    /// distribution, falling back to a fraction of the reissue timeout
+    /// until enough replies have been observed.
+    ///
+    /// The observed quantile is floored at the fallback threshold, not
+    /// trusted below it: early in a query the delegator has only seen
+    /// the replies that already landed — a sample censored toward the
+    /// fast side — so a raw p90 of it hedges nearly every slot and
+    /// multiplies dissemination bandwidth. The model may only *extend*
+    /// the wait (a habitually slow replica set earns patience), up to
+    /// the reissue timeout itself.
+    pub(crate) fn hedge_delay(&self, n: NodeIdx) -> Duration {
+        let hc = self.cfg.hedge.as_ref().expect("hedging enabled");
+        let fallback = Duration::from_micros(
+            (self.cfg.dissem_timeout.as_micros() as f64 * hc.fallback_fraction) as u64,
+        );
+        self.reply_lat
+            .quantile(n.idx(), hc.quantile, hc.min_samples)
+            .map_or(fallback, |q| q.max(fallback))
+            .max(Duration::from_micros(1))
+            .min(self.cfg.dissem_timeout)
+    }
+
+    /// The hedge timer fired for a task: duplicate still-silent,
+    /// not-yet-hedged subranges to a backup cover candidate. At most one
+    /// hedge per slot, ever — the reissue machinery (which this races,
+    /// never replaces) handles persistent silence.
+    ///
+    /// Which silent slots hedge is availability-gated, because a hedge
+    /// is the expensive recovery (the backup re-disseminates the whole
+    /// subrange) while a reissue is one message:
+    ///
+    /// * presumptive owner believed **down** — hedge immediately. A
+    ///   reissue would route back into the outage; a backup near the
+    ///   region mostly *absorbs* the range via its predictors, so the
+    ///   rescue is cheap and fast. This is the correlated-outage case
+    ///   that otherwise rides the full reissue ladder into a give-up.
+    /// * owner believed **up** — the first delegation probably met loss,
+    ///   not a dead replica, and the cheap reissue deserves first try;
+    ///   hedge only slots a reissue already failed to revive (the
+    ///   correlated-loss tail). The timer re-arms on every reissue
+    ///   round, so such slots get their hedge one delay after the
+    ///   reissue that failed them.
+    ///
+    /// A hedge that lands on an executor already working the range
+    /// converges into the existing task via the extra-parent fan-in
+    /// rather than spawning a duplicate subtree, so the cost of a losing
+    /// hedge is one request and one reply, not a re-dissemination.
+    pub(crate) fn on_hedge_timeout(&mut self, eng: &mut SeaweedEngine, n: NodeIdx, key: TaskKey) {
+        let h = key.1;
+        {
+            let Some(task) = self.tasks.get_mut(&key) else {
+                return;
+            };
+            task.hedge_timer = None;
+            if task.reported {
+                return;
+            }
+        }
+        if !self.queries[h as usize].active {
+            return;
+        }
+        let pending: Vec<IdRange> = self
+            .tasks
+            .get(&key)
+            .expect("checked above")
+            .slots
+            .iter()
+            .filter(|s| s.done.is_none() && s.hedge.is_none())
+            .filter(|s| {
+                s.reissues > 0
+                    || self
+                        .overlay
+                        .cover_candidates(s.range.midpoint(), 1)
+                        .first()
+                        .is_some_and(|&x| !eng.is_up(x))
+            })
+            .map(|s| s.range)
+            .collect();
+        let text_len = self.queries[h as usize].text.len();
+        for r in pending {
+            // A hedge reply can cascade synchronously and finish the
+            // task; hedging the remaining slots would be pure waste.
+            if self.tasks.get(&key).is_none_or(|t| t.reported) {
+                break;
+            }
+            let Some(backup) = self.hedge_target(eng, n, &r) else {
+                continue;
+            };
+            if let Some(slot) = self
+                .tasks
+                .get_mut(&key)
+                .and_then(|t| t.slots.iter_mut().find(|s| s.range == r))
+            {
+                slot.hedge = Some(backup);
+            }
+            let size = wire::disseminate(text_len);
+            self.stats.disseminate_msgs += 1;
+            self.stats.dissem_bytes += u64::from(size);
+            self.stats.hedges_sent += 1;
+            let tl = &mut self.timelines[h as usize];
+            tl.dissem_msgs += 1;
+            tl.hedges_sent += 1;
+            eng.record_app_event(n, "sim.app.hedge.sent", u64::from(h));
+            let target = self.overlay.id_of(backup);
+            let evs = self.overlay.route(
+                eng,
+                n,
+                target,
+                SeaweedMsg::Disseminate {
+                    query: h,
+                    range: r,
+                    parent: n,
+                },
+                size,
+                TrafficClass::Query,
+            );
+            self.cascade(eng, evs);
+        }
     }
 
     /// The kind-appropriate identity element for a task's accumulator.
@@ -309,10 +600,13 @@ impl<P: DataProvider> Seaweed<P> {
     }
 
     /// A child reported its subrange result (predictor or view partial).
+    /// `from` is the reporting endsystem, used to attribute the reply to
+    /// the primary or the hedge when the slot was hedged.
     pub(crate) fn on_range_report(
         &mut self,
         eng: &mut SeaweedEngine,
         n: NodeIdx,
+        from: NodeIdx,
         h: QueryHandle,
         range: IdRange,
         result: RangeResult,
@@ -343,16 +637,57 @@ impl<P: DataProvider> Seaweed<P> {
         let Some(key) = key else {
             return Vec::new(); // late/duplicate report for a finished task
         };
+        let report_size = u64::from(match &result {
+            RangeResult::Predictor(p) => wire::predictor_report(p.wire_size()),
+            RangeResult::View(..) => wire::predictor_report(48),
+        });
+        let now = eng.now();
         let task = self.tasks.get_mut(&key).expect("just found");
         let slot = task
             .slots
             .iter_mut()
             .find(|s| s.range == range)
             .expect("slot exists");
+        // `None`: unhedged fill. `Some(true)`: the hedge won the race.
+        // `Some(false)`: the primary won, the hedge was pure overhead.
+        let mut hedge_won = None;
+        let mut loser_reply = false;
         if slot.done.is_none() {
+            if let Some(backup) = slot.hedge {
+                hedge_won = Some(from == backup);
+            }
+            let waited = now.saturating_since(slot.sent_at);
             slot.done = Some(result);
             task.cached = None; // memoized merge no longer covers this slot
+            self.reply_lat.observe(n.idx(), waited);
+        } else if slot.hedge.is_some() {
+            // The race loser's duplicate reply landing on an
+            // already-filled hedged slot: deduped here (exactly-once is
+            // untouched), charged as hedging waste.
+            loser_reply = true;
         }
+        match hedge_won {
+            Some(true) => {
+                self.stats.hedge_wins += 1;
+                self.timelines[h as usize].hedge_wins += 1;
+                eng.record_app_event(n, "sim.app.hedge.win", u64::from(h));
+            }
+            Some(false) => {
+                let wasted = u64::from(wire::disseminate(self.queries[h as usize].text.len()));
+                self.stats.hedge_losses += 1;
+                self.stats.hedge_wasted_bytes += wasted;
+                let tl = &mut self.timelines[h as usize];
+                tl.hedge_losses += 1;
+                tl.hedge_wasted_bytes += wasted;
+                eng.record_app_event(n, "sim.app.hedge.loss", u64::from(h));
+            }
+            None => {}
+        }
+        if loser_reply {
+            self.stats.hedge_wasted_bytes += report_size;
+            self.timelines[h as usize].hedge_wasted_bytes += report_size;
+        }
+        let task = self.tasks.get(&key).expect("still present");
         if task.slots.iter().all(|s| s.done.is_some()) {
             self.finish_task(eng, n, h, key);
         }
@@ -366,10 +701,12 @@ impl<P: DataProvider> Seaweed<P> {
         let Some(task) = self.tasks.get_mut(&key) else {
             return;
         };
+        task.timeout_timer = None; // it just fired
         if task.reported {
             return;
         }
         let h = key.1;
+        let now = eng.now();
         let mut to_reissue = Vec::new();
         let mut gave_up = Vec::new();
         for (i, slot) in task.slots.iter_mut().enumerate() {
@@ -378,6 +715,14 @@ impl<P: DataProvider> Seaweed<P> {
             }
             if slot.reissues < self.cfg.max_reissues {
                 slot.reissues += 1;
+                slot.sent_at = now; // reply latency measured from the resend
+                                    // A new round earns a new hedge: the previous backup is
+                                    // as silent as the primary, so when the re-armed hedge
+                                    // timer fires it may duplicate to a fresh candidate
+                                    // (at most one hedge in flight per slot per round).
+                                    // Never set with hedging off, so clearing is baseline-
+                                    // invisible.
+                slot.hedge = None;
                 to_reissue.push(slot.range);
             } else {
                 // Give up: report what we have (the range contributes
@@ -395,7 +740,9 @@ impl<P: DataProvider> Seaweed<P> {
             }
             task.cached = None;
             for (_, r) in gave_up {
+                self.stats.dissem_give_ups += 1;
                 self.timelines[h as usize].give_ups += 1;
+                eng.record_app_event(n, "sim.app.give_up.reissues_exhausted", u64::from(h));
                 self.gave_up.push((n, h, r));
             }
         }
@@ -408,10 +755,11 @@ impl<P: DataProvider> Seaweed<P> {
                 self.stats.disseminate_msgs += 1;
                 self.stats.dissem_bytes += u64::from(size);
                 self.timelines[h as usize].dissem_msgs += 1;
+                let target = self.divert_target_key(eng, n, &r);
                 let evs = self.overlay.route(
                     eng,
                     n,
-                    r.midpoint(),
+                    target,
                     SeaweedMsg::Disseminate {
                         query: h,
                         range: r,
@@ -422,12 +770,48 @@ impl<P: DataProvider> Seaweed<P> {
                 );
                 self.cascade(eng, evs);
             }
-            self.set_app_timer(
+            let hedging = self.cfg.hedge.is_some();
+            if hedging {
+                // Disarm a hedge timer still pending from the previous
+                // round before re-arming both races.
+                let stale = self.tasks.get_mut(&key).and_then(|t| t.hedge_timer.take());
+                if let Some(t) = stale {
+                    self.cancel_app_timer(eng, t);
+                }
+            }
+            // Re-armed unconditionally, exactly as before hedging
+            // existed: the reissue cascade may have completed the task
+            // synchronously, in which case the baseline lets the timer
+            // fire as a no-op while hedged mode disarms it right away.
+            let timeout = self.set_app_timer(
                 eng,
                 n,
                 self.cfg.dissem_timeout,
                 TimerAction::DissemTimeout { node: n, task: key },
             );
+            let hedge = hedging.then(|| {
+                let delay = self.hedge_delay(n);
+                self.set_app_timer(
+                    eng,
+                    n,
+                    delay,
+                    TimerAction::HedgeTimeout { node: n, task: key },
+                )
+            });
+            match self.tasks.get_mut(&key) {
+                Some(task) if !task.reported => {
+                    task.timeout_timer = Some(timeout);
+                    task.hedge_timer = hedge;
+                }
+                _ => {
+                    if hedging {
+                        self.cancel_app_timer(eng, timeout);
+                        if let Some(t) = hedge {
+                            self.cancel_app_timer(eng, t);
+                        }
+                    }
+                }
+            }
         }
         // All slots may now be resolved (give-ups).
         let task = self.tasks.get(&key).expect("still present");
@@ -444,6 +828,16 @@ impl<P: DataProvider> Seaweed<P> {
             return;
         }
         task.reported = true;
+        // Reporting resolves both pending races; hedged mode disarms the
+        // timers instead of letting them fire as no-ops. (Taking the
+        // handles is unconditional bookkeeping; only hedged mode cancels,
+        // keeping the baseline's timer stream untouched.)
+        let stale: Vec<AppTimer> = task
+            .timeout_timer
+            .take()
+            .into_iter()
+            .chain(task.hedge_timer.take())
+            .collect();
         // Merge local + slot results once; retransmissions of a lost
         // report reuse the memoized value instead of re-merging.
         if task.cached.is_none() {
@@ -457,12 +851,39 @@ impl<P: DataProvider> Seaweed<P> {
         }
         let merged = task.cached.clone().expect("just memoized");
         let parent = task.parent;
+        // Every delegator that converged on this task hears the report;
+        // draining means a later retransmission fans out only to whoever
+        // asked again. Always empty with tail tolerance off.
+        let extra_parents = std::mem::take(&mut task.extra_parents);
         let range = task.range;
+        if self.cfg.hedge.is_some() {
+            for t in stale {
+                self.cancel_app_timer(eng, t);
+            }
+        }
         let size = match &merged {
             RangeResult::Predictor(p) => wire::predictor_report(p.wire_size()),
             RangeResult::View(..) => wire::predictor_report(48),
         };
         self.stats.predictor_bytes += u64::from(size);
+        for &extra in extra_parents.iter().filter(|&&e| Some(e) != parent) {
+            let msg = match merged.clone() {
+                RangeResult::Predictor(predictor) => SeaweedMsg::PredictorReport {
+                    query: h,
+                    range,
+                    predictor: *predictor,
+                },
+                RangeResult::View(agg, endsystems) => SeaweedMsg::ViewReport {
+                    query: h,
+                    range,
+                    agg,
+                    endsystems,
+                },
+            };
+            self.stats.predictor_bytes += u64::from(size);
+            self.overlay
+                .send_app(eng, n, extra, msg, size, TrafficClass::Query);
+        }
         match parent {
             Some(parent) if parent != n => {
                 let msg = match merged {
@@ -484,7 +905,7 @@ impl<P: DataProvider> Seaweed<P> {
             Some(_) => {
                 // Parent is ourselves (self-delegated subrange): feed the
                 // report back through the local path.
-                let evs = self.on_range_report(eng, n, h, range, merged);
+                let evs = self.on_range_report(eng, n, n, h, range, merged);
                 self.cascade(eng, evs);
             }
             None => {
@@ -547,9 +968,13 @@ impl<P: DataProvider> Seaweed<P> {
             q.latest_version = endsystems; // coverage doubles as version
             q.progress.push((eng.now(), agg.rows, agg.finish()));
             q.predictor_at = Some(eng.now());
+            let kick = q.kick_timer.take(); // watchdog's race is resolved
             let tl = &mut self.timelines[h as usize];
             tl.predictor_at = Some(eng.now());
             tl.record_result(eng.now(), agg.rows);
+            if let Some(t) = kick {
+                self.cancel_app_timer(eng, t);
+            }
         }
     }
 
@@ -566,7 +991,11 @@ impl<P: DataProvider> Seaweed<P> {
         if q.predictor.is_none() {
             q.predictor = Some(predictor);
             q.predictor_at = Some(eng.now());
+            let kick = q.kick_timer.take(); // watchdog's race is resolved
             self.timelines[h as usize].predictor_at = Some(eng.now());
+            if let Some(t) = kick {
+                self.cancel_app_timer(eng, t);
+            }
         }
     }
 }

@@ -17,6 +17,7 @@
 //!   store each vertex's child map once plus its live holder set, and the
 //!   state is lost if every holder fails, exactly as in the real system.
 
+mod backoff;
 mod disseminate;
 mod metadata;
 mod results;
@@ -26,8 +27,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use seaweed_availability::{AvailabilityModel, ModelConfig};
-use seaweed_overlay::{is_overlay_tag, Overlay, OverlayEvent, OverlayMsg};
+use seaweed_availability::{AvailabilityModel, ModelConfig, ReplyLatencyStats};
+use seaweed_overlay::{is_overlay_tag, Overlay, OverlayEvent, OverlayMsg, SelectionKind};
 use seaweed_sim::{Engine, Event, NodeIdx};
 use seaweed_store::{Aggregate, BoundQuery, Query};
 use seaweed_types::{sha1, Duration, Id, IdRange, Time};
@@ -148,9 +149,39 @@ pub struct SeaweedConfig {
     /// Local processing delay between receiving a query and submitting
     /// the locally executed result.
     pub local_exec_delay: Duration,
+    /// Hedged dissemination: when a delegated subrange stays silent past
+    /// the expected-reply quantile, duplicate the task to a backup cover
+    /// candidate instead of waiting out the full reissue timeout. `None`
+    /// (the default) disables hedging and preserves the pre-hedging
+    /// message and timer stream bit-for-bit.
+    pub hedge: Option<HedgeConfig>,
     /// Availability-model tuning.
     pub model: ModelConfig,
     pub seed: u64,
+}
+
+/// Tuning for hedged dissemination (tail-tolerant querying).
+#[derive(Clone, Debug)]
+pub struct HedgeConfig {
+    /// Reply-latency quantile to wait for before hedging (default p90 of
+    /// the delegator's observed reply distribution).
+    pub quantile: f64,
+    /// Minimum completed-reply observations before the latency model is
+    /// trusted for the quantile estimate.
+    pub min_samples: u64,
+    /// Hedge delay as a fraction of `dissem_timeout` while the delegator
+    /// has fewer than `min_samples` observations.
+    pub fallback_fraction: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            quantile: 0.9,
+            min_samples: 4,
+            fallback_fraction: 0.5,
+        }
+    }
 }
 
 impl Default for SeaweedConfig {
@@ -164,6 +195,7 @@ impl Default for SeaweedConfig {
             result_retry: Duration::from_secs(10),
             result_retry_cap: Duration::from_secs(160),
             local_exec_delay: Duration::from_millis(100),
+            hedge: None,
             model: ModelConfig::default(),
             seed: 0,
         }
@@ -214,6 +246,12 @@ pub struct QueryState {
     pub latest_version: u64,
     /// History of `(time, rows folded in, finished value)` at the origin.
     pub progress: Vec<(Time, u64, Option<f64>)>,
+    /// Origin-side watchdog timer re-kicking a dissemination that has
+    /// produced no result at all; armed only when tail tolerance is
+    /// active, disarmed when the first aggregate lands.
+    pub(crate) kick_timer: Option<AppTimer>,
+    /// Full-range re-kicks the watchdog has issued for this query.
+    pub kicks: u8,
 }
 
 impl QueryState {
@@ -261,6 +299,21 @@ pub struct SeaweedStats {
     /// Crash-with-amnesia transitions (soft state wiped, unlike a clean
     /// shutdown/rejoin).
     pub amnesia_crashes: u64,
+    /// Dissemination subranges abandoned after exhausting reissues.
+    pub dissem_give_ups: u64,
+    /// Backup dissemination sends issued by the hedging machinery.
+    pub hedges_sent: u64,
+    /// Hedged slots where the backup's reply arrived first.
+    pub hedge_wins: u64,
+    /// Hedged slots where the primary replied first (the hedge send was
+    /// pure overhead).
+    pub hedge_losses: u64,
+    /// Application-payload bytes spent on hedges that lost the race,
+    /// plus the loser's duplicate reply when it eventually lands.
+    pub hedge_wasted_bytes: u64,
+    /// Full-range dissemination re-kicks issued by the origin-side
+    /// watchdog (the kickoff message is otherwise unretried).
+    pub query_kicks: u64,
 }
 
 /// Deferred actions carried by application timers.
@@ -272,6 +325,23 @@ pub(crate) enum TimerAction {
     DissemTimeout {
         node: NodeIdx,
         task: TaskKey,
+    },
+    /// The expected-reply quantile elapsed with subranges still silent:
+    /// duplicate them to backup cover candidates. Armed only when
+    /// `SeaweedConfig::hedge` is set.
+    HedgeTimeout {
+        node: NodeIdx,
+        task: TaskKey,
+    },
+    /// No aggregated result has reached the origin within the reissue
+    /// timeout: re-kick the full-range dissemination. The kickoff is a
+    /// single unretried message and the query root's task dies with the
+    /// root (crash-with-amnesia), so without this watchdog an unlucky
+    /// root crash silences the whole query. Armed only when tail
+    /// tolerance is active.
+    QueryKick {
+        node: NodeIdx,
+        query: QueryHandle,
     },
     ExecuteLocal {
         node: NodeIdx,
@@ -295,11 +365,23 @@ impl TimerAction {
         match *self {
             TimerAction::MetaPush { node }
             | TimerAction::DissemTimeout { node, .. }
+            | TimerAction::HedgeTimeout { node, .. }
+            | TimerAction::QueryKick { node, .. }
             | TimerAction::ExecuteLocal { node, .. }
             | TimerAction::ResultRetry { node, .. } => Some(node),
             TimerAction::QueryExpire { .. } => None,
         }
     }
+}
+
+/// An armed application timer: the app-layer tag (key into
+/// `Seaweed::timers`) plus the engine handle, retained so hedging can
+/// disarm the loser of a reply race instead of letting it fire as a
+/// no-op.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AppTimer {
+    pub seq: u64,
+    pub handle: seaweed_sim::TimerHandle,
 }
 
 /// Key of a dissemination task: (node, query, range start, range width —
@@ -337,6 +419,11 @@ impl RangeResult {
 #[derive(Debug)]
 pub(crate) struct DissemTask {
     pub parent: Option<NodeIdx>,
+    /// Additional delegators that handed us the same range (hedges and
+    /// availability-aware re-routes can converge on one executor); every
+    /// report fans out to these too. Always empty with tail tolerance
+    /// off — the baseline swallows duplicate delegations silently.
+    pub extra_parents: Vec<NodeIdx>,
     pub range: IdRange,
     /// Outstanding subranges delegated to other nodes.
     pub slots: Vec<SubrangeSlot>,
@@ -348,6 +435,11 @@ pub(crate) struct DissemTask {
     /// a slot's `done` result changes (fill, give-up, heal re-open) so it
     /// can never drift from the canonical local-then-slot-order merge.
     pub cached: Option<RangeResult>,
+    /// The armed reissue timer, kept so hedged mode can disarm it when
+    /// the task reports. `None` once fired, cancelled or never armed.
+    pub timeout_timer: Option<AppTimer>,
+    /// The armed hedge timer (hedged mode only).
+    pub hedge_timer: Option<AppTimer>,
 }
 
 #[derive(Debug)]
@@ -355,6 +447,12 @@ pub(crate) struct SubrangeSlot {
     pub range: IdRange,
     pub done: Option<RangeResult>,
     pub reissues: u8,
+    /// When the current outstanding delegation was (re)sent; feeds the
+    /// per-delegator reply-latency model on fill.
+    pub sent_at: Time,
+    /// Backup cover candidate this slot was hedged to, if any. At most
+    /// one hedge per slot.
+    pub hedge: Option<NodeIdx>,
 }
 
 /// Aggregation-tree vertex state (a replica group's contents).
@@ -452,8 +550,14 @@ pub struct Seaweed<P: DataProvider> {
     pub(crate) view_values: Vec<Vec<Option<Aggregate>>>,
 
     // ---- timers ----
-    timers: BTreeMap<u64, TimerAction>,
+    pub(crate) timers: BTreeMap<u64, TimerAction>,
     timer_seq: u64,
+
+    // ---- tail tolerance ----
+    /// Per-delegator observed reply-latency distributions; drives the
+    /// hedge delay. Maintained passively even with hedging off (reads
+    /// never influence the protocol unless `cfg.hedge` is set).
+    pub(crate) reply_lat: ReplyLatencyStats,
 
     pub(crate) rng: StdRng,
     pub stats: SeaweedStats,
@@ -514,6 +618,7 @@ impl<P: DataProvider> Seaweed<P> {
             view_values: Vec::new(),
             timers: BTreeMap::new(),
             timer_seq: 0,
+            reply_lat: ReplyLatencyStats::new(n),
             stats: SeaweedStats::default(),
         }
     }
@@ -562,19 +667,47 @@ impl<P: DataProvider> Seaweed<P> {
         m.set_counter("app.vertex_states_lost", s.vertex_states_lost);
         m.set_counter("app.results_at_origin", s.results_at_origin);
         m.set_counter("app.amnesia_crashes", s.amnesia_crashes);
+        m.set_counter("app.dissem_give_ups", s.dissem_give_ups);
+        m.set_counter("app.hedges_sent", s.hedges_sent);
+        m.set_counter("app.hedge_wins", s.hedge_wins);
+        m.set_counter("app.hedge_losses", s.hedge_losses);
+        m.set_counter("app.hedge_wasted_bytes", s.hedge_wasted_bytes);
+        m.set_counter("app.query_kicks", s.query_kicks);
         m.set_counter("app.queries_injected", self.queries.len() as u64);
         // Stage-latency histograms need sub-second resolution at the fast
         // end (predictors arrive in RTTs): 1 ms .. 1 day.
         let buckets = LogBuckets::new(Duration::MILLISECOND, Duration::from_days(1), 40);
-        for tl in &self.timelines {
+        for (h, tl) in self.timelines.iter().enumerate() {
             if let Some(d) = tl.time_to_predictor() {
                 m.observe_with("app.query.predictor_latency", buckets, d);
             }
             if let Some(d) = tl.time_to_first_result() {
                 m.observe_with("app.query.first_result_latency", buckets, d);
             }
+            let slo = self.slo_report(h as QueryHandle);
+            if let Some(d) = slo.delay_to_c50 {
+                m.observe_with("app.query.delay_to_c50", buckets, d);
+            }
+            if let Some(d) = slo.delay_to_c90 {
+                m.observe_with("app.query.delay_to_c90", buckets, d);
+            }
+            if let Some(d) = slo.delay_to_c99 {
+                m.observe_with("app.query.delay_to_c99", buckets, d);
+            }
         }
         m
+    }
+
+    /// Per-query SLO report: delay-to-completeness percentile checkpoints
+    /// (against the predictor's total-row estimate) plus hedging
+    /// cost/benefit counters.
+    #[must_use]
+    pub fn slo_report(&self, h: QueryHandle) -> crate::obs::SloReport {
+        let total = self.queries[h as usize]
+            .predictor
+            .as_ref()
+            .map_or(0.0, Predictor::total_rows);
+        self.timelines[h as usize].slo_report(total)
     }
 
     /// Injects a one-shot query at `origin` (which must be up and
@@ -669,11 +802,14 @@ impl<P: DataProvider> Seaweed<P> {
             latest: None,
             latest_version: 0,
             progress: Vec::new(),
+            kick_timer: None,
+            kicks: 0,
         });
         self.timelines.push(QueryTimeline::new(eng.now()));
         self.query_by_id.insert(id, handle);
         self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
         self.start_dissemination(eng, origin, handle);
+        self.arm_query_kick(eng, origin, handle);
         handle
     }
 
@@ -719,11 +855,14 @@ impl<P: DataProvider> Seaweed<P> {
             latest: None,
             latest_version: 0,
             progress: Vec::new(),
+            kick_timer: None,
+            kicks: 0,
         });
         self.timelines.push(QueryTimeline::new(eng.now()));
         self.query_by_id.insert(id, handle);
         self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
         self.start_dissemination(eng, origin, handle);
+        self.arm_query_kick(eng, origin, handle);
         Ok(handle)
     }
 
@@ -747,7 +886,7 @@ impl<P: DataProvider> Seaweed<P> {
             self.stats.dissem_bytes += notice * n_live;
             eng.record_probe(origin, (notice * n_live.min(1 << 16)) as u32);
         }
-        self.expire_query(h);
+        self.expire_query(eng, h);
     }
 
     /// Runs the event loop until `horizon`.
@@ -858,6 +997,7 @@ impl<P: DataProvider> Seaweed<P> {
             } => self.on_range_report(
                 eng,
                 to,
+                from,
                 query,
                 range,
                 RangeResult::Predictor(Box::new(predictor)),
@@ -871,7 +1011,14 @@ impl<P: DataProvider> Seaweed<P> {
                 range,
                 agg,
                 endsystems,
-            } => self.on_range_report(eng, to, query, range, RangeResult::View(agg, endsystems)),
+            } => self.on_range_report(
+                eng,
+                to,
+                from,
+                query,
+                range,
+                RangeResult::View(agg, endsystems),
+            ),
             SeaweedMsg::ViewToOrigin {
                 query,
                 agg,
@@ -953,6 +1100,14 @@ impl<P: DataProvider> Seaweed<P> {
         }
     }
 
+    /// Whether any tail-tolerance feature is on (hedging or non-baseline
+    /// replica selection). Gates every behavioural divergence from the
+    /// pre-hedging protocol — with this false, the byte-identical
+    /// equivalence pins hold.
+    pub(crate) fn tail_tolerance_active(&self) -> bool {
+        self.cfg.hedge.is_some() || self.overlay.config().selection != SelectionKind::IdOrder
+    }
+
     // ---------------------------------------------------------- timers
 
     pub(crate) fn set_app_timer(
@@ -961,12 +1116,23 @@ impl<P: DataProvider> Seaweed<P> {
         node: NodeIdx,
         delay: Duration,
         action: TimerAction,
-    ) {
+    ) -> AppTimer {
         let seq = self.timer_seq;
         self.timer_seq += 1;
         debug_assert!(seq < (1 << 62), "timer tag space exhausted");
         self.timers.insert(seq, action);
-        let _ = eng.set_timer(node, delay, seq);
+        let handle = eng.set_timer(node, delay, seq);
+        AppTimer { seq, handle }
+    }
+
+    /// Disarms an application timer: the engine timer is cancelled and
+    /// the deferred action dropped. Idempotent — a timer that already
+    /// fired or was auto-cancelled by node-down is a no-op. Only hedged
+    /// mode calls this (the baseline lets no-op timers fire so its event
+    /// stream is untouched).
+    pub(crate) fn cancel_app_timer(&mut self, eng: &mut SeaweedEngine, t: AppTimer) {
+        self.timers.remove(&t.seq);
+        let _ = eng.cancel_timer(t.handle);
     }
 
     /// Arms a timer that must survive `node` going down (e.g. query
@@ -998,6 +1164,12 @@ impl<P: DataProvider> Seaweed<P> {
             TimerAction::DissemTimeout { node: n, task } => {
                 self.on_dissem_timeout(eng, n, task);
             }
+            TimerAction::HedgeTimeout { node: n, task } => {
+                self.on_hedge_timeout(eng, n, task);
+            }
+            TimerAction::QueryKick { node: n, query } => {
+                self.on_query_kick(eng, n, query);
+            }
             TimerAction::ExecuteLocal { node: n, query } => {
                 self.execute_and_submit(eng, n, query);
             }
@@ -1010,14 +1182,36 @@ impl<P: DataProvider> Seaweed<P> {
                 self.on_result_retry(eng, n, query, child, version);
             }
             TimerAction::QueryExpire { query } => {
-                self.expire_query(query);
+                self.expire_query(eng, query);
             }
         }
     }
 
-    fn expire_query(&mut self, query: QueryHandle) {
+    fn expire_query(&mut self, eng: &mut SeaweedEngine, query: QueryHandle) {
         let q = &mut self.queries[query as usize];
         q.active = false;
+        // Only ever Some when tail tolerance armed it, so the cancel is
+        // baseline-invisible.
+        if let Some(t) = q.kick_timer.take() {
+            self.cancel_app_timer(eng, t);
+        }
+        // Hedged mode disarms every timer still tied to the query's
+        // tasks before dropping them (invariant: no armed dissemination
+        // timer may reference a dead query). The baseline lets them fire
+        // as no-ops, as it always did.
+        if self.cfg.hedge.is_some() {
+            let keys: Vec<TaskKey> = self.tasks.keys().filter(|k| k.1 == query).collect();
+            let mut stale: Vec<AppTimer> = Vec::new();
+            for key in keys {
+                if let Some(task) = self.tasks.get_mut(&key) {
+                    stale.extend(task.timeout_timer.take());
+                    stale.extend(task.hedge_timer.take());
+                }
+            }
+            for t in stale {
+                self.cancel_app_timer(eng, t);
+            }
+        }
         // Drop protocol state lazily held for this query.
         self.tasks.clear_query(query);
         self.vertices.clear_query(query);
@@ -1199,6 +1393,8 @@ impl<P: DataProvider> Seaweed<P> {
                         .expect("slot exists");
                     slot.done = None;
                     slot.reissues = 0;
+                    slot.sent_at = eng.now();
+                    slot.hedge = None;
                     task.reported = false;
                     task.cached = None; // slot re-opened: memoized merge is stale
                     if !rearm.contains(&key) {
@@ -1226,12 +1422,55 @@ impl<P: DataProvider> Seaweed<P> {
         }
         for key in rearm {
             let n = NodeIdx(key.0);
-            self.set_app_timer(
+            let hedging = self.cfg.hedge.is_some();
+            if hedging {
+                // The task may still hold armed timers from before the
+                // heal (e.g. other slots mid-reissue); disarm them so
+                // hedged mode keeps exactly one of each per task.
+                let stale: Vec<AppTimer> = self.tasks.get_mut(&key).map_or_else(Vec::new, |t| {
+                    t.timeout_timer
+                        .take()
+                        .into_iter()
+                        .chain(t.hedge_timer.take())
+                        .collect()
+                });
+                for t in stale {
+                    self.cancel_app_timer(eng, t);
+                }
+            }
+            // Armed unconditionally, exactly as before hedging existed:
+            // the re-cover cascade above may have already completed the
+            // task, in which case the baseline lets the timer fire as a
+            // no-op while hedged mode disarms it right away.
+            let timeout = self.set_app_timer(
                 eng,
                 n,
                 self.cfg.dissem_timeout,
                 TimerAction::DissemTimeout { node: n, task: key },
             );
+            let hedge = hedging.then(|| {
+                let delay = self.hedge_delay(n);
+                self.set_app_timer(
+                    eng,
+                    n,
+                    delay,
+                    TimerAction::HedgeTimeout { node: n, task: key },
+                )
+            });
+            match self.tasks.get_mut(&key) {
+                Some(task) if !task.reported => {
+                    task.timeout_timer = Some(timeout);
+                    task.hedge_timer = hedge;
+                }
+                _ => {
+                    if hedging {
+                        self.cancel_app_timer(eng, timeout);
+                        if let Some(t) = hedge {
+                            self.cancel_app_timer(eng, t);
+                        }
+                    }
+                }
+            }
         }
         for h in 0..self.queries.len() as QueryHandle {
             let q = &self.queries[h as usize];

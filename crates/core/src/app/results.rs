@@ -265,15 +265,16 @@ impl<P: DataProvider> Seaweed<P> {
         self.cascade(eng, evs);
     }
 
-    /// Delay until retransmission `attempts + 1`: `result_retry << attempts`
-    /// capped at `result_retry_cap`, plus up to half a base interval of
-    /// seeded jitter so synchronized submitters do not retry in lockstep.
+    /// Delay until retransmission `attempts + 1`; see
+    /// [`backoff::retry_backoff`](super::backoff::retry_backoff). One
+    /// RNG draw per call, exactly as before the extraction.
     fn retry_backoff(&mut self, attempts: u32) -> seaweed_types::Duration {
-        let base = self.cfg.result_retry.as_micros();
-        let cap = self.cfg.result_retry_cap.as_micros().max(base);
-        let backed = base.saturating_mul(1u64 << attempts.min(32)).min(cap);
-        let jitter = rand::Rng::gen_range(&mut self.rng, 0..=base / 2);
-        seaweed_types::Duration::from_micros(backed + jitter)
+        super::backoff::retry_backoff(
+            self.cfg.result_retry,
+            self.cfg.result_retry_cap,
+            attempts,
+            &mut self.rng,
+        )
     }
 
     /// A submission arrived at the (believed) primary for `vertex`.

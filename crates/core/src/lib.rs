@@ -37,10 +37,10 @@ pub mod vertex;
 pub mod wire;
 
 pub use app::{
-    QueryHandle, QueryKind, QueryState, Seaweed, SeaweedConfig, SeaweedEngine, SeaweedMsg,
-    SeaweedStats, ViewDef, ViewHandle,
+    HedgeConfig, QueryHandle, QueryKind, QueryState, Seaweed, SeaweedConfig, SeaweedEngine,
+    SeaweedMsg, SeaweedStats, ViewDef, ViewHandle,
 };
-pub use obs::QueryTimeline;
+pub use obs::{QueryTimeline, SloReport};
 pub use oracle::ChaosOracle;
 pub use predictor::Predictor;
 pub use provider::{DataProvider, LiveTables, Precomputed};

@@ -44,6 +44,36 @@ pub struct QueryTimeline {
     /// in arrival order. Mirrors `QueryState::progress` with just the
     /// row-count dimension used for completeness.
     pub fragments: Vec<(Time, u64)>,
+    /// Backup dissemination sends issued for this query's silent
+    /// subranges (hedged mode only).
+    pub hedges_sent: u64,
+    /// Hedged slots where the backup replied first.
+    pub hedge_wins: u64,
+    /// Hedged slots where the primary replied first.
+    pub hedge_losses: u64,
+    /// Payload bytes spent on hedges that lost the race (the duplicate
+    /// send, plus the loser's reply when it eventually lands).
+    pub hedge_wasted_bytes: u64,
+}
+
+/// Per-query SLO report: delay-to-completeness checkpoints plus the
+/// hedging cost/benefit counters, as exposed through
+/// [`Seaweed::metrics`](crate::app::Seaweed::metrics) and the JSONL
+/// trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SloReport {
+    /// Delay from injection to 50% actual completeness.
+    pub delay_to_c50: Option<Duration>,
+    /// Delay from injection to 90% actual completeness.
+    pub delay_to_c90: Option<Duration>,
+    /// Delay from injection to 99% actual completeness.
+    pub delay_to_c99: Option<Duration>,
+    pub hedges_sent: u64,
+    pub hedge_wins: u64,
+    pub hedge_losses: u64,
+    pub hedge_wasted_bytes: u64,
+    /// Subranges abandoned after exhausting reissues.
+    pub give_ups: u64,
 }
 
 impl QueryTimeline {
@@ -113,6 +143,22 @@ impl QueryTimeline {
             .find(|&&(_, rows)| rows as f64 >= needed)
             .map(|&(at, _)| at.saturating_since(self.injected))
     }
+
+    /// The query's SLO report against a total-row estimate (usually the
+    /// predictor's).
+    #[must_use]
+    pub fn slo_report(&self, total_rows: f64) -> SloReport {
+        SloReport {
+            delay_to_c50: self.time_to_completeness(0.50, total_rows),
+            delay_to_c90: self.time_to_completeness(0.90, total_rows),
+            delay_to_c99: self.time_to_completeness(0.99, total_rows),
+            hedges_sent: self.hedges_sent,
+            hedge_wins: self.hedge_wins,
+            hedge_losses: self.hedge_losses,
+            hedge_wasted_bytes: self.hedge_wasted_bytes,
+            give_ups: self.give_ups,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +201,31 @@ mod tests {
         tl.record_result(t(130), 1);
         assert_eq!(tl.time_to_predictor(), Some(Duration::from_secs(1)));
         assert_eq!(tl.time_to_first_result(), Some(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn slo_report_checkpoints_and_hedge_counters() {
+        let mut tl = QueryTimeline::new(t(0));
+        tl.record_result(t(5), 5);
+        tl.record_result(t(60), 9);
+        tl.record_result(t(600), 10);
+        tl.hedges_sent = 3;
+        tl.hedge_wins = 2;
+        tl.hedge_losses = 1;
+        tl.hedge_wasted_bytes = 77;
+        tl.give_ups = 4;
+        let slo = tl.slo_report(10.0);
+        assert_eq!(slo.delay_to_c50, Some(Duration::from_secs(5)));
+        assert_eq!(slo.delay_to_c90, Some(Duration::from_secs(60)));
+        assert_eq!(slo.delay_to_c99, Some(Duration::from_secs(600)));
+        assert_eq!(slo.hedges_sent, 3);
+        assert_eq!(slo.hedge_wins, 2);
+        assert_eq!(slo.hedge_losses, 1);
+        assert_eq!(slo.hedge_wasted_bytes, 77);
+        assert_eq!(slo.give_ups, 4);
+        // No meaningful total: checkpoints are unknowable, counters stay.
+        let none = tl.slo_report(0.0);
+        assert_eq!(none.delay_to_c90, None);
+        assert_eq!(none.hedges_sent, 3);
     }
 }

@@ -21,11 +21,16 @@
 //! 5. **Index consistency**: the metadata holder maps and vertex
 //!    membership maps stay mutual inverses, and crash-amnesia stashes
 //!    never alias live state.
+//! 6. **Tail-tolerance hygiene**: hedge accounting is consistent (wins
+//!    plus losses never exceed hedges sent, per query and globally),
+//!    and in hedged mode — which disarms timers eagerly — no armed
+//!    dissemination or hedge timer references a reported task, a
+//!    dropped task, or a dead query.
 
 use seaweed_sim::NodeIdx;
 use seaweed_types::Id;
 
-use crate::app::{QueryKind, Seaweed, SeaweedEngine};
+use crate::app::{QueryKind, Seaweed, SeaweedEngine, TimerAction};
 use crate::provider::DataProvider;
 
 /// Invariant checker over the whole simulated deployment. Construct once
@@ -61,6 +66,7 @@ impl ChaosOracle {
         self.check_no_orphans(sw, &mut v);
         self.check_predictors(sw, &mut v);
         self.check_index_consistency(sw, eng, &mut v);
+        self.check_tail_tolerance(sw, &mut v);
         v
     }
 
@@ -280,6 +286,80 @@ impl ChaosOracle {
                         vertex.0
                     ));
                 }
+            }
+        }
+    }
+
+    /// (6) Tail-tolerance hygiene. Hedged mode cancels timers eagerly
+    /// (on report, expiry and heal re-arm), so any armed dissemination
+    /// or hedge timer must reference a live, still-collecting task of an
+    /// active query. The baseline deliberately lets no-op timers fire,
+    /// so with hedging off only the accounting checks apply (all hedge
+    /// counters must be zero and no hedge timer may exist at all).
+    fn check_tail_tolerance<P: DataProvider>(&self, sw: &Seaweed<P>, out: &mut Vec<String>) {
+        for (h, tl) in sw.timelines.iter().enumerate() {
+            if tl.hedge_wins + tl.hedge_losses > tl.hedges_sent {
+                out.push(format!(
+                    "query {h}: hedge accounting inconsistent ({} wins + {} losses > {} sent)",
+                    tl.hedge_wins, tl.hedge_losses, tl.hedges_sent
+                ));
+            }
+        }
+        let s = &sw.stats;
+        if s.hedge_wins + s.hedge_losses > s.hedges_sent {
+            out.push(format!(
+                "global hedge accounting inconsistent ({} wins + {} losses > {} sent)",
+                s.hedge_wins, s.hedge_losses, s.hedges_sent
+            ));
+        }
+        let hedging = sw.cfg.hedge.is_some();
+        if !hedging && s.hedges_sent + s.hedge_wins + s.hedge_losses + s.hedge_wasted_bytes != 0 {
+            out.push("hedging disabled but hedge counters are nonzero".to_string());
+        }
+        for (&seq, action) in &sw.timers {
+            let (kind, task) = match *action {
+                TimerAction::DissemTimeout { task, .. } => ("dissem-timeout", task),
+                TimerAction::HedgeTimeout { task, .. } => ("hedge-timeout", task),
+                TimerAction::QueryKick { query, .. } => {
+                    // Armed only by tail tolerance, and disarmed the
+                    // moment any aggregate reaches the origin.
+                    if !sw.tail_tolerance_active() {
+                        out.push(format!(
+                            "timer {seq}: query-kick timer armed with tail tolerance off"
+                        ));
+                    } else {
+                        let q = &sw.queries[query as usize];
+                        let got_report = match q.kind {
+                            crate::app::QueryKind::View { .. } => q.latest.is_some(),
+                            _ => q.predictor.is_some(),
+                        };
+                        if !q.active || got_report {
+                            out.push(format!(
+                                "timer {seq}: armed query-kick timer but query {query} \
+                                 is finished or already has its report"
+                            ));
+                        }
+                    }
+                    continue;
+                }
+                _ => continue,
+            };
+            if kind == "hedge-timeout" && !hedging {
+                out.push(format!(
+                    "timer {seq}: hedge timer armed with hedging disabled"
+                ));
+                continue;
+            }
+            if !hedging {
+                continue; // baseline no-op fires are expected
+            }
+            let alive = sw.queries[task.1 as usize].active
+                && sw.tasks.get(&task).is_some_and(|t| !t.reported);
+            if !alive {
+                out.push(format!(
+                    "timer {seq}: armed {kind} timer references a finished task of query {}",
+                    task.1
+                ));
             }
         }
     }

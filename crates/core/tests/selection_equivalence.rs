@@ -1,0 +1,246 @@
+//! Pins `SelectionKind::IdOrder` (with hedging off) byte-identical to
+//! the pre-hedging protocol.
+//!
+//! The tail-tolerance PR threads replica selection and hedging hooks
+//! through the dissemination hot path. `IdOrder` with `hedge: None` is
+//! the documented equivalence baseline: the full chaos-plan event log
+//! (every message, timer fire, lifecycle and partition event, in order)
+//! and the engine's `BandwidthReport` must match the fingerprints
+//! captured on the commit *before* the hooks existed — and must stay
+//! identical across both schedulers and both hot-state layouts.
+
+use proptest::prelude::*;
+use seaweed_core::{ChaosOracle, LiveTables, Seaweed, SeaweedConfig, SeaweedEngine};
+use seaweed_overlay::{LayoutKind, Overlay, OverlayConfig, SelectionKind};
+use seaweed_sim::{
+    CorpNetTopology, CrashSpec, Engine, Event, FaultPlan, LinkFaultSpec, NodeIdx, OutageSpec,
+    PartitionSpec, SchedulerKind, SimConfig,
+};
+use seaweed_store::{ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+const N: usize = 36;
+const ROUTERS: usize = 24;
+const T0: u64 = 600_000_000;
+
+/// Fingerprints captured on the pre-hedging commit (same harness, same
+/// seeds, identical across all four scheduler × layout combinations):
+/// `(seed, log_hash, log_len, rows, report_hash)`.
+const GOLDENS: [(u64, u64, u64, u64, u64); 3] = [
+    (7, 0x9ebd_982a_ec0c_f660, 6096, 36, 0xbaea_e313_3c4c_8013),
+    (11, 0x7fda_8683_716a_b886, 5776, 36, 0xc341_d795_713c_1959),
+    (42, 0x125f_a26f_3e0b_1728, 5822, 36, 0xff09_8794_8e10_b2de),
+];
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+/// The full chaos plan from `chaos.rs`: regional partition, correlated
+/// branch outage with amnesia, two bystander crashes, a degraded link,
+/// duplication and reordering — everything the selection hook must not
+/// perturb.
+fn chaos_plan(topo: &CorpNetTopology) -> FaultPlan {
+    let regional = (topo.num_core()..topo.num_core() + topo.num_regional())
+        .max_by_key(|&r| topo.subtree_endsystems(r).len())
+        .unwrap();
+    let partition = PartitionSpec::from_router_cut(topo, regional, secs(602), secs(780));
+    let branch = topo
+        .branch_routers()
+        .max_by_key(|&r| topo.subtree_endsystems(r).len())
+        .unwrap();
+    let outage = OutageSpec::branch_outage(topo, branch, secs(640), secs(700), true);
+    let excluded: Vec<u32> = partition
+        .members
+        .iter()
+        .chain(outage.members.iter())
+        .copied()
+        .collect();
+    let bystanders: Vec<u32> = (1..N as u32)
+        .filter(|m| !excluded.contains(m))
+        .take(2)
+        .collect();
+    let crashes = vec![
+        CrashSpec {
+            node: NodeIdx(bystanders[0]),
+            at: secs(630),
+            rejoin_after: Duration::from_secs(60),
+        },
+        CrashSpec {
+            node: NodeIdx(bystanders[1]),
+            at: secs(690),
+            rejoin_after: Duration::from_secs(45),
+        },
+    ];
+    let za = topo.router_of(NodeIdx(1)) as u32;
+    let mut zb = topo.router_of(NodeIdx(2)) as u32;
+    if zb == za {
+        zb = topo.router_of(NodeIdx(3)) as u32;
+    }
+    FaultPlan {
+        partitions: vec![partition],
+        link_faults: vec![LinkFaultSpec {
+            zone_a: za,
+            zone_b: zb,
+            from: secs(600),
+            until: secs(720),
+            extra_loss: 0.15,
+            latency_mult: 3.0,
+        }],
+        crashes,
+        outages: vec![outage],
+        dup_rate: 0.02,
+        reorder_window: Duration::from_millis(50),
+    }
+}
+
+fn fnv(hash: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *hash ^= u64::from(*b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Runs the chaos scenario and returns `(log_hash, log_len, rows,
+/// report_hash)` — the same fingerprint the goldens were captured with.
+fn run(seed: u64, layout: LayoutKind, scheduler: SchedulerKind) -> (u64, u64, u64, u64) {
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let mut tables = Vec::with_capacity(N);
+    for node in 0..N {
+        let mut t = Table::new(schema.clone());
+        t.insert(vec![Value::Int(1), Value::Int(node as i64 + 1)])
+            .unwrap();
+        tables.push(t);
+    }
+    let topo = CorpNetTopology::with_params(N, ROUTERS, Duration::MILLISECOND, seed);
+    let plan = chaos_plan(&topo);
+    let mut eng: SeaweedEngine = Engine::new(
+        Box::new(topo),
+        SimConfig {
+            seed,
+            scheduler,
+            loss_rate: 0.01,
+            faults: Some(plan),
+            ..SimConfig::default()
+        },
+    );
+    let overlay = Overlay::new(
+        Overlay::random_ids(N, seed),
+        OverlayConfig {
+            seed,
+            layout,
+            // Explicit, not via Default: the equivalence claim is about
+            // this variant, whatever the default becomes later.
+            selection: SelectionKind::IdOrder,
+            ..Default::default()
+        },
+    );
+    let mut sw = Seaweed::new(
+        overlay,
+        LiveTables::new(tables),
+        SeaweedConfig {
+            seed,
+            hedge: None,
+            ..Default::default()
+        },
+    );
+    for i in 0..N {
+        eng.schedule_up(Time(1 + i as u64 * 300_000), NodeIdx(i as u32));
+    }
+    let mut log_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut log_len = 0u64;
+    let mut drive = |eng: &mut SeaweedEngine, sw: &mut Seaweed<LiveTables>, horizon: Time| {
+        while let Some((t, ev)) = eng.next_event_before(horizon) {
+            let desc = match ev {
+                Event::Message { from, to, .. } => {
+                    format!("m:{}:{}:{}", t.as_micros(), from.0, to.0)
+                }
+                Event::Timer { node, tag } => format!("t:{}:{}:{tag}", t.as_micros(), node.0),
+                Event::NodeUp { node } => format!("u:{}:{}", t.as_micros(), node.0),
+                Event::NodeDown { node } => format!("d:{}:{}", t.as_micros(), node.0),
+                Event::NodeCrash { node } => format!("c:{}:{}", t.as_micros(), node.0),
+                Event::PartitionStart { partition } => format!("ps:{}:{partition}", t.as_micros()),
+                Event::PartitionEnd { partition } => format!("pe:{}:{partition}", t.as_micros()),
+            };
+            fnv(&mut log_hash, desc.as_bytes());
+            log_len += 1;
+            sw.dispatch(eng, ev);
+        }
+    };
+    drive(&mut eng, &mut sw, Time(T0));
+    assert_eq!(sw.overlay.num_joined(), N);
+    sw.inject_query(
+        &mut eng,
+        NodeIdx(0),
+        "SELECT SUM(v) FROM T WHERE flag = 1",
+        Duration::from_hours(4),
+        &schema,
+    )
+    .unwrap();
+    let oracle = ChaosOracle::new(N as u64);
+    for t in [650, 720, 800, 1000, 1500] {
+        drive(&mut eng, &mut sw, secs(t));
+        oracle.assert_clean(&sw, &eng);
+    }
+    // With hedging off, the tail-tolerance machinery must be fully
+    // inert: no hedges, no wasted bytes (also oracle-enforced).
+    assert_eq!(sw.stats.hedges_sent, 0);
+    assert_eq!(sw.stats.hedge_wasted_bytes, 0);
+    let rows = sw.query(0).rows();
+    let report = format!("{:?}", eng.finish());
+    let mut report_hash = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut report_hash, report.as_bytes());
+    (log_hash, log_len, rows, report_hash)
+}
+
+/// The hard pin: every scheduler × layout combination reproduces the
+/// pre-hedging fingerprints exactly.
+#[test]
+fn id_order_matches_pre_hedging_goldens() {
+    for (seed, log_hash, log_len, rows, report_hash) in GOLDENS {
+        for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            for layout in [LayoutKind::Map, LayoutKind::Arena] {
+                let got = run(seed, layout, scheduler);
+                assert_eq!(
+                    got,
+                    (log_hash, log_len, rows, report_hash),
+                    "seed {seed} {scheduler:?} {layout:?} diverged from the pre-hedging baseline"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary seeds: all four scheduler × layout combinations agree
+    /// on the full event-log and bandwidth-report fingerprints under
+    /// `IdOrder`, so the selection hook cannot have introduced a
+    /// combo-dependent divergence anywhere.
+    #[test]
+    fn id_order_identical_across_schedulers_and_layouts(seed in 0u64..10_000) {
+        let baseline = run(seed, LayoutKind::Map, SchedulerKind::Wheel);
+        for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            for layout in [LayoutKind::Map, LayoutKind::Arena] {
+                if (scheduler, layout) == (SchedulerKind::Wheel, LayoutKind::Map) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    run(seed, layout, scheduler),
+                    baseline,
+                    "seed {} {:?} {:?} diverged",
+                    seed,
+                    scheduler,
+                    layout
+                );
+            }
+        }
+    }
+}

@@ -46,5 +46,6 @@ pub mod wire;
 pub use node::NodeState;
 pub use overlay::{
     is_overlay_tag, Overlay, OverlayConfig, OverlayEngine, OverlayEvent, OverlayMsg, OverlayStats,
+    SelectionKind,
 };
 pub use ring::{LayoutKind, RingIndex};

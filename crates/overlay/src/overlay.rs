@@ -14,6 +14,21 @@ use crate::wire;
 /// Engine type every overlay-based application runs on.
 pub type OverlayEngine<A> = Engine<OverlayMsg<A>>;
 
+/// Replica-selection policy for cover/hedge picks (dissemination
+/// delegation and backup targets).
+///
+/// `IdOrder` is the paper's blind policy — pure ring-distance order —
+/// retained as the byte-identical equivalence baseline. `AvailAware`
+/// re-ranks candidates by a caller-supplied availability score (the
+/// protocol layer scores with its per-endsystem availability models), so
+/// traffic prefers the replica most likely up *now*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelectionKind {
+    #[default]
+    IdOrder,
+    AvailAware,
+}
+
 /// Overlay configuration; defaults are the paper's (§4.3.1).
 #[derive(Clone, Debug)]
 pub struct OverlayConfig {
@@ -38,6 +53,9 @@ pub struct OverlayConfig {
     /// [`Overlay::config`]). `Map` retains the original BTreeMap
     /// containers as the equivalence-test baseline.
     pub layout: LayoutKind,
+    /// Replica-selection policy consulted by [`Overlay::select_cover`].
+    /// `IdOrder` preserves pre-hedging behaviour bit-for-bit.
+    pub selection: SelectionKind,
 }
 
 impl Default for OverlayConfig {
@@ -50,6 +68,7 @@ impl Default for OverlayConfig {
             leafset_refresh: Duration::from_secs(60),
             seed: 0,
             layout: LayoutKind::default(),
+            selection: SelectionKind::default(),
         }
     }
 }
@@ -336,6 +355,34 @@ impl Overlay {
         });
         cands.truncate(k);
         cands
+    }
+
+    /// Candidate endsystems for covering `key`: the `k` ring-closest
+    /// members of the namespace *universe* (up or down — a delegator's
+    /// replicated metadata knows the ids either way), ranked by the
+    /// configured [`SelectionKind`].
+    ///
+    /// `IdOrder` returns the pure ring-distance order; `score` is never
+    /// consulted, keeping the baseline path byte-identical to pre-hedging
+    /// behaviour. `AvailAware` stably re-ranks by `score` (higher first),
+    /// so ring distance then id still break ties among equal scores.
+    #[must_use]
+    pub fn select_cover(&self, key: Id, k: usize, score: impl Fn(NodeIdx) -> u64) -> Vec<NodeIdx> {
+        let mut cands = self.index.around(key, k, &self.ids);
+        if self.cfg.selection == SelectionKind::AvailAware {
+            cands.sort_by_key(|&n| std::cmp::Reverse(score(n)));
+        }
+        cands
+    }
+
+    /// The raw ring-distance-ordered cover candidates around `key`,
+    /// regardless of the configured [`SelectionKind`]. The first entry
+    /// is the presumptive owner-side replica a plain key route would
+    /// reach — callers compare against it to decide whether re-ranking
+    /// should divert from the baseline geometry at all.
+    #[must_use]
+    pub fn cover_candidates(&self, key: Id, k: usize) -> Vec<NodeIdx> {
+        self.index.around(key, k, &self.ids)
     }
 
     /// Ground-truth closest joined live node to `key` (oracle; used by

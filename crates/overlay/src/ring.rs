@@ -155,6 +155,36 @@ impl RingIndex {
             .map(move |rank| self.nodes[rank])
     }
 
+    /// The `k` endsystems (member or not) ring-closest to `key`, ordered
+    /// by ring distance with the smaller id breaking ties — the namespace
+    /// *universe* around a point, for callers whose replicated metadata
+    /// knows ids regardless of current liveness (replica selection).
+    #[must_use]
+    pub fn around(&self, key: Id, k: usize, ids: &[Id]) -> Vec<NodeIdx> {
+        let n = self.keys.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        // A window of k ranks on each side of the insertion point covers
+        // every possible ring-distance winner.
+        let split = self.keys.partition_point(|&x| x < key.0);
+        let take = (2 * k + 1).min(n);
+        let mut cands: Vec<NodeIdx> = (0..take)
+            .map(|i| {
+                let rank = (split + n - k.min(n) + i) % n;
+                self.nodes[rank]
+            })
+            .collect();
+        cands.sort_unstable();
+        cands.dedup();
+        cands.sort_by(|&a, &b| {
+            let (da, db) = (ids[a.idx()].ring_dist(key), ids[b.idx()].ring_dist(key));
+            da.cmp(&db).then(ids[a.idx()].0.cmp(&ids[b.idx()].0))
+        });
+        cands.truncate(k);
+        cands
+    }
+
     /// Every endsystem (member or not) whose id falls in `r`, ascending
     /// by id with the wrap seam at the namespace top — byte-for-byte the
     /// enumeration order of the former `BTreeMap` range scans, without

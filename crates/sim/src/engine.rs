@@ -35,7 +35,7 @@
 //! [`Engine::set_detached_timer`].
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -694,6 +694,10 @@ pub struct Engine<M> {
     /// Events whose requested time lay in the past and were clamped to
     /// the current clock.
     pub clamped_to_now: u64,
+    /// Application-level occurrence counters recorded through
+    /// [`Engine::record_app_event`], keyed by the caller's event kind.
+    /// Surfaced verbatim in [`Engine::metrics`].
+    app_events: BTreeMap<&'static str, u64>,
 }
 
 /// Manual impl: `M` (the application payload) need not be `Debug`, and
@@ -749,6 +753,7 @@ impl<M> Engine<M> {
             messages_sent: 0,
             timers_cancelled: 0,
             clamped_to_now: 0,
+            app_events: BTreeMap::new(),
         };
         e.schedule_fault_plan();
         e
@@ -855,6 +860,22 @@ impl<M> Engine<M> {
     /// [`Engine::finish`] consumes the engine). Tracing stops.
     pub fn take_tracer(&mut self) -> Option<Tracer> {
         self.tracer.take()
+    }
+
+    /// Records an application-level occurrence: bumps the `kind` counter
+    /// (surfaced via [`Engine::metrics`]) and, when tracing is active,
+    /// appends an [`TraceEvent::AppEvent`] record attributed to `node`.
+    /// Purely observational — never perturbs the schedule.
+    pub fn record_app_event(&mut self, node: NodeIdx, kind: &'static str, detail: u64) {
+        *self.app_events.entry(kind).or_insert(0) += 1;
+        self.trace(|| TraceEvent::AppEvent { node, kind, detail });
+    }
+
+    /// Count recorded so far for an application event kind (zero if the
+    /// kind was never recorded).
+    #[must_use]
+    pub fn app_event_count(&self, kind: &str) -> u64 {
+        self.app_events.get(kind).copied().unwrap_or(0)
     }
 
     /// Enqueues an event, clamping requests dated before the current
@@ -1338,6 +1359,9 @@ impl<M> Engine<M> {
         m.set_counter("sim.tx_bytes.query", totals[2]);
         m.set_gauge("sim.nodes_up", self.num_up() as f64);
         m.set_gauge("sim.nodes_total", self.num_nodes() as f64);
+        for (kind, count) in &self.app_events {
+            m.set_counter(kind, *count);
+        }
         if let Some(t) = &self.tracer {
             m.set_counter("sim.trace.recorded", t.recorded());
             m.set_counter("sim.trace.evicted", t.dropped_records());

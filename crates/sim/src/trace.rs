@@ -136,6 +136,16 @@ pub enum TraceEvent {
     PartitionEnd {
         partition: u32,
     },
+    /// An application-level occurrence recorded through
+    /// [`Engine::record_app_event`](crate::Engine::record_app_event) —
+    /// e.g. a dissemination give-up or a hedge send. `kind` is the
+    /// caller's stable counter name; `detail` is event-specific (the
+    /// query handle for dissemination events).
+    AppEvent {
+        node: NodeIdx,
+        kind: &'static str,
+        detail: u64,
+    },
 }
 
 impl TraceEvent {
@@ -155,6 +165,7 @@ impl TraceEvent {
             TraceEvent::NodeCrash { .. } => "node_crash",
             TraceEvent::PartitionStart { .. } => "partition_start",
             TraceEvent::PartitionEnd { .. } => "partition_end",
+            TraceEvent::AppEvent { .. } => "app_event",
         }
     }
 
@@ -173,7 +184,8 @@ impl TraceEvent {
             | TraceEvent::TimerCancel { node, .. }
             | TraceEvent::NodeUp { node }
             | TraceEvent::NodeDown { node }
-            | TraceEvent::NodeCrash { node } => Some(node),
+            | TraceEvent::NodeCrash { node }
+            | TraceEvent::AppEvent { node, .. } => Some(node),
             TraceEvent::PartitionStart { .. } | TraceEvent::PartitionEnd { .. } => None,
         }
     }
@@ -261,6 +273,13 @@ impl TraceEvent {
             }
             TraceEvent::PartitionStart { partition } | TraceEvent::PartitionEnd { partition } => {
                 let _ = write!(out, "\"partition\":{partition}");
+            }
+            TraceEvent::AppEvent { node, kind, detail } => {
+                let _ = write!(
+                    out,
+                    "\"node\":{},\"kind\":\"{kind}\",\"detail\":{detail}",
+                    node.0
+                );
             }
         }
     }

@@ -62,4 +62,11 @@ echo "==> scale02 smoke (fixed seed, small N, Farsite point disabled: CSV byte-s
 cmp results/scale02_smoke_a.csv results/scale02_smoke_b.csv
 rm -f results/scale02_smoke_{a,b}.csv results/scale02_smoke_{a,b}.json
 
+echo "==> abl07 smoke (fixed seed: hedging oracles clean, CSV byte-stable)"
+# Exits non-zero on any ChaosOracle violation with hedging on.
+./target/release/abl07_hedging --seed 7 --seeds 3 --out results/abl07_smoke_a.csv
+./target/release/abl07_hedging --seed 7 --seeds 3 --out results/abl07_smoke_b.csv >/dev/null
+cmp results/abl07_smoke_a.csv results/abl07_smoke_b.csv
+rm -f results/abl07_smoke_{a,b}.csv
+
 echo "OK"
