@@ -69,11 +69,18 @@ impl ReplyLatencyStats {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // The count the cumulative walk must reach, clamped to >= 1
+        // *before* the comparison: `acc >= q * total` is vacuously true
+        // at the first bucket with `acc == 0` when `q * total` rounds to
+        // zero (tiny q at exactly `min_observations` samples), which
+        // returned an edge *below* every observed sample — under the
+        // censoring-bias floor the hedge delay is built on.
+        let needed = ((q * total as f64).ceil() as u64).clamp(1, total);
         let row = endsystem * self.buckets.len();
         let mut acc = 0u64;
         for i in 0..self.buckets.len() {
             acc += u64::from(self.counts[row + i]);
-            if acc as f64 >= q * total as f64 {
+            if acc >= needed {
                 // The overflow bucket has no meaningful upper edge; its
                 // midpoint (2× the histogram range) is already far beyond
                 // any sane hedge delay and callers clamp further.
@@ -125,5 +132,55 @@ mod tests {
         s.observe(0, Duration::from_hours(2));
         let q = s.quantile(0, 0.9, 1).unwrap();
         assert!(q > MAX_LATENCY);
+    }
+
+    /// Pre-fix, `acc as f64 >= q * total` was vacuously satisfied at the
+    /// first (empty) bucket when `q * total == 0`, returning ~1 ms for a
+    /// distribution whose smallest sample is 500 ms.
+    #[test]
+    fn tiny_quantile_at_exactly_min_observations_stays_at_floor() {
+        let mut s = ReplyLatencyStats::new(1);
+        for _ in 0..4 {
+            s.observe(0, Duration::from_millis(500));
+        }
+        let est = s.quantile(0, 0.0, 4).unwrap();
+        assert!(
+            est >= Duration::from_millis(500),
+            "q\u{2192}0 estimate {est:?} fell below every observed sample"
+        );
+    }
+
+    proptest::proptest! {
+        /// The censoring-bias floor: however small `q` is, the estimate
+        /// must sit at or above the bucket edge of the *smallest*
+        /// observed sample — in particular when the model has exactly
+        /// `min_observations` samples (where `q * total` can round to 0
+        /// and the pre-fix walk stopped at the first, empty bucket).
+        #[test]
+        fn quantile_never_undercuts_observed_floor(
+            samples_ms in proptest::collection::vec(1u64..120_000, 1..32),
+            q in 0.0f64..1.0,
+        ) {
+            let mut s = ReplyLatencyStats::new(1);
+            for &ms in &samples_ms {
+                s.observe(0, Duration::from_millis(ms));
+            }
+            let min_obs = samples_ms.len() as u64; // exactly at the gate
+            let est = s.quantile(0, q, min_obs).unwrap();
+            let smallest = Duration::from_millis(*samples_ms.iter().min().unwrap());
+            let floor_bucket = s.buckets.index(smallest);
+            let floor = if floor_bucket == s.buckets.len() - 1 {
+                s.buckets.midpoint(floor_bucket)
+            } else {
+                s.buckets.upper_edge(floor_bucket)
+            };
+            proptest::prop_assert!(
+                est >= floor,
+                "estimate {est:?} below observed floor {floor:?} (q = {q})"
+            );
+            // Monotone in q, still.
+            let p99 = s.quantile(0, 0.99, min_obs).unwrap();
+            proptest::prop_assert!(est <= p99);
+        }
     }
 }

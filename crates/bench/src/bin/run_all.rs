@@ -36,8 +36,9 @@ const EXPERIMENTS: &[&str] = &[
     "abl06_delta_encoding",
     "chaos01_faults",
     "scale01_endsystems",
-    // Last: the Farsite-scale run dwarfs everything above it.
+    // Last: the Farsite-scale and storm sweeps dwarf everything above.
     "scale02_farsite",
+    "storm01_query_storm",
 ];
 
 struct ExpOutcome {

@@ -43,12 +43,13 @@ impl<P: DataProvider> Seaweed<P> {
         self.stats.disseminate_msgs += 1;
         self.stats.dissem_bytes += u64::from(size);
         self.timelines[h as usize].dissem_msgs += 1;
+        let wire_h = self.live_handle(h);
         let evs = self.overlay.route(
             eng,
             origin,
             key,
             SeaweedMsg::Disseminate {
-                query: h,
+                query: wire_h,
                 range: IdRange::FULL,
                 parent: origin,
             },
@@ -214,6 +215,7 @@ impl<P: DataProvider> Seaweed<P> {
         // delegate. Splitting is 2^b-ary as in the implementation the
         // paper describes.
         let fanout = 1u32 << self.overlay.config().b;
+        let wire_h = self.live_handle(h);
         let mut stack = vec![range];
         while let Some(r) = stack.pop() {
             if range_within(&r, &my_sole) {
@@ -247,7 +249,7 @@ impl<P: DataProvider> Seaweed<P> {
                     n,
                     target,
                     SeaweedMsg::Disseminate {
-                        query: h,
+                        query: wire_h,
                         range: r,
                         parent: n,
                     },
@@ -292,9 +294,15 @@ impl<P: DataProvider> Seaweed<P> {
                     TimerAction::HedgeTimeout { node: n, task: key },
                 )
             });
-            let task = self.tasks.get_mut(&key).expect("just inserted");
-            task.timeout_timer = Some(timeout);
-            task.hedge_timer = hedge;
+            if let Some(task) = self.tasks.get_mut(&key) {
+                task.timeout_timer = Some(timeout);
+                task.hedge_timer = hedge;
+            } else {
+                // Inserted two statements up; a miss means the store is
+                // inconsistent. The armed timers then fire against a
+                // missing task, which both handlers treat as a no-op.
+                self.stats.internal_drops += 1;
+            }
         }
         out_events
     }
@@ -367,7 +375,12 @@ impl<P: DataProvider> Seaweed<P> {
     /// the wait (a habitually slow replica set earns patience), up to
     /// the reissue timeout itself.
     pub(crate) fn hedge_delay(&self, n: NodeIdx) -> Duration {
-        let hc = self.cfg.hedge.as_ref().expect("hedging enabled");
+        // Every caller gates on `cfg.hedge`; the fallback (the full
+        // reissue timeout, the cap anyway) keeps this total rather than
+        // panicking if one ever stops.
+        let Some(hc) = self.cfg.hedge.as_ref() else {
+            return self.cfg.dissem_timeout;
+        };
         let fallback = Duration::from_micros(
             (self.cfg.dissem_timeout.as_micros() as f64 * hc.fallback_fraction) as u64,
         );
@@ -417,10 +430,14 @@ impl<P: DataProvider> Seaweed<P> {
         if !self.queries[h as usize].active {
             return;
         }
-        let pending: Vec<IdRange> = self
-            .tasks
-            .get(&key)
-            .expect("checked above")
+        // Re-fetched because the block above dropped its borrow; it
+        // returned early when the task was absent, and nothing between
+        // removes it.
+        let Some(task) = self.tasks.get(&key) else {
+            self.stats.internal_drops += 1;
+            return;
+        };
+        let pending: Vec<IdRange> = task
             .slots
             .iter()
             .filter(|s| s.done.is_none() && s.hedge.is_none())
@@ -460,12 +477,13 @@ impl<P: DataProvider> Seaweed<P> {
             tl.hedges_sent += 1;
             eng.record_app_event(n, "sim.app.hedge.sent", u64::from(h));
             let target = self.overlay.id_of(backup);
+            let wire_h = self.live_handle(h);
             let evs = self.overlay.route(
                 eng,
                 n,
                 target,
                 SeaweedMsg::Disseminate {
-                    query: h,
+                    query: wire_h,
                     range: r,
                     parent: n,
                 },
@@ -524,7 +542,32 @@ impl<P: DataProvider> Seaweed<P> {
     ) {
         let bound = &self.queries[h as usize].bound;
         if r.contains(self.overlay.id_of(n)) {
-            acc.add_available(self.provider.estimate_rows(n.idx(), bound));
+            let rows = self.provider.estimate_rows(n.idx(), bound);
+            match self.cfg.storm.as_ref() {
+                // Storm mode with a scan backlog at `n`: this endsystem
+                // will not contribute immediately — the fair scheduler
+                // serves its queue one batch per quantum — so model the
+                // contention delay instead of claiming availability-now.
+                // That keeps the paper's delay-aware predictor honest
+                // under load. A zero backlog (always, without storm
+                // mode or with a single query) takes the baseline call.
+                Some(storm) if !self.scan[n.idx()].tasks.is_empty() => {
+                    let backlog = self.scan[n.idx()].tasks.len() as u64;
+                    let quanta = self
+                        .provider
+                        .scan_cost(n.idx())
+                        .max(1)
+                        .div_ceil(storm.quantum_rows.max(1));
+                    let delay = Duration::from_micros(
+                        storm
+                            .quantum
+                            .as_micros()
+                            .saturating_mul(quanta.saturating_mul(backlog + 1)),
+                    );
+                    acc.add_available_delayed(rows, delay);
+                }
+                _ => acc.add_available(rows),
+            }
         }
         // Enumerate endsystem ids inside r (the ring index's universe
         // covers all endsystems, available or not) without materializing
@@ -626,12 +669,13 @@ impl<P: DataProvider> Seaweed<P> {
             .iter()
             .copied()
             .find(|k| {
-                self.tasks
-                    .get(k)
-                    .expect("just collected")
-                    .slots
-                    .iter()
-                    .any(|s| s.range == range && s.done.is_none())
+                // `candidate_keys` just returned these keys; a vanished
+                // entry simply fails the pending-slot preference.
+                self.tasks.get(k).is_some_and(|task| {
+                    task.slots
+                        .iter()
+                        .any(|s| s.range == range && s.done.is_none())
+                })
             })
             .or_else(|| candidates.first().copied());
         let Some(key) = key else {
@@ -642,12 +686,18 @@ impl<P: DataProvider> Seaweed<P> {
             RangeResult::View(..) => wire::predictor_report(48),
         });
         let now = eng.now();
-        let task = self.tasks.get_mut(&key).expect("just found");
-        let slot = task
-            .slots
-            .iter_mut()
-            .find(|s| s.range == range)
-            .expect("slot exists");
+        // The candidate filter guaranteed the key and a slot with this
+        // range moments ago; a miss is an internal inconsistency — drop
+        // the report (counted) rather than panic, and let the reissue
+        // machinery re-drive the range.
+        let Some(task) = self.tasks.get_mut(&key) else {
+            self.stats.internal_drops += 1;
+            return Vec::new();
+        };
+        let Some(slot) = task.slots.iter_mut().find(|s| s.range == range) else {
+            self.stats.internal_drops += 1;
+            return Vec::new();
+        };
         // `None`: unhedged fill. `Some(true)`: the hedge won the race.
         // `Some(false)`: the primary won, the hedge was pure overhead.
         let mut hedge_won = None;
@@ -687,7 +737,12 @@ impl<P: DataProvider> Seaweed<P> {
             self.stats.hedge_wasted_bytes += report_size;
             self.timelines[h as usize].hedge_wasted_bytes += report_size;
         }
-        let task = self.tasks.get(&key).expect("still present");
+        // Present above in this same call; counters in between only
+        // touch stats/timelines.
+        let Some(task) = self.tasks.get(&key) else {
+            self.stats.internal_drops += 1;
+            return Vec::new();
+        };
         if task.slots.iter().all(|s| s.done.is_some()) {
             self.finish_task(eng, n, h, key);
         }
@@ -734,7 +789,12 @@ impl<P: DataProvider> Seaweed<P> {
         }
         if !gave_up.is_empty() {
             let empty = self.empty_result(h);
-            let task = self.tasks.get_mut(&key).expect("still present");
+            // Borrow re-established after `empty_result`; the task was
+            // present at entry and nothing here removes it.
+            let Some(task) = self.tasks.get_mut(&key) else {
+                self.stats.internal_drops += 1;
+                return;
+            };
             for &(i, _) in &gave_up {
                 task.slots[i].done = Some(empty.clone());
             }
@@ -756,12 +816,13 @@ impl<P: DataProvider> Seaweed<P> {
                 self.stats.dissem_bytes += u64::from(size);
                 self.timelines[h as usize].dissem_msgs += 1;
                 let target = self.divert_target_key(eng, n, &r);
+                let wire_h = self.live_handle(h);
                 let evs = self.overlay.route(
                     eng,
                     n,
                     target,
                     SeaweedMsg::Disseminate {
-                        query: h,
+                        query: wire_h,
                         range: r,
                         parent: n,
                     },
@@ -813,8 +874,12 @@ impl<P: DataProvider> Seaweed<P> {
                 }
             }
         }
-        // All slots may now be resolved (give-ups).
-        let task = self.tasks.get(&key).expect("still present");
+        // All slots may now be resolved (give-ups). Reissue cascades
+        // above can legitimately complete and retire state, so a missing
+        // task here is just "nothing left to do".
+        let Some(task) = self.tasks.get(&key) else {
+            return;
+        };
         if !task.reported && task.slots.iter().all(|s| s.done.is_some()) {
             self.finish_task(eng, n, h, key);
         }
@@ -823,7 +888,13 @@ impl<P: DataProvider> Seaweed<P> {
     /// All subranges accounted for: merge and report to the parent (or
     /// the origin, at the tree root).
     fn finish_task(&mut self, eng: &mut SeaweedEngine, n: NodeIdx, h: QueryHandle, key: TaskKey) {
-        let task = self.tasks.get_mut(&key).expect("task exists");
+        // Every caller verified the task exists before calling; a miss
+        // drops the report (counted), and the parent's reissue timer
+        // re-drives the range if it mattered.
+        let Some(task) = self.tasks.get_mut(&key) else {
+            self.stats.internal_drops += 1;
+            return;
+        };
         if task.reported {
             return;
         }
@@ -840,16 +911,19 @@ impl<P: DataProvider> Seaweed<P> {
             .collect();
         // Merge local + slot results once; retransmissions of a lost
         // report reuse the memoized value instead of re-merging.
-        if task.cached.is_none() {
-            let mut merged = task.local.clone();
-            for slot in &task.slots {
-                if let Some(r) = &slot.done {
-                    merged.merge(r);
+        let merged = match task.cached.clone() {
+            Some(m) => m,
+            None => {
+                let mut m = task.local.clone();
+                for slot in &task.slots {
+                    if let Some(r) = &slot.done {
+                        m.merge(r);
+                    }
                 }
+                task.cached = Some(m.clone());
+                m
             }
-            task.cached = Some(merged);
-        }
-        let merged = task.cached.clone().expect("just memoized");
+        };
         let parent = task.parent;
         // Every delegator that converged on this task hears the report;
         // draining means a later retransmission fans out only to whoever
@@ -866,15 +940,16 @@ impl<P: DataProvider> Seaweed<P> {
             RangeResult::View(..) => wire::predictor_report(48),
         };
         self.stats.predictor_bytes += u64::from(size);
+        let wire_h = self.live_handle(h);
         for &extra in extra_parents.iter().filter(|&&e| Some(e) != parent) {
             let msg = match merged.clone() {
                 RangeResult::Predictor(predictor) => SeaweedMsg::PredictorReport {
-                    query: h,
+                    query: wire_h,
                     range,
-                    predictor: *predictor,
+                    predictor,
                 },
                 RangeResult::View(agg, endsystems) => SeaweedMsg::ViewReport {
-                    query: h,
+                    query: wire_h,
                     range,
                     agg,
                     endsystems,
@@ -888,12 +963,12 @@ impl<P: DataProvider> Seaweed<P> {
             Some(parent) if parent != n => {
                 let msg = match merged {
                     RangeResult::Predictor(predictor) => SeaweedMsg::PredictorReport {
-                        query: h,
+                        query: wire_h,
                         range,
-                        predictor: *predictor,
+                        predictor,
                     },
                     RangeResult::View(agg, endsystems) => SeaweedMsg::ViewReport {
-                        query: h,
+                        query: wire_h,
                         range,
                         agg,
                         endsystems,
@@ -921,8 +996,8 @@ impl<P: DataProvider> Seaweed<P> {
                                 n,
                                 origin,
                                 SeaweedMsg::PredictorToOrigin {
-                                    query: h,
-                                    predictor: *predictor,
+                                    query: wire_h,
+                                    predictor,
                                 },
                                 size,
                                 TrafficClass::Query,
@@ -938,7 +1013,7 @@ impl<P: DataProvider> Seaweed<P> {
                                 n,
                                 origin,
                                 SeaweedMsg::ViewToOrigin {
-                                    query: h,
+                                    query: wire_h,
                                     agg,
                                     endsystems,
                                 },
@@ -1010,8 +1085,13 @@ fn range_within(inner: &IdRange, outer: &IdRange) -> bool {
     }
     outer.contains(inner.start()) && outer.contains(inner.last()) && {
         // Guard against inner wrapping all the way around a small outer:
-        // widths must be consistent too.
-        inner.width().expect("not full") <= outer.width().expect("not full")
+        // widths must be consistent too. `width()` is only `None` for
+        // full ranges, both excluded above; treat an impossible `None`
+        // as not-contained rather than panic.
+        match (inner.width(), outer.width()) {
+            (Some(iw), Some(ow)) => iw <= ow,
+            _ => false,
+        }
     }
 }
 

@@ -22,6 +22,9 @@ mod disseminate;
 mod metadata;
 mod results;
 mod storage;
+mod storm;
+
+pub use storm::{StormConfig, Submission};
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -41,8 +44,42 @@ use storage::{NodeQueryStore, SubmitStore, TaskStore, VertexStore};
 /// Engine type the full Seaweed stack runs on.
 pub type SeaweedEngine = Engine<OverlayMsg<SeaweedMsg>>;
 
-/// Handle to an injected query (index into the registry).
+/// Handle to an injected query: a slot index in the low `SLOT_BITS` (8)
+/// bits plus a per-slot generation counter above. The generation
+/// invalidates every handle minted for a query once its slot is recycled
+/// (storm mode retires and reuses slots), so late traffic addressed to a
+/// dead query can never attribute work to its slot's next tenant.
+/// Without storm mode slots are never recycled, every generation is 0
+/// and a handle is numerically the plain registry index it always was.
 pub type QueryHandle = u32;
+
+/// Low bits of a [`QueryHandle`] carrying the slot index. 8 bits cover
+/// the 64-slot registry with room to spare; everything above is the
+/// generation.
+pub(crate) const SLOT_BITS: u32 = 8;
+
+/// The slot index a handle addresses (valid whatever its generation).
+#[inline]
+#[must_use]
+pub(crate) fn slot_of(h: QueryHandle) -> u32 {
+    h & ((1 << SLOT_BITS) - 1)
+}
+
+/// The generation a handle was minted under.
+#[inline]
+#[must_use]
+pub(crate) fn gen_of(h: QueryHandle) -> u32 {
+    h >> SLOT_BITS
+}
+
+/// Packs a slot and generation into a handle. Generation 0 handles are
+/// numerically equal to their slot, which keeps every pre-storm Debug
+/// rendering, fingerprint and bitmask byte-identical.
+#[inline]
+#[must_use]
+pub(crate) fn make_handle(slot: u32, generation: u32) -> QueryHandle {
+    (generation << SLOT_BITS) | slot
+}
 
 /// Handle to a registered replicated view.
 pub type ViewHandle = u32;
@@ -70,16 +107,21 @@ pub enum SeaweedMsg {
         parent: NodeIdx,
     },
     /// Aggregated predictor for `range`, child → parent in the
-    /// dissemination tree.
+    /// dissemination tree. The predictor is boxed: it embeds the
+    /// bucket-edge table (~600 bytes), and an unboxed payload would set
+    /// the size of *every* queued engine event — messages and timers
+    /// alike — to the largest variant, multiplying the event queue's
+    /// working set ~5× under concurrent query load.
     PredictorReport {
         query: QueryHandle,
         range: IdRange,
-        predictor: Predictor,
+        predictor: Box<Predictor>,
     },
-    /// The aggregated predictor arriving at the query's origin.
+    /// The aggregated predictor arriving at the query's origin (boxed
+    /// for the same reason as [`SeaweedMsg::PredictorReport`]).
     PredictorToOrigin {
         query: QueryHandle,
-        predictor: Predictor,
+        predictor: Box<Predictor>,
     },
     /// Aggregated replicated-view values for `range`, child → parent in
     /// the dissemination tree (view queries only).
@@ -124,6 +166,13 @@ pub enum SeaweedMsg {
     QueryListPush { queries: Vec<QueryHandle> },
 }
 
+// Every queued engine event — message or timer — is sized by the largest
+// `SeaweedMsg` variant, and a query storm keeps hundreds of thousands of
+// them in flight. Keep fat payloads (the predictor and its inline bucket
+// table) behind a `Box` so the queue's working set stays lean; this
+// tripped at 656 bytes once and cost ~5× the event-queue memory.
+const _: () = assert!(std::mem::size_of::<SeaweedMsg>() <= 128);
+
 /// Seaweed configuration; defaults are the paper's (§4.3.1).
 #[derive(Clone, Debug)]
 pub struct SeaweedConfig {
@@ -155,6 +204,13 @@ pub struct SeaweedConfig {
     /// (the default) disables hedging and preserves the pre-hedging
     /// message and timer stream bit-for-bit.
     pub hedge: Option<HedgeConfig>,
+    /// Concurrent multi-query (storm) mode: admission control at the
+    /// injection point, slot recycling behind handle generations, and
+    /// the per-endsystem quantum scan scheduler. `None` (the default)
+    /// disables all of it and preserves the single-query event stream
+    /// bit-for-bit; even with it on, an uncontended endsystem executes
+    /// exactly the baseline path.
+    pub storm: Option<StormConfig>,
     /// Availability-model tuning.
     pub model: ModelConfig,
     pub seed: u64,
@@ -196,6 +252,7 @@ impl Default for SeaweedConfig {
             result_retry_cap: Duration::from_secs(160),
             local_exec_delay: Duration::from_millis(100),
             hedge: None,
+            storm: None,
             model: ModelConfig::default(),
             seed: 0,
         }
@@ -314,6 +371,32 @@ pub struct SeaweedStats {
     /// Full-range dissemination re-kicks issued by the origin-side
     /// watchdog (the kickoff message is otherwise unretried).
     pub query_kicks: u64,
+    /// Queries admitted into the bounded in-flight budget (storm mode;
+    /// counts immediate admissions and queue promotions alike).
+    pub storm_admitted: u64,
+    /// Submissions parked in the deterministic admission queue because
+    /// the in-flight budget was full.
+    pub storm_queued: u64,
+    /// Queued submissions abandoned at admission time (origin no longer
+    /// up and joined, or the deferred bind failed).
+    pub storm_dropped: u64,
+    /// Messages and timer actions dropped because their handle's
+    /// generation no longer matches the slot — late traffic for a
+    /// retired query whose slot was recycled.
+    pub stale_handle_drops: u64,
+    /// Scan-scheduler quanta executed (one per pump-timer fire that
+    /// found work).
+    pub scan_quanta: u64,
+    /// Shared table passes that served two or more co-resident queries.
+    pub shared_scan_batches: u64,
+    /// Query executions completed through shared passes (only counted
+    /// when the pass actually batched, i.e. served ≥ 2).
+    pub shared_scan_queries: u64,
+    /// Messages dropped on a message-driven path whose internal
+    /// invariant did not hold (the panic-free alternative to `expect`):
+    /// always 0 in a healthy run, and a red flag — not routine churn
+    /// fallout — when not.
+    pub internal_drops: u64,
 }
 
 /// Deferred actions carried by application timers.
@@ -356,6 +439,12 @@ pub(crate) enum TimerAction {
     QueryExpire {
         query: QueryHandle,
     },
+    /// A scan-scheduler quantum elapsed at `node`: advance the node's
+    /// queued local executions by one fair round. Armed through the
+    /// engine's quantum timer class (storm mode only).
+    ScanQuantum {
+        node: NodeIdx,
+    },
 }
 
 impl TimerAction {
@@ -368,8 +457,26 @@ impl TimerAction {
             | TimerAction::HedgeTimeout { node, .. }
             | TimerAction::QueryKick { node, .. }
             | TimerAction::ExecuteLocal { node, .. }
-            | TimerAction::ResultRetry { node, .. } => Some(node),
+            | TimerAction::ResultRetry { node, .. }
+            | TimerAction::ScanQuantum { node } => Some(node),
             TimerAction::QueryExpire { .. } => None,
+        }
+    }
+
+    /// The query slot this deferred action references, if any — used to
+    /// purge armed actions when a slot is released for recycling (the
+    /// engine-level timers then fire as no-ops, exactly like the
+    /// baseline's post-expiry timers).
+    fn query_slot(&self) -> Option<u32> {
+        match *self {
+            TimerAction::DissemTimeout { task, .. } | TimerAction::HedgeTimeout { task, .. } => {
+                Some(slot_of(task.1))
+            }
+            TimerAction::QueryKick { query, .. }
+            | TimerAction::ExecuteLocal { query, .. }
+            | TimerAction::ResultRetry { query, .. }
+            | TimerAction::QueryExpire { query } => Some(slot_of(query)),
+            TimerAction::MetaPush { .. } | TimerAction::ScanQuantum { .. } => None,
         }
     }
 }
@@ -532,6 +639,27 @@ pub struct Seaweed<P: DataProvider> {
     /// still learn the query and contribute results.
     pub(crate) gave_up: Vec<(NodeIdx, QueryHandle, IdRange)>,
 
+    // ---- storm mode (concurrent multi-query) ----
+    /// Per-slot generation counter, parallel to `queries`. Bumped when a
+    /// slot is released for recycling; handles minted under an older
+    /// generation are dropped at every message boundary. All zero (and
+    /// never bumped) without storm mode.
+    pub(crate) slot_gen: Vec<u32>,
+    /// Released slots available for reuse, sorted descending so `pop()`
+    /// yields the lowest slot first (deterministic recycling order).
+    /// Always empty without storm mode.
+    pub(crate) free_slots: Vec<u32>,
+    /// Submissions waiting for an in-flight slot, in ticket order.
+    pub(crate) storm_queue: VecDeque<storm::QueuedSubmission>,
+    /// Monotone ticket counter for queued submissions.
+    pub(crate) storm_seq: u64,
+    /// `(ticket, handle)` pairs admitted from the queue since the last
+    /// [`Seaweed::drain_admissions`] call.
+    pub(crate) admitted_log: Vec<(u64, QueryHandle)>,
+    /// Per-endsystem scan-scheduler state (quantum queue + pump flag).
+    /// Untouched without storm mode.
+    pub(crate) scan: Vec<storm::ScanNode>,
+
     // ---- crash-amnesia bookkeeping ----
     /// Owners whose metadata a crashed node was holding when its soft
     /// state was wiped. Holder lists are pruned at crash time (the copies
@@ -612,6 +740,12 @@ impl<P: DataProvider> Seaweed<P> {
             cont_epoch: NodeQueryStore::new(layout, n),
             leaf_targets: NodeQueryStore::new(layout, n),
             gave_up: Vec::new(),
+            slot_gen: Vec::new(),
+            free_slots: Vec::new(),
+            storm_queue: VecDeque::new(),
+            storm_seq: 0,
+            admitted_log: Vec::new(),
+            scan: vec![storm::ScanNode::default(); n],
             amnesia_meta: vec![Vec::new(); n],
             amnesia_vertices: vec![Vec::new(); n],
             views: Vec::new(),
@@ -623,16 +757,57 @@ impl<P: DataProvider> Seaweed<P> {
         }
     }
 
-    /// Read access to a query's origin-side state.
+    /// Read access to a query's origin-side state. Panics if the
+    /// handle's slot was recycled (the state it referred to is gone).
     #[must_use]
     pub fn query(&self, h: QueryHandle) -> &QueryState {
-        &self.queries[h as usize]
+        assert_eq!(
+            gen_of(h),
+            self.slot_gen[slot_of(h) as usize],
+            "stale query handle: slot was recycled"
+        );
+        &self.queries[slot_of(h) as usize]
     }
 
-    /// Read access to a query's lifecycle timeline.
+    /// Read access to a query's lifecycle timeline. Panics on a stale
+    /// (recycled-slot) handle.
     #[must_use]
     pub fn timeline(&self, h: QueryHandle) -> &QueryTimeline {
-        &self.timelines[h as usize]
+        assert_eq!(
+            gen_of(h),
+            self.slot_gen[slot_of(h) as usize],
+            "stale query handle: slot was recycled"
+        );
+        &self.timelines[slot_of(h) as usize]
+    }
+
+    /// The slot a live handle addresses, or `None` if the handle is
+    /// stale (its slot moved on to a newer generation) or out of range.
+    /// Unlike [`Seaweed::check_handle`] this is for API-surface lookups
+    /// and does not count drops.
+    #[must_use]
+    pub(crate) fn live_slot(&self, h: QueryHandle) -> Option<u32> {
+        let slot = slot_of(h);
+        ((slot as usize) < self.queries.len() && gen_of(h) == self.slot_gen[slot as usize])
+            .then_some(slot)
+    }
+
+    /// The currently-valid wire handle for a slot: the slot plus its
+    /// live generation. Every outgoing message embeds this, so replies
+    /// to it can be generation-checked on arrival.
+    #[must_use]
+    pub(crate) fn live_handle(&self, slot: QueryHandle) -> QueryHandle {
+        make_handle(slot_of(slot), self.slot_gen[slot_of(slot) as usize])
+    }
+
+    /// Validates an inbound handle at the message boundary: returns the
+    /// slot if the generation matches, else counts a stale-handle drop.
+    pub(crate) fn check_handle(&mut self, h: QueryHandle) -> Option<QueryHandle> {
+        if let Some(slot) = self.live_slot(h) {
+            return Some(slot);
+        }
+        self.stats.stale_handle_drops += 1;
+        None
     }
 
     #[must_use]
@@ -673,6 +848,14 @@ impl<P: DataProvider> Seaweed<P> {
         m.set_counter("app.hedge_losses", s.hedge_losses);
         m.set_counter("app.hedge_wasted_bytes", s.hedge_wasted_bytes);
         m.set_counter("app.query_kicks", s.query_kicks);
+        m.set_counter("app.storm_admitted", s.storm_admitted);
+        m.set_counter("app.storm_queued", s.storm_queued);
+        m.set_counter("app.storm_dropped", s.storm_dropped);
+        m.set_counter("app.stale_handle_drops", s.stale_handle_drops);
+        m.set_counter("app.scan_quanta", s.scan_quanta);
+        m.set_counter("app.shared_scan_batches", s.shared_scan_batches);
+        m.set_counter("app.shared_scan_queries", s.shared_scan_queries);
+        m.set_counter("app.internal_drops", s.internal_drops);
         m.set_counter("app.queries_injected", self.queries.len() as u64);
         // Stage-latency histograms need sub-second resolution at the fast
         // end (predictors arrive in RTTs): 1 ms .. 1 day.
@@ -703,11 +886,42 @@ impl<P: DataProvider> Seaweed<P> {
     /// cost/benefit counters.
     #[must_use]
     pub fn slo_report(&self, h: QueryHandle) -> crate::obs::SloReport {
-        let total = self.queries[h as usize]
+        let slot = slot_of(h) as usize;
+        let total = self.queries[slot]
             .predictor
             .as_ref()
             .map_or(0.0, Predictor::total_rows);
-        self.timelines[h as usize].slo_report(total)
+        self.timelines[slot].slo_report(total)
+    }
+
+    /// Claims a query slot: the lowest released slot if any (storm mode
+    /// recycles), else the next fresh registry index. Panics when the
+    /// 64-slot space is exhausted — storm admission gates on capacity
+    /// before calling, and the baseline keeps its historical 64-query
+    /// assertion.
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            return slot;
+        }
+        assert!(
+            self.queries.len() < 64,
+            "query registry is limited to 64 in-flight queries per run"
+        );
+        self.queries.len() as u32
+    }
+
+    /// Installs a query's origin-side state into `slot` (fresh push or
+    /// recycled overwrite) and returns the generation-bearing handle.
+    fn install_query(&mut self, slot: u32, state: QueryState, now: Time) -> QueryHandle {
+        if slot as usize == self.queries.len() {
+            self.queries.push(state);
+            self.timelines.push(QueryTimeline::new(now));
+            self.slot_gen.push(0);
+        } else {
+            self.queries[slot as usize] = state;
+            self.timelines[slot as usize] = QueryTimeline::new(now);
+        }
+        make_handle(slot, self.slot_gen[slot as usize])
     }
 
     /// Injects a one-shot query at `origin` (which must be up and
@@ -781,13 +995,11 @@ impl<P: DataProvider> Seaweed<P> {
     ) -> QueryHandle {
         assert!((view as usize) < self.views.len(), "unknown view");
         assert!(eng.is_up(origin), "origin must be available");
-        assert!(self.queries.len() < 64, "query registry full");
         let def = &self.views[view as usize];
         // The query id folds in the view tag so a view query and a
         // regular query over the same text coexist.
         let id = sha1::id_of(format!("view:{}", def.text).as_bytes());
-        let handle = self.queries.len() as QueryHandle;
-        self.queries.push(QueryState {
+        let state = QueryState {
             id,
             text: def.text.clone(),
             bound: def.bound.clone(),
@@ -804,12 +1016,16 @@ impl<P: DataProvider> Seaweed<P> {
             progress: Vec::new(),
             kick_timer: None,
             kicks: 0,
-        });
-        self.timelines.push(QueryTimeline::new(eng.now()));
+        };
+        let slot = self.alloc_slot();
+        let handle = self.install_query(slot, state, eng.now());
         self.query_by_id.insert(id, handle);
-        self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
-        self.start_dissemination(eng, origin, handle);
-        self.arm_query_kick(eng, origin, handle);
+        // Internal machinery (timers, dissemination, bitmasks) runs on
+        // slots; the generation only travels on the wire and in the
+        // returned handle.
+        self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: slot });
+        self.start_dissemination(eng, origin, slot);
+        self.arm_query_kick(eng, origin, slot);
         handle
     }
 
@@ -823,10 +1039,6 @@ impl<P: DataProvider> Seaweed<P> {
         kind: QueryKind,
     ) -> Result<QueryHandle, seaweed_store::StoreError> {
         assert!(eng.is_up(origin), "origin must be available");
-        assert!(
-            self.queries.len() < 64,
-            "query registry is limited to 64 in-flight queries per run"
-        );
         let parsed = Query::parse(sql)?;
         if parsed.group_by.is_some() {
             // Grouped results are a local-engine feature; the in-network
@@ -839,8 +1051,7 @@ impl<P: DataProvider> Seaweed<P> {
         let now_secs = (eng.now().as_micros() / 1_000_000) as i64;
         let bound = parsed.bind(schema, now_secs)?;
         let id = sha1::id_of(parsed.text.as_bytes());
-        let handle = self.queries.len() as QueryHandle;
-        self.queries.push(QueryState {
+        let state = QueryState {
             id,
             text: parsed.text,
             bound,
@@ -857,12 +1068,15 @@ impl<P: DataProvider> Seaweed<P> {
             progress: Vec::new(),
             kick_timer: None,
             kicks: 0,
-        });
-        self.timelines.push(QueryTimeline::new(eng.now()));
+        };
+        // Slot claimed only after parse/bind succeed, so a rejected
+        // query can never leak a recycled slot.
+        let slot = self.alloc_slot();
+        let handle = self.install_query(slot, state, eng.now());
         self.query_by_id.insert(id, handle);
-        self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: handle });
-        self.start_dissemination(eng, origin, handle);
-        self.arm_query_kick(eng, origin, handle);
+        self.set_detached_app_timer(eng, origin, ttl, TimerAction::QueryExpire { query: slot });
+        self.start_dissemination(eng, origin, slot);
+        self.arm_query_kick(eng, origin, slot);
         Ok(handle)
     }
 
@@ -872,21 +1086,24 @@ impl<P: DataProvider> Seaweed<P> {
     /// tree (charged as one dissemination round) so endsystems stop
     /// executing; all protocol state for the query is dropped.
     pub fn cancel_query(&mut self, eng: &mut SeaweedEngine, h: QueryHandle) {
-        if !self.queries[h as usize].active {
+        let Some(slot) = self.live_slot(h) else {
+            return; // stale handle: the query is long gone
+        };
+        if !self.queries[slot as usize].active {
             return;
         }
         // The cancel notice costs one dissemination pass: O(N) small
         // messages. We charge it against the origin's subtree fan-out
         // without re-running the range machinery (the notice carries no
         // per-range state to aggregate back).
-        let origin = self.queries[h as usize].origin;
+        let origin = self.queries[slot as usize].origin;
         if eng.is_up(origin) {
             let n_live = eng.num_up() as u64;
             let notice = u64::from(crate::wire::SEAWEED_HEADER + 16);
             self.stats.dissem_bytes += notice * n_live;
             eng.record_probe(origin, (notice * n_live.min(1 << 16)) as u32);
         }
-        self.expire_query(eng, h);
+        self.expire_query(eng, slot);
     }
 
     /// Runs the event loop until `horizon`.
@@ -978,6 +1195,105 @@ impl<P: DataProvider> Seaweed<P> {
         }
     }
 
+    /// Generation-checks every query handle embedded in an inbound
+    /// message, rewriting it to the bare slot for the internal handlers.
+    /// A handle whose slot was recycled (storm mode) is late traffic for
+    /// a dead query: the message is dropped — `None` — before any state
+    /// is touched, and `stale_handle_drops` counts it. `QueryListPush`
+    /// drops stale entries individually rather than the whole list.
+    fn validate_msg(&mut self, msg: SeaweedMsg) -> Option<SeaweedMsg> {
+        use SeaweedMsg as M;
+        Some(match msg {
+            M::MetaPush { .. } | M::QueryListPull => msg,
+            M::QueryListPush { queries } => {
+                let live: Vec<QueryHandle> = queries
+                    .into_iter()
+                    .filter_map(|q| self.check_handle(q))
+                    .collect();
+                M::QueryListPush { queries: live }
+            }
+            M::Disseminate {
+                query,
+                range,
+                parent,
+            } => M::Disseminate {
+                query: self.check_handle(query)?,
+                range,
+                parent,
+            },
+            M::PredictorReport {
+                query,
+                range,
+                predictor,
+            } => M::PredictorReport {
+                query: self.check_handle(query)?,
+                range,
+                predictor,
+            },
+            M::PredictorToOrigin { query, predictor } => M::PredictorToOrigin {
+                query: self.check_handle(query)?,
+                predictor,
+            },
+            M::ViewReport {
+                query,
+                range,
+                agg,
+                endsystems,
+            } => M::ViewReport {
+                query: self.check_handle(query)?,
+                range,
+                agg,
+                endsystems,
+            },
+            M::ViewToOrigin {
+                query,
+                agg,
+                endsystems,
+            } => M::ViewToOrigin {
+                query: self.check_handle(query)?,
+                agg,
+                endsystems,
+            },
+            M::ResultSubmit {
+                query,
+                vertex,
+                child,
+                version,
+                agg,
+            } => M::ResultSubmit {
+                query: self.check_handle(query)?,
+                vertex,
+                child,
+                version,
+                agg,
+            },
+            M::ResultAck {
+                query,
+                vertex,
+                child,
+                version,
+            } => M::ResultAck {
+                query: self.check_handle(query)?,
+                vertex,
+                child,
+                version,
+            },
+            M::VertexReplicate { query, vertex } => M::VertexReplicate {
+                query: self.check_handle(query)?,
+                vertex,
+            },
+            M::ResultToOrigin {
+                query,
+                agg,
+                version,
+            } => M::ResultToOrigin {
+                query: self.check_handle(query)?,
+                agg,
+                version,
+            },
+        })
+    }
+
     fn on_seaweed_msg(
         &mut self,
         eng: &mut SeaweedEngine,
@@ -985,6 +1301,9 @@ impl<P: DataProvider> Seaweed<P> {
         to: NodeIdx,
         msg: SeaweedMsg,
     ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        let Some(msg) = self.validate_msg(msg) else {
+            return Vec::new();
+        };
         match msg {
             SeaweedMsg::MetaPush { owner } => {
                 self.on_meta_push(to, owner);
@@ -1000,10 +1319,10 @@ impl<P: DataProvider> Seaweed<P> {
                 from,
                 query,
                 range,
-                RangeResult::Predictor(Box::new(predictor)),
+                RangeResult::Predictor(predictor),
             ),
             SeaweedMsg::PredictorToOrigin { query, predictor } => {
-                self.on_predictor_at_origin(eng, to, query, predictor);
+                self.on_predictor_at_origin(eng, to, query, *predictor);
                 Vec::new()
             }
             SeaweedMsg::ViewReport {
@@ -1080,6 +1399,9 @@ impl<P: DataProvider> Seaweed<P> {
         _key: Id,
         msg: SeaweedMsg,
     ) -> Vec<OverlayEvent<SeaweedMsg>> {
+        let Some(msg) = self.validate_msg(msg) else {
+            return Vec::new();
+        };
         match msg {
             SeaweedMsg::Disseminate {
                 query,
@@ -1152,6 +1474,24 @@ impl<P: DataProvider> Seaweed<P> {
         let _ = eng.set_detached_timer(node, delay, seq);
     }
 
+    /// Arms a scan-scheduler quantum timer (storm mode): liveness-tied
+    /// like a plain app timer, but metered under the engine's quantum
+    /// timer class so storm runs account for scheduler overhead
+    /// separately from protocol timers.
+    pub(crate) fn set_quantum_app_timer(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        node: NodeIdx,
+        delay: Duration,
+        action: TimerAction,
+    ) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        debug_assert!(seq < (1 << 62), "timer tag space exhausted");
+        self.timers.insert(seq, action);
+        let _ = eng.set_quantum_timer(node, delay, seq);
+    }
+
     fn on_app_timer(&mut self, eng: &mut SeaweedEngine, node: NodeIdx, tag: u64) {
         let Some(action) = self.timers.remove(&tag) else {
             return; // cancelled or superseded
@@ -1184,11 +1524,21 @@ impl<P: DataProvider> Seaweed<P> {
             TimerAction::QueryExpire { query } => {
                 self.expire_query(eng, query);
             }
+            TimerAction::ScanQuantum { node: n } => {
+                debug_assert_eq!(n, node);
+                self.on_scan_quantum(eng, n);
+            }
         }
     }
 
+    /// Tears down a query's protocol state. `query` is a slot index;
+    /// idempotent (retire followed by the TTL expiry timer is a no-op).
+    /// Under storm mode the slot is then released for recycling.
     fn expire_query(&mut self, eng: &mut SeaweedEngine, query: QueryHandle) {
         let q = &mut self.queries[query as usize];
+        if !q.active {
+            return;
+        }
         q.active = false;
         // Only ever Some when tail tolerance armed it, so the cancel is
         // baseline-invisible.
@@ -1222,6 +1572,12 @@ impl<P: DataProvider> Seaweed<P> {
         self.cont_epoch.clear_query(query);
         self.leaf_targets.clear_query(query);
         self.gave_up.retain(|&(_, qh, _)| qh != query);
+        // Storm mode recycles the slot (generation bump + global state
+        // purge + queue admission). The baseline never releases, so its
+        // handles stay unique for the life of the run.
+        if self.cfg.storm.is_some() {
+            self.release_slot(eng, query);
+        }
     }
 
     // ------------------------------------------------- lifecycle hooks
@@ -1250,6 +1606,11 @@ impl<P: DataProvider> Seaweed<P> {
         self.timers.retain(|_, a| a.node() != Some(n));
         // Un-acked local executions may be rescheduled on rejoin.
         self.exec_pending[n.idx()] = 0;
+        // Queued scan work dies with the node's volatile state too; the
+        // pump timer was auto-cancelled above.
+        let sn = &mut self.scan[n.idx()];
+        sn.tasks.clear();
+        sn.pump = false;
         // Vertex replicas this node held are repaired when some neighbor
         // detects the failure (on_neighbor_failed); metadata it held
         // likewise. Nothing to do eagerly — that is the window of
@@ -1324,7 +1685,13 @@ impl<P: DataProvider> Seaweed<P> {
         }
         pushes.sort_unstable_by_key(|&(h, v, _)| (h, v));
         for (h, vertex, primary) in pushes {
-            let state = self.vertices.get(&(h, Id(vertex))).expect("pushed above");
+            let Some(state) = self.vertices.get(&(h, Id(vertex))) else {
+                // Collected from `vertices` a moment ago with nothing
+                // mutating in between; if the entry is somehow gone,
+                // skip the push rather than panic mid-heal.
+                self.stats.internal_drops += 1;
+                continue;
+            };
             let merged = state.cached.unwrap_or_else(|| {
                 let mut m = Aggregate::empty(self.queries[h as usize].bound.agg);
                 for (_, a) in state.children.values() {
@@ -1338,12 +1705,13 @@ impl<P: DataProvider> Seaweed<P> {
                 self.on_result_at_origin(eng, origin, h, merged, version);
             } else if eng.is_up(origin) && eng.reachable(primary, origin) {
                 self.stats.results_at_origin += 1;
+                let wire = self.live_handle(h);
                 self.overlay.send_app(
                     eng,
                     primary,
                     origin,
                     SeaweedMsg::ResultToOrigin {
-                        query: h,
+                        query: wire,
                         agg: merged,
                         version,
                     },
@@ -1385,20 +1753,28 @@ impl<P: DataProvider> Seaweed<P> {
                     .tasks
                     .candidate_keys(n.0, h, |task| task.slots.iter().any(|s| s.range == range));
                 if let Some(key) = candidates.first().copied() {
-                    let task = self.tasks.get_mut(&key).expect("just found");
-                    let slot = task
-                        .slots
-                        .iter_mut()
-                        .find(|s| s.range == range)
-                        .expect("slot exists");
-                    slot.done = None;
-                    slot.reissues = 0;
-                    slot.sent_at = eng.now();
-                    slot.hedge = None;
-                    task.reported = false;
-                    task.cached = None; // slot re-opened: memoized merge is stale
-                    if !rearm.contains(&key) {
-                        rearm.push(key);
+                    // `candidate_keys` just returned this key with a slot
+                    // matching the range and nothing mutates in between;
+                    // if either lookup misses anyway, skip the re-open
+                    // (counted) — the resend below still covers the range.
+                    match self.tasks.get_mut(&key) {
+                        Some(task) => {
+                            if let Some(slot) = task.slots.iter_mut().find(|s| s.range == range) {
+                                slot.done = None;
+                                slot.reissues = 0;
+                                slot.sent_at = eng.now();
+                                slot.hedge = None;
+                                task.reported = false;
+                                // Slot re-opened: memoized merge is stale.
+                                task.cached = None;
+                                if !rearm.contains(&key) {
+                                    rearm.push(key);
+                                }
+                            } else {
+                                self.stats.internal_drops += 1;
+                            }
+                        }
+                        None => self.stats.internal_drops += 1,
                     }
                 }
             }
@@ -1406,12 +1782,13 @@ impl<P: DataProvider> Seaweed<P> {
             self.stats.disseminate_msgs += 1;
             self.stats.dissem_bytes += u64::from(size);
             self.timelines[h as usize].dissem_msgs += 1;
+            let wire = self.live_handle(h);
             let evs = self.overlay.route(
                 eng,
                 issuer,
                 range.midpoint(),
                 SeaweedMsg::Disseminate {
-                    query: h,
+                    query: wire,
                     range,
                     parent: issuer,
                 },
@@ -1518,11 +1895,12 @@ impl<P: DataProvider> Seaweed<P> {
             .map(|&h| self.queries[h as usize].text.len())
             .sum();
         let size = crate::wire::query_list(text, active.len());
+        let wire: Vec<QueryHandle> = active.iter().map(|&h| self.live_handle(h)).collect();
         self.overlay.send_app(
             eng,
             at,
             from,
-            SeaweedMsg::QueryListPush { queries: active },
+            SeaweedMsg::QueryListPush { queries: wire },
             size,
             seaweed_sim::TrafficClass::Query,
         );
@@ -1568,3 +1946,4 @@ impl<P: DataProvider> Seaweed<P> {
         );
     }
 }
+

@@ -44,10 +44,21 @@ impl<P: DataProvider> Seaweed<P> {
         }
         match self.queries[h as usize].kind {
             super::QueryKind::OneShot => {
-                self.exec_pending[n.idx()] &= !bit;
                 if self.submitted[n.idx()] & bit != 0 {
+                    self.exec_pending[n.idx()] &= !bit;
                     return;
                 }
+                // Storm mode: a contended endsystem (another query's
+                // execution pending here, or a scan queue draining)
+                // defers to the fair quantum scheduler; the pending bit
+                // stays set until the queued scan completes. Uncontended
+                // executions — always the case with a single query —
+                // take the baseline path below untouched.
+                if self.scan_contended(n, h) {
+                    self.enqueue_scan(eng, n, h);
+                    return;
+                }
+                self.exec_pending[n.idx()] &= !bit;
                 let agg = match self
                     .provider
                     .execute(n.idx(), &self.queries[h as usize].bound)
@@ -60,11 +71,7 @@ impl<P: DataProvider> Seaweed<P> {
                         return;
                     }
                 };
-                let my_id = self.overlay.id_of(n);
-                let target = self.leaf_vertex(n, h);
-                self.stats.result_submissions += 1;
-                self.timelines[h as usize].submissions += 1;
-                self.submit_to_vertex(eng, n, h, target, my_id, 1, agg);
+                self.submit_local_result(eng, n, h, agg);
             }
             super::QueryKind::Continuous { interval } => {
                 self.execute_continuous_epoch(eng, n, h, interval);
@@ -75,6 +82,23 @@ impl<P: DataProvider> Seaweed<P> {
                 self.exec_pending[n.idx()] &= !bit;
             }
         }
+    }
+
+    /// Submits a finished local one-shot execution into the aggregation
+    /// tree: the shared tail of the inline path and the storm
+    /// scheduler's batched completions.
+    pub(crate) fn submit_local_result(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        agg: Aggregate,
+    ) {
+        let my_id = self.overlay.id_of(n);
+        let target = self.leaf_vertex(n, h);
+        self.stats.result_submissions += 1;
+        self.timelines[h as usize].submissions += 1;
+        self.submit_to_vertex(eng, n, h, target, my_id, 1, agg);
     }
 
     /// One epoch of a continuous query at one endsystem: re-bind `NOW()`
@@ -95,9 +119,20 @@ impl<P: DataProvider> Seaweed<P> {
         let already = self.cont_epoch.get(n.0, h);
         if already != Some(epoch) {
             let now_secs = (eng.now().as_micros() / 1_000_000) as i64;
-            let bound = seaweed_store::Query::parse(&q.text)
-                .and_then(|p| p.bind(&q.schema, now_secs))
-                .expect("continuous query re-binds (validated at injection)");
+            // The text parsed and bound at injection; a re-bind only
+            // varies NOW(), so failure here is an internal inconsistency
+            // — skip the epoch (counted) instead of panicking, and let
+            // the next epoch retry with a fresh binding.
+            let rebound =
+                seaweed_store::Query::parse(&q.text).and_then(|p| p.bind(&q.schema, now_secs));
+            let bound = match rebound {
+                Ok(b) => b,
+                Err(_) => {
+                    self.stats.internal_drops += 1;
+                    self.arm_next_epoch(eng, n, h, epoch, interval);
+                    return;
+                }
+            };
             match self.provider.execute(n.idx(), &bound) {
                 Ok(agg) => {
                     self.cont_epoch.insert(n.0, h, epoch);
@@ -114,8 +149,20 @@ impl<P: DataProvider> Seaweed<P> {
                 Err(_) => self.stats.exec_failures += 1,
             }
         }
-        // Arm the next epoch (with the configured jitter so epochs do not
-        // synchronize network-wide).
+        self.arm_next_epoch(eng, n, h, epoch, interval);
+    }
+
+    /// Arms the next continuous-query epoch (with the configured jitter
+    /// so epochs do not synchronize network-wide). One RNG draw per
+    /// call, exactly as when this tail lived inline.
+    fn arm_next_epoch(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        n: NodeIdx,
+        h: QueryHandle,
+        epoch: u64,
+        interval: seaweed_types::Duration,
+    ) {
         let q = &self.queries[h as usize];
         let next_at =
             q.injected + seaweed_types::Duration::from_micros((epoch + 1) * interval.as_micros());
@@ -179,12 +226,13 @@ impl<P: DataProvider> Seaweed<P> {
                 attempts: 0,
             },
         );
+        let wire_h = self.live_handle(h);
         let evs = self.overlay.route(
             eng,
             from,
             vertex,
             SeaweedMsg::ResultSubmit {
-                query: h,
+                query: wire_h,
                 vertex,
                 child,
                 version,
@@ -236,12 +284,13 @@ impl<P: DataProvider> Seaweed<P> {
         let (vertex, agg, attempts) = (p.target_vertex, p.agg, p.attempts);
         self.stats.result_retries += 1;
         self.timelines[h as usize].result_retries += 1;
+        let wire_h = self.live_handle(h);
         let evs = self.overlay.route(
             eng,
             n,
             vertex,
             SeaweedMsg::ResultSubmit {
-                query: h,
+                query: wire_h,
                 vertex,
                 child,
                 version,
@@ -300,7 +349,13 @@ impl<P: DataProvider> Seaweed<P> {
         // charged as one replication transfer).
         self.ensure_vertex_member(eng, at, h, vertex);
 
-        let state = self.vertices.get_mut(&(h, vertex)).expect("ensured");
+        let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
+            // `ensure_vertex_member` just created or joined the group; a
+            // miss here is an internal inconsistency — drop the
+            // submission (counted) and let the retry timer re-drive it.
+            self.stats.internal_drops += 1;
+            return Vec::new();
+        };
         // Keep the memoized children-merge exact: appending a child past
         // the current maximum key extends the fold in place (same f64
         // operation order as a recompute); replacing a child or inserting
@@ -333,6 +388,7 @@ impl<P: DataProvider> Seaweed<P> {
         // Replicate to backups before acknowledging (paper ordering).
         let holders = state.holders.clone();
         let size = wire::vertex_replicate(children_count);
+        let wire_h = self.live_handle(h);
         for b in holders.iter().skip(1) {
             if *b != at && eng.is_up(*b) {
                 self.stats.vertex_replications += 1;
@@ -340,7 +396,10 @@ impl<P: DataProvider> Seaweed<P> {
                     eng,
                     at,
                     *b,
-                    SeaweedMsg::VertexReplicate { query: h, vertex },
+                    SeaweedMsg::VertexReplicate {
+                        query: wire_h,
+                        vertex,
+                    },
                     size,
                     TrafficClass::Query,
                 );
@@ -354,7 +413,7 @@ impl<P: DataProvider> Seaweed<P> {
                 at,
                 submitter,
                 SeaweedMsg::ResultAck {
-                    query: h,
+                    query: wire_h,
                     vertex,
                     child,
                     version,
@@ -377,7 +436,13 @@ impl<P: DataProvider> Seaweed<P> {
         let qid = self.queries[h as usize].id;
         let b = self.overlay.config().b;
         let empty = Aggregate::empty(self.queries[h as usize].bound.agg);
-        let state = self.vertices.get_mut(&(h, vertex)).expect("vertex exists");
+        let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
+            // Every caller holds the vertex when it calls; dropping the
+            // propagation (counted) loses one push that the next child
+            // submission regenerates.
+            self.stats.internal_drops += 1;
+            return;
+        };
         // Reuse the memoized children-merge when the submit path kept it
         // current (the common case: one new child appended); recompute in
         // canonical ascending-key order otherwise.
@@ -403,12 +468,13 @@ impl<P: DataProvider> Seaweed<P> {
                 if origin == at {
                     self.on_result_at_origin(eng, at, h, merged, version);
                 } else {
+                    let wire_h = self.live_handle(h);
                     self.overlay.send_app(
                         eng,
                         at,
                         origin,
                         SeaweedMsg::ResultToOrigin {
-                            query: h,
+                            query: wire_h,
                             agg: merged,
                             version,
                         },
@@ -511,19 +577,29 @@ impl<P: DataProvider> Seaweed<P> {
                 .filter(|&x| x != at)
                 .take(m - 1)
                 .collect();
+            let wire_h = self.live_handle(h);
             for bkp in backups {
                 self.stats.vertex_replications += 1;
                 self.overlay.send_app(
                     eng,
                     at,
                     bkp,
-                    SeaweedMsg::VertexReplicate { query: h, vertex },
+                    SeaweedMsg::VertexReplicate {
+                        query: wire_h,
+                        vertex,
+                    },
                     wire::vertex_replicate(0),
                     TrafficClass::Query,
                 );
             }
         } else {
-            let state = self.vertices.get_mut(&(h, vertex)).expect("exists");
+            let Some(state) = self.vertices.get_mut(&(h, vertex)) else {
+                // `contains_key` held a moment ago with nothing mutating
+                // in between; skip the membership update (counted)
+                // rather than panic — the next submission re-ensures.
+                self.stats.internal_drops += 1;
+                return;
+            };
             if !state.holders.contains(&at) {
                 // New primary after churn: pull state from a surviving
                 // member (charged as one replication-sized transfer).
@@ -547,11 +623,15 @@ impl<P: DataProvider> Seaweed<P> {
                 self.node_vertices[at.idx()].push((h, vertex));
                 if let Some(src) = src {
                     self.stats.vertex_replications += 1;
+                    let wire_h = self.live_handle(h);
                     self.overlay.send_app(
                         eng,
                         src,
                         at,
-                        SeaweedMsg::VertexReplicate { query: h, vertex },
+                        SeaweedMsg::VertexReplicate {
+                            query: wire_h,
+                            vertex,
+                        },
                         wire::vertex_replicate(children),
                         TrafficClass::Query,
                     );
@@ -604,11 +684,15 @@ impl<P: DataProvider> Seaweed<P> {
                     state.holders.push(r);
                     self.node_vertices[r.idx()].push((h, vertex));
                     self.stats.vertex_replications += 1;
+                    let wire_h = self.live_handle(h);
                     self.overlay.send_app(
                         eng,
                         survivors[0],
                         r,
-                        SeaweedMsg::VertexReplicate { query: h, vertex },
+                        SeaweedMsg::VertexReplicate {
+                            query: wire_h,
+                            vertex,
+                        },
                         wire::vertex_replicate(children),
                         TrafficClass::Query,
                     );

@@ -1,0 +1,463 @@
+//! Storm mode: the concurrent multi-query engine.
+//!
+//! Three mechanisms, all dormant unless [`super::SeaweedConfig::storm`]
+//! is set (and behavior-neutral for a single uncontended query even when
+//! it is — see DESIGN.md §3.6 for the byte-identity argument):
+//!
+//! * **Admission control** — a bounded in-flight budget at the injection
+//!   point. [`Seaweed::submit_query`] admits immediately while slots are
+//!   free and otherwise parks the submission in a deterministic FIFO;
+//!   every retirement promotes queued submissions in ticket order.
+//! * **Slot recycling** — retired queries release their registry slot
+//!   behind a generation bump, so a run can process arbitrarily many
+//!   queries through the 64-slot registry while late traffic for dead
+//!   queries is rejected at the message boundary (`stale_handle_drops`).
+//! * **Fair scan scheduling** — each endsystem charges a local execution
+//!   its scan cost (rows touched) and slices contended executions into
+//!   preemption quanta, round-robining in deterministic `(quantum
+//!   deadline, slot)` order. Queries finishing in the same quantum share
+//!   one table pass ([`DataProvider::execute_many`]).
+
+use seaweed_sim::NodeIdx;
+use seaweed_store::Query;
+use seaweed_types::Duration;
+
+use super::{DataProvider, QueryHandle, Seaweed, SeaweedEngine, TimerAction, SLOT_BITS};
+
+// Compile-time guard: the 64-slot bitmask design requires slots to fit
+// a u64 bit index, which SLOT_BITS comfortably exceeds — the runtime
+// cap is the registry assert in `alloc_slot`.
+const _: () = assert!(SLOT_BITS >= 6);
+
+/// Tuning knobs for storm mode. The defaults bound in-flight queries at
+/// the registry limit and slice scans at a granularity that keeps a 10k
+/// row endsystem scan to a couple of quanta.
+#[derive(Clone, Debug)]
+pub struct StormConfig {
+    /// In-flight query budget (clamped to the 64-slot registry).
+    pub max_in_flight: usize,
+    /// Rows of scan progress one quantum buys a query.
+    pub quantum_rows: u64,
+    /// Wall-clock length of one scheduler quantum.
+    pub quantum: Duration,
+    /// Most queries one quantum advances at a node (the shared-scan
+    /// batch width).
+    pub max_batch: usize,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            max_in_flight: 64,
+            quantum_rows: 4096,
+            quantum: Duration::from_millis(20),
+            max_batch: 8,
+        }
+    }
+}
+
+/// Outcome of a [`Seaweed::submit_query`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Submission {
+    /// The query entered the in-flight set; the handle is live.
+    Admitted(QueryHandle),
+    /// The in-flight budget was full; the submission waits in ticket
+    /// order. Watch [`Seaweed::drain_admissions`] for the handle.
+    Queued(u64),
+}
+
+/// A submission parked behind the in-flight budget.
+#[derive(Clone, Debug)]
+pub(crate) struct QueuedSubmission {
+    pub ticket: u64,
+    pub origin: NodeIdx,
+    /// Canonicalized query text (parse-validated at submission).
+    pub sql: String,
+    pub ttl: Duration,
+    pub schema: seaweed_store::Schema,
+}
+
+/// Per-endsystem scan-scheduler state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ScanNode {
+    /// Executions queued behind the quantum scheduler.
+    pub tasks: Vec<ScanTask>,
+    /// Virtual round clock ordering the round-robin.
+    pub vclock: u64,
+    /// Whether a quantum pump timer is armed.
+    pub pump: bool,
+}
+
+/// One queued local execution at one endsystem.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ScanTask {
+    /// Query slot (not a wire handle: the scheduler is slot-internal).
+    pub slot: u32,
+    /// Virtual round this task next runs in; with `slot` it forms the
+    /// deterministic service order.
+    pub deadline: u64,
+    /// Scan rows still to be charged before the execution completes.
+    pub remaining: u64,
+}
+
+impl<P: DataProvider> Seaweed<P> {
+    /// The in-flight budget (storm mode; the registry limit otherwise).
+    fn storm_budget(&self) -> usize {
+        self.cfg
+            .storm
+            .as_ref()
+            .map_or(64, |s| s.max_in_flight.clamp(1, 64))
+    }
+
+    /// Queries currently holding a registry slot.
+    #[must_use]
+    pub fn storm_in_flight(&self) -> usize {
+        self.queries.len() - self.free_slots.len()
+    }
+
+    /// Submissions parked behind the in-flight budget.
+    #[must_use]
+    pub fn storm_queue_len(&self) -> usize {
+        self.storm_queue.len()
+    }
+
+    fn storm_capacity(&self) -> bool {
+        self.storm_in_flight() < self.storm_budget()
+    }
+
+    /// Submits a one-shot query under admission control. Without storm
+    /// mode this is exactly [`Seaweed::inject_query`]. With it, the
+    /// query is admitted immediately while the in-flight budget has
+    /// room, else parked in the deterministic admission queue; parked
+    /// submissions are validated (parsed) eagerly so a malformed query
+    /// fails at submission time, not when a slot frees.
+    pub fn submit_query(
+        &mut self,
+        eng: &mut SeaweedEngine,
+        origin: NodeIdx,
+        sql: &str,
+        ttl: Duration,
+        schema: &seaweed_store::Schema,
+    ) -> Result<Submission, seaweed_store::StoreError> {
+        if self.cfg.storm.is_none() {
+            return self
+                .inject_query(eng, origin, sql, ttl, schema)
+                .map(Submission::Admitted);
+        }
+        if self.storm_capacity() {
+            let h = self.inject_query(eng, origin, sql, ttl, schema)?;
+            self.stats.storm_admitted += 1;
+            return Ok(Submission::Admitted(h));
+        }
+        let parsed = Query::parse(sql)?;
+        if parsed.group_by.is_some() {
+            return Err(seaweed_store::StoreError::BadAggregate(
+                "GROUP BY is not supported for distributed queries".into(),
+            ));
+        }
+        let ticket = self.storm_seq;
+        self.storm_seq += 1;
+        self.storm_queue.push_back(QueuedSubmission {
+            ticket,
+            origin,
+            sql: parsed.text,
+            ttl,
+            schema: schema.clone(),
+        });
+        self.stats.storm_queued += 1;
+        Ok(Submission::Queued(ticket))
+    }
+
+    /// Retires a completed query: origin-side teardown plus (storm mode)
+    /// slot release and queue admission. Idempotent, and a no-op on a
+    /// stale handle — retiring twice or racing the TTL expiry is safe.
+    /// Unlike [`Seaweed::cancel_query`] no cancel notice is charged: the
+    /// caller asserts the query already ran to completion, so there is
+    /// nothing left to stop.
+    pub fn retire_query(&mut self, eng: &mut SeaweedEngine, h: QueryHandle) {
+        let Some(slot) = self.live_slot(h) else {
+            return;
+        };
+        if !self.queries[slot as usize].active {
+            return;
+        }
+        self.expire_query(eng, slot);
+    }
+
+    /// `(ticket, handle)` pairs admitted from the queue since the last
+    /// call, in admission order. The storm driver polls this to learn
+    /// which parked submissions went live.
+    pub fn drain_admissions(&mut self) -> Vec<(u64, QueryHandle)> {
+        std::mem::take(&mut self.admitted_log)
+    }
+
+    /// Releases a retired query's slot for recycling: generation bump
+    /// (invalidating every handle on the wire), global per-node state
+    /// purge, armed-action purge, then queue admission. Storm mode only.
+    pub(crate) fn release_slot(&mut self, eng: &mut SeaweedEngine, slot: QueryHandle) {
+        debug_assert!(self.cfg.storm.is_some());
+        debug_assert!(!self.queries[slot as usize].active);
+        self.slot_gen[slot as usize] += 1;
+        self.query_by_id.remove(&self.queries[slot as usize].id);
+        let mask = !(1u64 << slot);
+        for w in &mut self.knows_query {
+            *w &= mask;
+        }
+        for w in &mut self.submitted {
+            *w &= mask;
+        }
+        for w in &mut self.exec_pending {
+            *w &= mask;
+        }
+        // Deferred actions for the dead slot are dropped; their engine
+        // timers fire as no-ops, exactly like the baseline's post-expiry
+        // timers, so the event stream shape is unchanged.
+        self.timers.retain(|_, a| a.query_slot() != Some(slot));
+        for sn in &mut self.scan {
+            sn.tasks.retain(|t| t.slot != slot);
+        }
+        let pos = self.free_slots.partition_point(|&s| s > slot);
+        debug_assert_ne!(self.free_slots.get(pos), Some(&slot), "double release");
+        self.free_slots.insert(pos, slot);
+        self.try_admit(eng);
+    }
+
+    /// Promotes queued submissions while the in-flight budget has room.
+    /// An origin that went down (or never joined) while parked drops its
+    /// submission — deterministically, in queue order — rather than
+    /// injecting from a dead node.
+    fn try_admit(&mut self, eng: &mut SeaweedEngine) {
+        while self.storm_capacity() {
+            let Some(sub) = self.storm_queue.pop_front() else {
+                break;
+            };
+            if !eng.is_up(sub.origin) || !self.overlay.is_joined(sub.origin) {
+                self.stats.storm_dropped += 1;
+                continue;
+            }
+            match self.inject_query(eng, sub.origin, &sub.sql, sub.ttl, &sub.schema) {
+                Ok(h) => {
+                    self.stats.storm_admitted += 1;
+                    self.admitted_log.push((sub.ticket, h));
+                }
+                Err(_) => {
+                    // Parse was validated at submission; a bind error at
+                    // admission (schema drift) drops the submission.
+                    self.stats.storm_dropped += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------- fair scan scheduling
+
+    /// Whether a local one-shot execution at `n` must go through the
+    /// scan scheduler instead of executing inline: storm mode is on and
+    /// the endsystem is contended (another query's execution is pending
+    /// there, or the scan queue is already draining). With a single
+    /// query this is always false — the baseline path runs untouched.
+    pub(crate) fn scan_contended(&self, n: NodeIdx, slot: QueryHandle) -> bool {
+        self.cfg.storm.is_some()
+            && (!self.scan[n.idx()].tasks.is_empty()
+                || self.exec_pending[n.idx()] & !(1u64 << slot) != 0)
+    }
+
+    /// Queues a local execution behind the quantum scheduler, charging
+    /// it the provider's scan cost, and arms the pump timer if idle.
+    pub(crate) fn enqueue_scan(&mut self, eng: &mut SeaweedEngine, n: NodeIdx, slot: QueryHandle) {
+        let Some(storm) = self.cfg.storm.as_ref() else {
+            debug_assert!(false, "enqueue_scan without storm mode");
+            return;
+        };
+        let quantum = storm.quantum;
+        let cost = self.provider.scan_cost(n.idx()).max(1);
+        let sn = &mut self.scan[n.idx()];
+        sn.tasks.push(ScanTask {
+            slot,
+            deadline: sn.vclock,
+            remaining: cost,
+        });
+        if !sn.pump {
+            sn.pump = true;
+            self.set_quantum_app_timer(eng, n, quantum, TimerAction::ScanQuantum { node: n });
+        }
+    }
+
+    /// One scheduler quantum at `n`: advance up to `max_batch` queued
+    /// executions — picked in `(deadline, slot)` order, so every queued
+    /// query is served once per virtual round before any is served twice
+    /// — by `quantum_rows` each; executions that finish their scan run
+    /// in one shared table pass; re-arm the pump while work remains.
+    pub(crate) fn on_scan_quantum(&mut self, eng: &mut SeaweedEngine, n: NodeIdx) {
+        let Some(storm) = self.cfg.storm.as_ref() else {
+            return;
+        };
+        let quantum_rows = storm.quantum_rows.max(1);
+        let quantum = storm.quantum;
+        let max_batch = storm.max_batch.max(1);
+        self.scan[n.idx()].pump = false;
+        // The engine drops liveness-tied timers of down nodes at fire
+        // time and `on_node_down` clears the queue, so a fire on a down
+        // or unjoined node is already impossible; the guard is cheap
+        // insurance against a stray fire touching dead state.
+        if !eng.is_up(n) || !self.overlay.is_joined(n) {
+            return;
+        }
+        let sn = &mut self.scan[n.idx()];
+        if sn.tasks.is_empty() {
+            return;
+        }
+        self.stats.scan_quanta += 1;
+        sn.tasks.sort_unstable_by_key(|t| (t.deadline, t.slot));
+        let round = sn.vclock;
+        sn.vclock += 1;
+        let width = sn.tasks.len().min(max_batch);
+        let mut finished: Vec<u32> = Vec::new();
+        for t in &mut sn.tasks[..width] {
+            t.remaining = t.remaining.saturating_sub(quantum_rows);
+            t.deadline = round + 1;
+            if t.remaining == 0 {
+                finished.push(t.slot);
+            }
+        }
+        sn.tasks.retain(|t| t.remaining > 0);
+        if !finished.is_empty() {
+            self.finish_scans(eng, n, &finished);
+        }
+        // `finish_scans` cascades protocol work that can take the node
+        // down or (in principle) queue more work; re-check before
+        // re-arming the pump.
+        let sn = &mut self.scan[n.idx()];
+        if !sn.tasks.is_empty() && !sn.pump && eng.is_up(n) {
+            sn.pump = true;
+            self.set_quantum_app_timer(eng, n, quantum, TimerAction::ScanQuantum { node: n });
+        }
+    }
+
+    /// Executes the queries whose scans completed this quantum in one
+    /// shared table pass and submits each result through the normal
+    /// leaf-submission path.
+    fn finish_scans(&mut self, eng: &mut SeaweedEngine, n: NodeIdx, slots: &[u32]) {
+        let mut live: Vec<u32> = Vec::new();
+        for &s in slots {
+            let bit = 1u64 << s;
+            // Defensive: release purges queued tasks eagerly, but a
+            // query that died or already submitted between queueing and
+            // finishing must not execute.
+            if !self.queries[s as usize].active || self.exec_pending[n.idx()] & bit == 0 {
+                continue;
+            }
+            self.exec_pending[n.idx()] &= !bit;
+            if self.submitted[n.idx()] & bit != 0 {
+                continue;
+            }
+            live.push(s);
+        }
+        if live.is_empty() {
+            return;
+        }
+        let shared = live.len() > 1;
+        let results = {
+            let bounds: Vec<&seaweed_store::BoundQuery> = live
+                .iter()
+                .map(|&s| &self.queries[s as usize].bound)
+                .collect();
+            self.provider.execute_many(n.idx(), &bounds)
+        };
+        if shared {
+            self.stats.shared_scan_batches += 1;
+            self.stats.shared_scan_queries += live.len() as u64;
+        }
+        for (&slot, result) in live.iter().zip(results) {
+            match result {
+                Ok(agg) => {
+                    if shared {
+                        self.timelines[slot as usize].shared_scans += 1;
+                    }
+                    self.submit_local_result(eng, n, slot, agg);
+                }
+                Err(_) => {
+                    self.stats.exec_failures += 1;
+                }
+            }
+        }
+    }
+
+    /// Storm-hygiene checks, run by `ChaosOracle` as invariant (7):
+    /// budget respected, free list consistent, every queued scan task
+    /// references a live pending execution. Returns human-readable
+    /// violations (empty = clean); cheap enough to run per-event at test
+    /// scale.
+    #[must_use]
+    pub fn storm_invariant_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.cfg.storm.is_none() {
+            if !self.free_slots.is_empty() || !self.storm_queue.is_empty() {
+                out.push("storm machinery engaged without storm mode".into());
+            }
+            return out;
+        }
+        if self.storm_in_flight() > self.storm_budget() {
+            out.push(format!(
+                "in-flight queries {} exceed budget {}",
+                self.storm_in_flight(),
+                self.storm_budget()
+            ));
+        }
+        let mut seen = vec![false; self.queries.len()];
+        for &s in &self.free_slots {
+            let Some(q) = self.queries.get(s as usize) else {
+                out.push(format!("free slot {s} out of range"));
+                continue;
+            };
+            if seen[s as usize] {
+                out.push(format!("slot {s} double-freed"));
+            }
+            seen[s as usize] = true;
+            if q.active {
+                out.push(format!("free slot {s} holds an active query"));
+            }
+        }
+        for w in self.free_slots.windows(2) {
+            if w[0] <= w[1] {
+                out.push("free list not sorted descending".into());
+            }
+        }
+        for (node, sn) in self.scan.iter().enumerate() {
+            if !sn.tasks.is_empty() && !sn.pump {
+                out.push(format!(
+                    "node {node} has queued scan work but no pump timer"
+                ));
+            }
+            for t in &sn.tasks {
+                if t.remaining == 0 {
+                    out.push(format!(
+                        "node {node}: finished task for slot {} still queued",
+                        t.slot
+                    ));
+                }
+                if !self.queries[t.slot as usize].active {
+                    out.push(format!("node {node}: scan task for dead slot {}", t.slot));
+                }
+                if self.exec_pending[node] & (1u64 << t.slot) == 0 {
+                    out.push(format!(
+                        "node {node}: scan task for slot {} without a pending execution",
+                        t.slot
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Panicking wrapper over [`Seaweed::storm_invariant_violations`],
+    /// for use inside tests.
+    pub fn assert_storm_invariants(&self) {
+        let v = self.storm_invariant_violations();
+        assert!(
+            v.is_empty(),
+            "storm invariant violations:\n  {}",
+            v.join("\n  ")
+        );
+    }
+}

@@ -38,7 +38,7 @@ pub mod wire;
 
 pub use app::{
     HedgeConfig, QueryHandle, QueryKind, QueryState, Seaweed, SeaweedConfig, SeaweedEngine,
-    SeaweedMsg, SeaweedStats, ViewDef, ViewHandle,
+    SeaweedMsg, SeaweedStats, StormConfig, Submission, ViewDef, ViewHandle,
 };
 pub use obs::{QueryTimeline, SloReport};
 pub use oracle::ChaosOracle;

@@ -54,6 +54,9 @@ pub struct QueryTimeline {
     /// Payload bytes spent on hedges that lost the race (the duplicate
     /// send, plus the loser's reply when it eventually lands).
     pub hedge_wasted_bytes: u64,
+    /// Local executions this query obtained through a shared table pass
+    /// batched with co-resident queries (storm mode only).
+    pub shared_scans: u64,
 }
 
 /// Per-query SLO report: delay-to-completeness checkpoints plus the

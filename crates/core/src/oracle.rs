@@ -67,6 +67,9 @@ impl ChaosOracle {
         self.check_predictors(sw, &mut v);
         self.check_index_consistency(sw, eng, &mut v);
         self.check_tail_tolerance(sw, &mut v);
+        // (7) Storm hygiene: admission budget, slot free-list and scan
+        // scheduler consistency (no-op checks when storm mode is off).
+        v.extend(sw.storm_invariant_violations());
         v
     }
 

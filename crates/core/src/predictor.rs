@@ -75,6 +75,21 @@ impl Predictor {
         self.encoded.take();
     }
 
+    /// Folds in an endsystem that is available but whose scan is queued
+    /// behind co-resident queries: its `rows` land after `delay` rather
+    /// than immediately, shifting the curve the user sees under query
+    /// storms.
+    pub fn add_available_delayed(&mut self, rows: f64, delay: Duration) {
+        if delay == Duration::ZERO {
+            self.add_available(rows);
+            return;
+        }
+        let i = self.buckets.index(delay);
+        self.later[i] += rows.max(0.0);
+        self.endsystems += 1;
+        self.encoded.take();
+    }
+
     /// Folds in an unavailable endsystem expected to return according to
     /// `pred`, holding `rows` relevant rows.
     pub fn add_unavailable(&mut self, rows: f64, pred: &ReturnPrediction) {
@@ -269,19 +284,26 @@ impl Reader<'_> {
         Some(head)
     }
 
+    // The `try_into` conversions cannot fail (`take(n)` returned exactly
+    // `n` bytes), but this cursor sits on a message-decode path; route
+    // the impossible case into the existing `None` (= malformed input)
+    // channel instead of panicking.
     fn u32(&mut self) -> Option<u32> {
         self.take(4)
-            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_le_bytes)
     }
 
     fn u64(&mut self) -> Option<u64> {
         self.take(8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
     }
 
     fn f32(&mut self) -> Option<f32> {
         self.take(4)
-            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .and_then(|b| b.try_into().ok())
+            .map(f32::from_le_bytes)
     }
 }
 
@@ -319,6 +341,20 @@ mod tests {
         assert!((early - 50.0).abs() < 1e-9, "early {early}");
         let late = p.expected_rows_within(Duration::from_hours(20));
         assert!((late - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_available_rows_shift_out_of_bucket_zero() {
+        let mut p = Predictor::new();
+        p.add_available_delayed(40.0, Duration::ZERO);
+        p.add_available_delayed(60.0, Duration::from_mins(5));
+        assert_eq!(p.immediate_rows(), 40.0);
+        assert_eq!(p.total_rows(), 100.0);
+        assert_eq!(p.endsystems(), 2);
+        let soon = p.expected_rows_within(Duration::from_secs(1));
+        assert!((soon - 40.0).abs() < 1e-9, "queued rows not yet in: {soon}");
+        let later = p.expected_rows_within(Duration::from_hours(1));
+        assert!((later - 100.0).abs() < 1e-9);
     }
 
     #[test]

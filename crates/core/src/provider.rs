@@ -37,6 +37,26 @@ pub trait DataProvider {
 
     /// Exact relevant-row count (ground truth for experiments).
     fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64;
+
+    /// Rows a full table pass on `node` touches — the unit the storm
+    /// scheduler charges per query regardless of selectivity, since a
+    /// scan reads every row to test the predicate. Providers without a
+    /// physical fragment report 1 (scans are free-but-ordered).
+    fn scan_cost(&self, node: usize) -> u64 {
+        let _ = node;
+        1
+    }
+
+    /// Executes several queries against `node`'s fragment, per-query
+    /// results in input order. Providers with real tables share one row
+    /// walk across all queries; the default just loops.
+    fn execute_many(
+        &self,
+        node: usize,
+        queries: &[&BoundQuery],
+    ) -> Vec<Result<Aggregate, StoreError>> {
+        queries.iter().map(|q| self.execute(node, q)).collect()
+    }
 }
 
 /// Real tables per endsystem.
@@ -122,6 +142,18 @@ impl DataProvider for LiveTables {
 
     fn exact_rows(&self, node: usize, query: &BoundQuery) -> u64 {
         count_matching(query, &self.tables[node])
+    }
+
+    fn scan_cost(&self, node: usize) -> u64 {
+        self.tables[node].num_rows() as u64
+    }
+
+    fn execute_many(
+        &self,
+        node: usize,
+        queries: &[&BoundQuery],
+    ) -> Vec<Result<Aggregate, StoreError>> {
+        seaweed_store::exec::execute_batch(queries, &self.tables[node])
     }
 }
 

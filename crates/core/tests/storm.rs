@@ -1,0 +1,605 @@
+//! Storm-mode tests: the concurrent multi-query engine (admission
+//! control, slot recycling behind generation counters, fair scan
+//! scheduling) against the PR-1/PR-5 determinism bar.
+//!
+//! * A K=1 storm run must be **byte-identical** to the storm-off
+//!   baseline under the full chaos plan: same event-log fingerprint,
+//!   same rows, same bandwidth report. The storm machinery may only
+//!   change behaviour when queries actually contend.
+//! * K concurrent queries must each converge to the same rows they get
+//!   when run alone (same seed), across Map × Arena layouts and both
+//!   scheduler backends — fair scheduling may reorder work but must
+//!   never lose or duplicate contributions.
+//! * Under the full chaos plan with slot-recycling pressure the run
+//!   must stay oracle-clean (exactly-once, predictor sanity, storm
+//!   hygiene) and be bit-stable across repeated runs, for 16 seeds.
+//! * A delayed reply addressed to an expired query's recycled slot must
+//!   be rejected at the message boundary (`stale_handle_drops`), leaving
+//!   the slot's new tenant untouched.
+
+use proptest::prelude::*;
+use seaweed_core::{
+    ChaosOracle, LiveTables, Seaweed, SeaweedConfig, SeaweedEngine, SeaweedMsg, StormConfig,
+    Submission,
+};
+use seaweed_overlay::{LayoutKind, Overlay, OverlayConfig, OverlayMsg};
+use seaweed_sim::{
+    CorpNetTopology, CrashSpec, Engine, Event, FaultPlan, LinkFaultSpec, NodeIdx, OutageSpec,
+    PartitionSpec, Payload, SchedulerKind, SimConfig,
+};
+use seaweed_store::{AggFunc, Aggregate, ColumnDef, DataType, Schema, Table, Value};
+use seaweed_types::{Duration, Time};
+
+const N: usize = 36;
+const ROUTERS: usize = 24;
+/// Rows per endsystem fragment, all matching every test predicate.
+/// More than one row so that `quantum_rows: 1` storm configs force a
+/// scan through multiple preemption quanta (exercising the slicing
+/// path, not just the batching path).
+const ROWS_PER_NODE: usize = 3;
+/// Ground-truth matching rows across the population.
+const TOTAL_ROWS: u64 = (N * ROWS_PER_NODE) as u64;
+/// Query injection time; all fault windows are anchored after it.
+const T0: u64 = 600_000_000; // 600 s in µs
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+/// The chaos.rs fault plan, verbatim: cut the largest regional subtree,
+/// amnesia-outage the biggest branch, degrade one router pair, crash two
+/// bystanders.
+fn chaos_plan(topo: &CorpNetTopology) -> FaultPlan {
+    let regional = (topo.num_core()..topo.num_core() + topo.num_regional())
+        .max_by_key(|&r| topo.subtree_endsystems(r).len())
+        .unwrap();
+    let partition = PartitionSpec::from_router_cut(topo, regional, secs(602), secs(780));
+    let branch = topo
+        .branch_routers()
+        .max_by_key(|&r| topo.subtree_endsystems(r).len())
+        .unwrap();
+    let outage = OutageSpec::branch_outage(topo, branch, secs(640), secs(700), true);
+    let excluded: Vec<u32> = partition
+        .members
+        .iter()
+        .chain(outage.members.iter())
+        .copied()
+        .collect();
+    let bystanders: Vec<u32> = (1..N as u32)
+        .filter(|m| !excluded.contains(m))
+        .take(2)
+        .collect();
+    let crashes = vec![
+        CrashSpec {
+            node: NodeIdx(bystanders[0]),
+            at: secs(630),
+            rejoin_after: Duration::from_secs(60),
+        },
+        CrashSpec {
+            node: NodeIdx(bystanders[1]),
+            at: secs(690),
+            rejoin_after: Duration::from_secs(45),
+        },
+    ];
+    let za = topo.router_of(NodeIdx(1)) as u32;
+    let mut zb = topo.router_of(NodeIdx(2)) as u32;
+    if zb == za {
+        zb = topo.router_of(NodeIdx(3)) as u32;
+    }
+    FaultPlan {
+        partitions: vec![partition],
+        link_faults: vec![LinkFaultSpec {
+            zone_a: za,
+            zone_b: zb,
+            from: secs(600),
+            until: secs(720),
+            extra_loss: 0.15,
+            latency_mult: 3.0,
+        }],
+        crashes,
+        outages: vec![outage],
+        dup_rate: 0.02,
+        reorder_window: Duration::from_millis(50),
+    }
+}
+
+struct WorldSpec {
+    seed: u64,
+    layout: LayoutKind,
+    scheduler: SchedulerKind,
+    storm: Option<StormConfig>,
+    chaos: bool,
+}
+
+fn world(spec: &WorldSpec) -> (SeaweedEngine, Seaweed<LiveTables>, Schema) {
+    let schema = Schema::new(
+        "T",
+        vec![
+            ColumnDef::new("flag", DataType::Int, true),
+            ColumnDef::new("v", DataType::Int, true),
+        ],
+    );
+    let mut tables = Vec::with_capacity(N);
+    for node in 0..N {
+        let mut t = Table::new(schema.clone());
+        for r in 0..ROWS_PER_NODE {
+            t.insert(vec![Value::Int(1), Value::Int((node + r) as i64 + 1)])
+                .unwrap();
+        }
+        tables.push(t);
+    }
+    let topo = CorpNetTopology::with_params(N, ROUTERS, Duration::MILLISECOND, spec.seed);
+    let faults = spec.chaos.then(|| chaos_plan(&topo));
+    let eng: SeaweedEngine = Engine::new(
+        Box::new(topo),
+        SimConfig {
+            seed: spec.seed,
+            scheduler: spec.scheduler,
+            loss_rate: if spec.chaos { 0.01 } else { 0.0 },
+            faults,
+            ..SimConfig::default()
+        },
+    );
+    let overlay = Overlay::new(
+        Overlay::random_ids(N, spec.seed),
+        OverlayConfig {
+            seed: spec.seed,
+            layout: spec.layout,
+            ..Default::default()
+        },
+    );
+    let sw = Seaweed::new(
+        overlay,
+        LiveTables::new(tables),
+        SeaweedConfig {
+            seed: spec.seed,
+            storm: spec.storm.clone(),
+            ..Default::default()
+        },
+    );
+    (eng, sw, schema)
+}
+
+fn boot(eng: &mut SeaweedEngine) {
+    for i in 0..N {
+        eng.schedule_up(Time(1 + i as u64 * 300_000), NodeIdx(i as u32));
+    }
+}
+
+fn drive(eng: &mut SeaweedEngine, sw: &mut Seaweed<LiveTables>, horizon: Time) {
+    while let Some((_, ev)) = eng.next_event_before(horizon) {
+        sw.dispatch(eng, ev);
+    }
+}
+
+/// FNV-1a fingerprint over a compact per-event descriptor (ordering,
+/// endpoints and timestamps pin the schedule bit-for-bit).
+struct EventLog {
+    hash: u64,
+    len: u64,
+}
+
+impl EventLog {
+    fn new() -> Self {
+        EventLog {
+            hash: 0xcbf2_9ce4_8422_2325,
+            len: 0,
+        }
+    }
+
+    fn add(&mut self, t: Time, ev: &Event<OverlayMsg<SeaweedMsg>>) {
+        let desc = match *ev {
+            Event::Message { from, to, .. } => format!("m:{}:{}:{}", t.as_micros(), from.0, to.0),
+            Event::Timer { node, tag } => format!("t:{}:{}:{tag}", t.as_micros(), node.0),
+            Event::NodeUp { node } => format!("u:{}:{}", t.as_micros(), node.0),
+            Event::NodeDown { node } => format!("d:{}:{}", t.as_micros(), node.0),
+            Event::NodeCrash { node } => format!("c:{}:{}", t.as_micros(), node.0),
+            Event::PartitionStart { partition } => format!("ps:{}:{partition}", t.as_micros()),
+            Event::PartitionEnd { partition } => format!("pe:{}:{partition}", t.as_micros()),
+        };
+        for b in desc.as_bytes() {
+            self.hash ^= u64::from(*b);
+            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+        }
+        self.len += 1;
+    }
+}
+
+struct ChaosRun {
+    log_hash: u64,
+    log_len: u64,
+    rows: u64,
+    violations: Vec<String>,
+    report: String,
+}
+
+/// One full chaos run injecting a single query at T0. With
+/// `storm: Some(..)` the query goes through `submit_query`; otherwise
+/// through the baseline `inject_query`. Used for the K=1 byte-identity
+/// bar.
+fn run_chaos_single(spec: &WorldSpec) -> ChaosRun {
+    let (mut eng, mut sw, schema) = world(spec);
+    boot(&mut eng);
+    let mut log = EventLog::new();
+    let mut drive_logged =
+        |eng: &mut SeaweedEngine, sw: &mut Seaweed<LiveTables>, horizon: Time| {
+            while let Some((t, ev)) = eng.next_event_before(horizon) {
+                log.add(t, &ev);
+                sw.dispatch(eng, ev);
+            }
+        };
+    drive_logged(&mut eng, &mut sw, Time(T0));
+    assert_eq!(sw.overlay.num_joined(), N, "all join before the faults");
+
+    let sql = "SELECT SUM(v) FROM T WHERE flag = 1";
+    let ttl = Duration::from_hours(4);
+    let h = if spec.storm.is_some() {
+        match sw
+            .submit_query(&mut eng, NodeIdx(0), sql, ttl, &schema)
+            .unwrap()
+        {
+            Submission::Admitted(h) => h,
+            Submission::Queued(t) => panic!("K=1 submission queued (ticket {t})"),
+        }
+    } else {
+        sw.inject_query(&mut eng, NodeIdx(0), sql, ttl, &schema)
+            .unwrap()
+    };
+
+    let oracle = ChaosOracle::new(TOTAL_ROWS);
+    let mut violations = Vec::new();
+    for t in [650, 720, 800, 1000, 1500] {
+        drive_logged(&mut eng, &mut sw, secs(t));
+        violations.extend(oracle.check(&sw, &eng));
+    }
+
+    ChaosRun {
+        log_hash: log.hash,
+        log_len: log.len,
+        rows: sw.query(h).rows(),
+        violations,
+        report: format!("{:?}", eng.finish()),
+    }
+}
+
+/// Tentpole gate: a 1-query storm takes the exact baseline code path —
+/// event-for-event. Any divergence means storm mode perturbs the
+/// uncontended protocol.
+#[test]
+fn k1_storm_is_byte_identical_to_baseline() {
+    for seed in [3u64, 17] {
+        for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let base = run_chaos_single(&WorldSpec {
+                seed,
+                layout: LayoutKind::Arena,
+                scheduler,
+                storm: None,
+                chaos: true,
+            });
+            let storm = run_chaos_single(&WorldSpec {
+                seed,
+                layout: LayoutKind::Arena,
+                scheduler,
+                storm: Some(StormConfig::default()),
+                chaos: true,
+            });
+            assert!(base.violations.is_empty(), "{:?}", base.violations);
+            assert!(storm.violations.is_empty(), "{:?}", storm.violations);
+            assert_eq!(
+                base.log_hash, storm.log_hash,
+                "K=1 storm event log diverged from baseline (seed {seed}, {scheduler:?})"
+            );
+            assert_eq!(base.log_len, storm.log_len);
+            assert_eq!(base.rows, storm.rows);
+            assert_eq!(
+                base.report, storm.report,
+                "bandwidth reports diverged (seed {seed}, {scheduler:?})"
+            );
+        }
+    }
+}
+
+/// Per-query distinct predicates that all match every row (one row per
+/// endsystem with flag = 1), so the K queries have distinct identities
+/// but identical ground truth.
+fn storm_sql(i: usize) -> String {
+    format!("SELECT SUM(v) FROM T WHERE flag < {}", 2 + i as i64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fair-scheduling correctness: K queries run concurrently see
+    /// exactly the rows each sees alone (same seed), across layouts and
+    /// scheduler backends. The scan scheduler may interleave and batch
+    /// work but must never lose or duplicate a contribution.
+    #[test]
+    fn concurrent_queries_match_solo_rows(seed in 0u64..10_000, k in 2usize..6) {
+        for layout in [LayoutKind::Map, LayoutKind::Arena] {
+            for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+                let spec = WorldSpec {
+                    seed,
+                    layout,
+                    scheduler,
+                    storm: Some(StormConfig {
+                        // Tight quanta so contended endsystems actually
+                        // slice and share scans at this tiny scale.
+                        quantum_rows: 1,
+                        max_batch: 4,
+                        ..StormConfig::default()
+                    }),
+                    chaos: false,
+                };
+                // Concurrent: all K injected back-to-back at T0.
+                let (mut eng, mut sw, schema) = world(&spec);
+                boot(&mut eng);
+                drive(&mut eng, &mut sw, Time(T0));
+                let mut handles = Vec::new();
+                for i in 0..k {
+                    let sub = sw
+                        .submit_query(
+                            &mut eng,
+                            NodeIdx((i % N) as u32),
+                            &storm_sql(i),
+                            Duration::from_hours(4),
+                            &schema,
+                        )
+                        .unwrap();
+                    match sub {
+                        Submission::Admitted(h) => handles.push(h),
+                        Submission::Queued(t) => panic!("K<{k} under budget queued ({t})"),
+                    }
+                }
+                drive(&mut eng, &mut sw, secs(1800));
+                let oracle = ChaosOracle::new(TOTAL_ROWS);
+                oracle.assert_clean(&sw, &eng);
+                let together: Vec<u64> =
+                    handles.iter().map(|&h| sw.query(h).rows()).collect();
+
+                // Alone: each query in a fresh world, same seed.
+                for (i, &rows_together) in together.iter().enumerate() {
+                    let (mut eng, mut sw, schema) = world(&spec);
+                    boot(&mut eng);
+                    drive(&mut eng, &mut sw, Time(T0));
+                    let Submission::Admitted(h) = sw
+                        .submit_query(
+                            &mut eng,
+                            NodeIdx((i % N) as u32),
+                            &storm_sql(i),
+                            Duration::from_hours(4),
+                            &schema,
+                        )
+                        .unwrap()
+                    else {
+                        panic!("solo submission queued")
+                    };
+                    drive(&mut eng, &mut sw, secs(1800));
+                    prop_assert_eq!(
+                        rows_together,
+                        sw.query(h).rows(),
+                        "query {} sees different rows under contention \
+                         (seed {}, k {}, {:?}, {:?})",
+                        i, seed, k, layout, scheduler
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Chaos under storm pressure, 16 seeds: a burst of queries exceeding a
+/// small in-flight budget (forcing queueing, slot recycling and
+/// generation bumps mid-chaos) must stay oracle-clean, and each seed's
+/// run must be bit-stable — the same fingerprint twice.
+#[test]
+fn sixteen_seed_chaos_storm_is_clean_and_stable() {
+    for seed in 0u64..16 {
+        let fingerprint = |seed: u64| -> (u64, u64, Vec<u64>) {
+            let spec = WorldSpec {
+                seed,
+                layout: LayoutKind::Arena,
+                scheduler: SchedulerKind::Wheel,
+                storm: Some(StormConfig {
+                    max_in_flight: 4,
+                    quantum_rows: 1,
+                    ..StormConfig::default()
+                }),
+                chaos: true,
+            };
+            let (mut eng, mut sw, schema) = world(&spec);
+            boot(&mut eng);
+            let mut log = EventLog::new();
+            let mut drive_logged =
+                |eng: &mut SeaweedEngine, sw: &mut Seaweed<LiveTables>, horizon: Time| {
+                    while let Some((t, ev)) = eng.next_event_before(horizon) {
+                        log.add(t, &ev);
+                        sw.dispatch(eng, ev);
+                    }
+                };
+            drive_logged(&mut eng, &mut sw, Time(T0));
+            // 8 queries against a budget of 4: half park in the
+            // admission queue; short TTLs force expiry → release →
+            // admission churn across the fault windows.
+            for i in 0..8 {
+                let ttl = Duration::from_secs(120 + 60 * i as u64);
+                sw.submit_query(&mut eng, NodeIdx(0), &storm_sql(i), ttl, &schema)
+                    .unwrap();
+            }
+            let oracle = ChaosOracle::new(TOTAL_ROWS);
+            for t in [650, 720, 800, 1000, 1500] {
+                drive_logged(&mut eng, &mut sw, secs(t));
+                let v = oracle.check(&sw, &eng);
+                assert!(
+                    v.is_empty(),
+                    "oracle violations (seed {seed}, t {t}):\n  {}",
+                    v.join("\n  ")
+                );
+            }
+            let admitted: Vec<u64> = sw.drain_admissions().iter().map(|&(t, _)| t).collect();
+            (log.hash, log.len, admitted)
+        };
+        let a = fingerprint(seed);
+        let b = fingerprint(seed);
+        assert_eq!(a, b, "chaos storm not bit-stable (seed {seed})");
+    }
+}
+
+/// Satellite-1 regression: expire query A, let its slot recycle into
+/// query B, then deliver a forged "delayed reply" still addressed to
+/// A's old handle. The reply must be dropped at the message boundary
+/// (`stale_handle_drops`), and B must be untouched.
+#[test]
+fn stale_reply_to_recycled_slot_is_dropped() {
+    let spec = WorldSpec {
+        seed: 11,
+        layout: LayoutKind::Arena,
+        scheduler: SchedulerKind::Wheel,
+        storm: Some(StormConfig::default()),
+        chaos: false,
+    };
+    let (mut eng, mut sw, schema) = world(&spec);
+    boot(&mut eng);
+    drive(&mut eng, &mut sw, Time(T0));
+
+    // Query A: short TTL so it expires and releases its slot.
+    let Submission::Admitted(h_a) = sw
+        .submit_query(
+            &mut eng,
+            NodeIdx(0),
+            "SELECT SUM(v) FROM T WHERE flag = 1",
+            Duration::from_secs(120),
+            &schema,
+        )
+        .unwrap()
+    else {
+        panic!("A queued")
+    };
+    drive(&mut eng, &mut sw, secs(900));
+    assert_eq!(sw.storm_in_flight(), 0, "A must have expired and released");
+
+    // Query B recycles A's slot under a bumped generation.
+    let Submission::Admitted(h_b) = sw
+        .submit_query(
+            &mut eng,
+            NodeIdx(0),
+            "SELECT COUNT(*) FROM T WHERE flag = 1",
+            Duration::from_hours(2),
+            &schema,
+        )
+        .unwrap()
+    else {
+        panic!("B queued")
+    };
+    assert_ne!(h_a, h_b, "handles are never reused");
+    drive(&mut eng, &mut sw, secs(1800));
+    let rows_b = sw.query(h_b).rows();
+    assert_eq!(rows_b, TOTAL_ROWS, "B converges before the stale delivery");
+    let version_b = sw.query(h_b).latest_version;
+    let drops_before = sw.stats.stale_handle_drops;
+
+    // A's "delayed reply": a root-aggregate push carrying A's old
+    // handle, a huge row count and a version far beyond B's. Without
+    // generation checking this would overwrite B's result at the
+    // origin.
+    let mut agg = Aggregate::empty(AggFunc::Sum);
+    for _ in 0..12_345 {
+        agg.fold(1.0);
+    }
+    let forged = Event::Message {
+        from: NodeIdx(1),
+        to: NodeIdx(0),
+        payload: Payload::Owned(OverlayMsg::App(SeaweedMsg::ResultToOrigin {
+            query: h_a,
+            agg,
+            version: version_b + 1_000,
+        })),
+    };
+    sw.dispatch(&mut eng, forged);
+
+    assert_eq!(
+        sw.stats.stale_handle_drops,
+        drops_before + 1,
+        "forged reply must be counted as a stale drop"
+    );
+    assert_eq!(sw.query(h_b).rows(), rows_b, "B's rows must be untouched");
+    assert_eq!(
+        sw.query(h_b).latest_version,
+        version_b,
+        "B's version must be untouched"
+    );
+    let oracle = ChaosOracle::new(TOTAL_ROWS);
+    oracle.assert_clean(&sw, &eng);
+}
+
+/// Admission control mechanics without faults: a burst of 3× the budget
+/// admits exactly `budget` immediately, parks the rest in ticket order,
+/// and promotes them in order as retirements free slots.
+#[test]
+fn admission_queue_promotes_in_ticket_order() {
+    let spec = WorldSpec {
+        seed: 5,
+        layout: LayoutKind::Map,
+        scheduler: SchedulerKind::Wheel,
+        storm: Some(StormConfig {
+            max_in_flight: 2,
+            ..StormConfig::default()
+        }),
+        chaos: false,
+    };
+    let (mut eng, mut sw, schema) = world(&spec);
+    boot(&mut eng);
+    drive(&mut eng, &mut sw, Time(T0));
+
+    let mut admitted = Vec::new();
+    let mut queued = Vec::new();
+    for i in 0..6 {
+        match sw
+            .submit_query(
+                &mut eng,
+                NodeIdx(i as u32),
+                &storm_sql(i),
+                Duration::from_hours(4),
+                &schema,
+            )
+            .unwrap()
+        {
+            Submission::Admitted(h) => admitted.push(h),
+            Submission::Queued(t) => queued.push(t),
+        }
+    }
+    assert_eq!(admitted.len(), 2, "budget admits exactly 2");
+    assert_eq!(queued.len(), 4);
+    assert!(queued.windows(2).all(|w| w[0] < w[1]), "tickets ascend");
+    assert_eq!(sw.storm_queue_len(), 4);
+    assert_eq!(sw.stats.storm_admitted, 2);
+    assert_eq!(sw.stats.storm_queued, 4);
+
+    // Let the two in-flight queries finish, then retire them: the queue
+    // must drain in ticket order, two at a time.
+    drive(&mut eng, &mut sw, secs(1200));
+    for &h in &admitted {
+        assert_eq!(sw.query(h).rows(), TOTAL_ROWS);
+        sw.retire_query(&mut eng, h);
+    }
+    let promoted = sw.drain_admissions();
+    assert_eq!(promoted.len(), 2, "two freed slots admit two tickets");
+    assert_eq!(promoted[0].0, queued[0]);
+    assert_eq!(promoted[1].0, queued[1]);
+    assert_eq!(sw.storm_queue_len(), 2);
+
+    drive(&mut eng, &mut sw, secs(2400));
+    for &(_, h) in &promoted {
+        assert_eq!(sw.query(h).rows(), TOTAL_ROWS, "promoted queries converge");
+        sw.retire_query(&mut eng, h);
+    }
+    let rest = sw.drain_admissions();
+    assert_eq!(rest.len(), 2);
+    assert_eq!(rest[0].0, queued[2]);
+    assert_eq!(rest[1].0, queued[3]);
+    drive(&mut eng, &mut sw, secs(3600));
+    for &(_, h) in &rest {
+        assert_eq!(sw.query(h).rows(), TOTAL_ROWS);
+    }
+    let oracle = ChaosOracle::new(TOTAL_ROWS);
+    oracle.assert_clean(&sw, &eng);
+}

@@ -628,6 +628,10 @@ enum TimerKind {
     Auto,
     /// Survives its node's churn; fires regardless of liveness.
     Detached,
+    /// A scheduling-quantum expiry: liveness-tied like `Auto` (a down
+    /// node has no scan queue to pump), but metered separately so storm
+    /// runs can report scheduler overhead next to protocol timers.
+    Quantum,
 }
 
 /// Handle to a pending timer, returned by [`Engine::set_timer`] and
@@ -691,6 +695,8 @@ pub struct Engine<M> {
     pub messages_sent: u64,
     /// Timers disarmed before firing (explicitly or by node-down).
     pub timers_cancelled: u64,
+    /// Quantum-class timers (scan-scheduler slices) that actually fired.
+    pub quantum_timers_fired: u64,
     /// Events whose requested time lay in the past and were clamped to
     /// the current clock.
     pub clamped_to_now: u64,
@@ -752,6 +758,7 @@ impl<M> Engine<M> {
             drops_by_class: [0; NUM_CLASSES],
             messages_sent: 0,
             timers_cancelled: 0,
+            quantum_timers_fired: 0,
             clamped_to_now: 0,
             app_events: BTreeMap::new(),
         };
@@ -1096,6 +1103,14 @@ impl<M> Engine<M> {
         self.arm_timer(node, delay, tag, TimerKind::Detached)
     }
 
+    /// Arms a scheduling-quantum timer for `node`: behaviorally an auto
+    /// timer (node-down disarms it — a dead endsystem has no scan queue),
+    /// but counted in [`Engine::quantum_timers_fired`] so storm runs can
+    /// report scheduler pump overhead separately from protocol timers.
+    pub fn set_quantum_timer(&mut self, node: NodeIdx, delay: Duration, tag: u64) -> TimerHandle {
+        self.arm_timer(node, delay, tag, TimerKind::Quantum)
+    }
+
     fn arm_timer(
         &mut self,
         node: NodeIdx,
@@ -1209,13 +1224,16 @@ impl<M> Engine<M> {
                     };
                     // An auto timer armed for an already-down node (legal
                     // but unusual) is dropped at fire time.
-                    if kind == TimerKind::Auto && !self.up[node.idx()] {
+                    if kind != TimerKind::Detached && !self.up[node.idx()] {
                         self.trace(|| TraceEvent::TimerCancel {
                             node,
                             seq: q.seq,
                             at: q.at,
                         });
                         continue;
+                    }
+                    if kind == TimerKind::Quantum {
+                        self.quantum_timers_fired += 1;
                     }
                     self.trace(|| TraceEvent::TimerFire {
                         node,
@@ -1291,7 +1309,7 @@ impl<M> Engine<M> {
         let mut dropped = 0u64;
         // lint:allow(D001): SeqMap uses the fixed-key SeqHasher over engine-assigned monotone seqs, so iteration order is identical across processes; the only order-sensitive output (the trace) is sorted below.
         meta.retain(|&seq, &mut (at, kind)| {
-            if kind == TimerKind::Auto {
+            if kind != TimerKind::Detached {
                 let removed = queue.cancel(at, seq);
                 debug_assert!(removed, "outstanding timer missing from queue");
                 dropped += 1;
@@ -1350,6 +1368,7 @@ impl<M> Engine<M> {
         let mut m = MetricsRegistry::new();
         m.set_counter("sim.messages_sent", self.messages_sent);
         m.set_counter("sim.timers_cancelled", self.timers_cancelled);
+        m.set_counter("sim.quantum_timers_fired", self.quantum_timers_fired);
         m.set_counter("sim.clamped_to_now", self.clamped_to_now);
         m.set_counter("sim.payload_fallback_clones", payload_fallback_clones());
         m.record_drop_stats(&self.drop_stats());
@@ -1529,6 +1548,37 @@ mod tests {
         assert!(evs[0].1.contains("NodeDown"));
         assert!(evs[1].1.contains("Timer"), "{evs:?}");
         assert_eq!(e.timers_cancelled, 0);
+    }
+
+    #[test]
+    fn quantum_timer_fires_counted_and_dies_with_node() {
+        let mut e = engine(1, 0);
+        e.schedule_up(Time::ZERO, NodeIdx(0));
+        let _ = e.next_event_before(Time(1));
+        // First quantum fires and is metered separately from protocol
+        // timers.
+        e.set_quantum_timer(NodeIdx(0), Duration::from_secs(1), 3);
+        let (_, ev) = e
+            .next_event_before(Time::ZERO + Duration::from_secs(2))
+            .unwrap();
+        assert!(matches!(
+            ev,
+            Event::Timer {
+                node: NodeIdx(0),
+                tag: 3
+            }
+        ));
+        assert_eq!(e.quantum_timers_fired, 1);
+        assert_eq!(e.timers_cancelled, 0);
+        // Second quantum is disarmed by the node going down, exactly like
+        // an auto timer: a dead endsystem has no scan queue to pump.
+        e.set_quantum_timer(NodeIdx(0), Duration::from_secs(10), 4);
+        e.schedule_down(Time::ZERO + Duration::from_secs(5), NodeIdx(0));
+        let evs = drain(&mut e, Time::ZERO + Duration::from_secs(60));
+        assert_eq!(evs.len(), 1, "{evs:?}");
+        assert!(evs[0].1.contains("NodeDown"));
+        assert_eq!(e.quantum_timers_fired, 1);
+        assert_eq!(e.timers_cancelled, 1);
     }
 
     #[test]
@@ -1723,3 +1773,4 @@ mod tests {
         assert_eq!(fired, expect);
     }
 }
+

@@ -124,6 +124,57 @@ pub fn execute(query: &BoundQuery, table: &Table) -> Result<Aggregate, StoreErro
     Ok(agg)
 }
 
+/// Executes several bound queries against the same local table fragment
+/// in **one pass over the rows** (shared-scan batching): each row is
+/// visited once and offered to every query. Per query, rows are folded
+/// in the same ascending row order as [`execute`], so each returned
+/// aggregate is bit-identical to running that query alone — only the
+/// scan cost is shared, never the answer.
+pub fn execute_batch(queries: &[&BoundQuery], table: &Table) -> Vec<Result<Aggregate, StoreError>> {
+    /// Per-query fold source, resolved once before the row walk.
+    enum Src<'a> {
+        CountOnly,
+        Ints(&'a [i64]),
+        Floats(&'a [f64]),
+        Bad,
+    }
+    let mut aggs: Vec<Result<Aggregate, StoreError>> = Vec::with_capacity(queries.len());
+    let mut srcs: Vec<Src> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let src = match q.agg_column {
+            None => Src::CountOnly,
+            Some(col) => match table.column(col) {
+                ColumnData::Ints(v) => Src::Ints(v),
+                ColumnData::Floats(v) => Src::Floats(v),
+                ColumnData::Strs { .. } if q.agg == AggFunc::Count => Src::CountOnly,
+                ColumnData::Strs { .. } => Src::Bad,
+            },
+        };
+        aggs.push(match src {
+            Src::Bad => Err(StoreError::BadAggregate(
+                "numeric aggregate over string column".into(),
+            )),
+            _ => Ok(Aggregate::empty(q.agg)),
+        });
+        srcs.push(src);
+    }
+    for r in 0..table.num_rows() {
+        for (i, q) in queries.iter().enumerate() {
+            let Ok(agg) = &mut aggs[i] else { continue };
+            if !row_matches(q, table, r) {
+                continue;
+            }
+            match srcs[i] {
+                Src::CountOnly => agg.fold(0.0),
+                Src::Ints(v) => agg.fold(v[r] as f64),
+                Src::Floats(v) => agg.fold(v[r]),
+                Src::Bad => unreachable!("flagged as Err above"),
+            }
+        }
+    }
+    aggs
+}
+
 /// Executes a `GROUP BY` aggregate against a local table fragment,
 /// returning one partial aggregate per group value, sorted by group key.
 ///
@@ -420,5 +471,97 @@ mod tests {
     fn string_inequality() {
         let (agg, _) = run("SELECT COUNT(*) FROM Flow WHERE App != 'HTTP'", 0);
         assert_eq!(agg.finish(), Some(3.0));
+    }
+
+    #[test]
+    fn batch_execution_is_bit_identical_to_solo() {
+        let t = flow_table();
+        let sqls = [
+            "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80",
+            "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000",
+            "SELECT AVG(Bytes) FROM Flow WHERE App='SMB'",
+            "SELECT MIN(Bytes) FROM Flow",
+            "SELECT MAX(Bytes) FROM Flow WHERE SrcPort=9999", // matches nothing
+            "SELECT COUNT(App) FROM Flow WHERE App != 'HTTP'", // string COUNT
+        ];
+        let bound: Vec<_> = sqls
+            .iter()
+            .map(|s| Query::parse(s).unwrap().bind(t.schema(), 0).unwrap())
+            .collect();
+        let refs: Vec<&BoundQuery> = bound.iter().collect();
+        let batch = execute_batch(&refs, &t);
+        for (i, (q, b)) in bound.iter().zip(&batch).enumerate() {
+            let solo = execute(q, &t).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(solo, *b, "batch diverged for {:?}", sqls[i]);
+            // Bit-level f64 agreement, beyond PartialEq.
+            assert_eq!(solo.sum.to_bits(), b.sum.to_bits());
+            assert_eq!(solo.min.to_bits(), b.min.to_bits());
+            assert_eq!(solo.max.to_bits(), b.max.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_isolates_per_query_errors() {
+        let t = flow_table();
+        let good = Query::parse("SELECT COUNT(*) FROM Flow")
+            .unwrap()
+            .bind(t.schema(), 0)
+            .unwrap();
+        // SUM over a string column fails at execution; `bind` rejects the
+        // SQL form, so build the bound query directly (the execution
+        // guard still has to hold for hand-built bindings).
+        let bad = BoundQuery {
+            agg: AggFunc::Sum,
+            agg_column: Some(3), // App (string)
+            predicates: Vec::new(),
+            group_by: None,
+        };
+        let out = execute_batch(&[&good, &bad, &good], &t);
+        assert_eq!(out[0].as_ref().unwrap().finish(), Some(6.0));
+        assert!(out[1].is_err());
+        assert_eq!(out[2].as_ref().unwrap().finish(), Some(6.0));
+        // The solo path agrees that it errors.
+        assert!(execute(&bad, &t).is_err());
+    }
+
+    proptest::proptest! {
+        /// Shared-scan batching over random fragments and predicate mixes
+        /// returns, per query, exactly the solo-execution aggregate.
+        #[test]
+        fn batch_matches_solo_on_random_tables(
+            rows in proptest::collection::vec((0i64..1000, 0i64..4, -500i64..500), 0..64),
+            ports in proptest::collection::vec(0i64..4, 1..6),
+        ) {
+            let schema = Schema::new(
+                "T",
+                vec![
+                    ColumnDef::new("ts", DataType::Int, true),
+                    ColumnDef::new("p", DataType::Int, true),
+                    ColumnDef::new("v", DataType::Int, true),
+                ],
+            );
+            let mut t = Table::new(schema);
+            for (ts, p, v) in rows {
+                t.insert(vec![Value::Int(ts), Value::Int(p), Value::Int(v)]).unwrap();
+            }
+            let bound: Vec<BoundQuery> = ports
+                .iter()
+                .map(|p| {
+                    Query::parse(&format!("SELECT SUM(v) FROM T WHERE p = {p}"))
+                        .unwrap()
+                        .bind(t.schema(), 0)
+                        .unwrap()
+                })
+                .collect();
+            let refs: Vec<&BoundQuery> = bound.iter().collect();
+            let batch = execute_batch(&refs, &t);
+            for (q, b) in bound.iter().zip(&batch) {
+                let solo = execute(q, &t).unwrap();
+                let b = b.as_ref().unwrap();
+                proptest::prop_assert_eq!(&solo, b);
+                proptest::prop_assert_eq!(solo.sum.to_bits(), b.sum.to_bits());
+            }
+        }
     }
 }

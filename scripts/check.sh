@@ -62,6 +62,17 @@ echo "==> scale02 smoke (fixed seed, small N, Farsite point disabled: CSV byte-s
 cmp results/scale02_smoke_a.csv results/scale02_smoke_b.csv
 rm -f results/scale02_smoke_{a,b}.csv results/scale02_smoke_{a,b}.json
 
+echo "==> storm01 smoke (fixed seed, small N: oracle-gated, K=1 byte-identity, CSV byte-stable)"
+# Asserts internally: every query reaches completeness 1.0, the chaos
+# oracle stays clean, and the K=1 storm run is byte-identical to the
+# storm-off baseline (exits non-zero otherwise).
+./target/release/storm01_query_storm --n 300 --max-k 100 --seed 7 \
+  --out results/storm01_smoke_a.csv --json results/storm01_smoke_a.json
+./target/release/storm01_query_storm --n 300 --max-k 100 --seed 7 \
+  --out results/storm01_smoke_b.csv --json results/storm01_smoke_b.json >/dev/null
+cmp results/storm01_smoke_a.csv results/storm01_smoke_b.csv
+rm -f results/storm01_smoke_{a,b}.csv results/storm01_smoke_{a,b}.json
+
 echo "==> abl07 smoke (fixed seed: hedging oracles clean, CSV byte-stable)"
 # Exits non-zero on any ChaosOracle violation with hedging on.
 ./target/release/abl07_hedging --seed 7 --seeds 3 --out results/abl07_smoke_a.csv
