@@ -26,6 +26,10 @@ pub struct GnutellaConfig {
     pub down_mean: Duration,
 }
 
+/// RNG stream constant for Gnutella trace generation (registered in
+/// lint.toml `[[stream]]`).
+const GNUTELLA_STREAM: u64 = 0x0097_e11a_c442;
+
 impl Default for GnutellaConfig {
     fn default() -> Self {
         GnutellaConfig {
@@ -51,7 +55,7 @@ impl GnutellaConfig {
     /// Generates the trace, deterministic in `seed`.
     #[must_use]
     pub fn generate(&self, seed: u64) -> AvailabilityTrace {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0097_e11a_c442);
+        let mut rng = StdRng::seed_from_u64(seed ^ GNUTELLA_STREAM);
         let horizon = self.horizon.as_micros();
         let duty = self.up_mean.as_micros() as f64
             / (self.up_mean.as_micros() + self.down_mean.as_micros()) as f64;

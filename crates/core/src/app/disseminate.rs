@@ -299,9 +299,13 @@ impl<P: DataProvider> Seaweed<P> {
                 task.hedge_timer = hedge;
             } else {
                 // Inserted two statements up; a miss means the store is
-                // inconsistent. The armed timers then fire against a
-                // missing task, which both handlers treat as a no-op.
+                // inconsistent. Disarm instead of letting the timers
+                // fire against a missing task.
                 self.stats.internal_drops += 1;
+                self.cancel_app_timer(eng, timeout);
+                if let Some(t) = hedge {
+                    self.cancel_app_timer(eng, t);
+                }
             }
         }
         out_events
@@ -844,12 +848,14 @@ impl<P: DataProvider> Seaweed<P> {
             // existed: the reissue cascade may have completed the task
             // synchronously, in which case the baseline lets the timer
             // fire as a no-op while hedged mode disarms it right away.
+            // lint:allow(D008): non-hedging baseline deliberately lets a completed task's timer fire as a no-op, preserving the pre-hedging event stream bit-for-bit
             let timeout = self.set_app_timer(
                 eng,
                 n,
                 self.cfg.dissem_timeout,
                 TimerAction::DissemTimeout { node: n, task: key },
             );
+            // lint:allow(D008): armed only when hedging, and hedged mode disarms in the match below; the leaked path (hedging false) arms nothing
             let hedge = hedging.then(|| {
                 let delay = self.hedge_delay(n);
                 self.set_app_timer(

@@ -707,6 +707,11 @@ impl<P: DataProvider> std::fmt::Debug for Seaweed<P> {
     }
 }
 
+/// RNG stream constant for the protocol layer's own draws (registered
+/// in lint.toml `[[stream]]`): keeps the app's draw order decoupled
+/// from the engine's and overlay's streams.
+const APP_STREAM: u64 = 0x05ea_eeda_4400;
+
 impl<P: DataProvider> Seaweed<P> {
     /// Builds the protocol layer over an overlay and data provider. All
     /// endsystems start down; drive the engine with an availability
@@ -719,7 +724,7 @@ impl<P: DataProvider> Seaweed<P> {
         // range enumeration, so no separate id map is kept here.
         let layout = overlay.config().layout;
         Seaweed {
-            rng: StdRng::seed_from_u64(cfg.seed ^ 0x05ea_eeda_4400),
+            rng: StdRng::seed_from_u64(cfg.seed ^ APP_STREAM),
             models: (0..n).map(|_| AvailabilityModel::new(cfg.model)).collect(),
             cfg,
             overlay,
@@ -1819,12 +1824,14 @@ impl<P: DataProvider> Seaweed<P> {
             // the re-cover cascade above may have already completed the
             // task, in which case the baseline lets the timer fire as a
             // no-op while hedged mode disarms it right away.
+            // lint:allow(D008): non-hedging baseline deliberately lets a completed task's timer fire as a no-op, preserving the pre-hedging event stream bit-for-bit
             let timeout = self.set_app_timer(
                 eng,
                 n,
                 self.cfg.dissem_timeout,
                 TimerAction::DissemTimeout { node: n, task: key },
             );
+            // lint:allow(D008): armed only when hedging, and hedged mode disarms in the match below; the leaked path (hedging false) arms nothing
             let hedge = hedging.then(|| {
                 let delay = self.hedge_delay(n);
                 self.set_app_timer(
@@ -1946,4 +1953,3 @@ impl<P: DataProvider> Seaweed<P> {
         );
     }
 }
-

@@ -1,0 +1,367 @@
+//! Conservative intra-procedural control-flow graphs.
+//!
+//! Lowers a parsed statement tree ([`crate::parse`]) into a small graph
+//! of *flat* nodes — each carrying one statement's token range — with
+//! successor edges for branches, loops, early returns and `?`. The
+//! graph over-approximates feasible paths on purpose:
+//!
+//! * every `if` has a fall-through edge even when a branch diverges
+//!   dynamically (conditions are never evaluated);
+//! * every loop has a zero-iteration exit edge, including bare `loop`
+//!   (an infinite loop that never breaks just gains an impossible
+//!   path);
+//! * any statement containing `?` gains an extra edge to `EXIT`;
+//! * `match` is treated as exhaustive over its written arms.
+//!
+//! Extra paths can only make the dataflow rules *more* suspicious of a
+//! function, never less, which is the right failure direction for a
+//! resource-discipline audit paired with inline `lint:allow` markers.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{Func, Stmt};
+
+/// Node id of the synthetic exit node (always present, always 0).
+pub const EXIT: u32 = 0;
+
+/// One CFG node.
+#[derive(Debug)]
+pub struct Node {
+    pub kind: NodeKind,
+    /// Successor node ids.
+    pub succs: Vec<u32>,
+}
+
+#[derive(Debug)]
+pub enum NodeKind {
+    /// The function's single exit (returns, `?` propagation and normal
+    /// fall-off all converge here).
+    Exit,
+    /// A join/entry point carrying no tokens.
+    Nop,
+    /// One flat statement: `[lo, hi)` token range, source line, and the
+    /// `let`-binding name when the statement is a tracked `let`.
+    Flat {
+        lo: usize,
+        hi: usize,
+        line: u32,
+        def: Option<String>,
+    },
+}
+
+/// A function's control-flow graph. Node 0 is [`EXIT`]; `entry` is the
+/// first real node.
+#[derive(Debug)]
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub entry: u32,
+}
+
+impl Cfg {
+    fn add(&mut self, kind: NodeKind) -> u32 {
+        self.nodes.push(Node {
+            kind,
+            succs: Vec::new(),
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn edge(&mut self, from: u32, to: u32) {
+        let succs = &mut self.nodes[from as usize].succs;
+        if !succs.contains(&to) {
+            succs.push(to);
+        }
+    }
+}
+
+/// Loop context for `break`/`continue` lowering.
+#[derive(Clone, Copy)]
+struct LoopCtx {
+    head: u32,
+    after: u32,
+}
+
+/// Builds the CFG for one function. `tokens` is the *file's* token
+/// slice the statement ranges index into.
+#[must_use]
+pub fn build(func: &Func, tokens: &[Token]) -> Cfg {
+    let mut cfg = Cfg {
+        nodes: Vec::new(),
+        entry: 0,
+    };
+    let exit = cfg.add(NodeKind::Exit);
+    debug_assert_eq!(exit, EXIT);
+    let entry = cfg.add(NodeKind::Nop);
+    cfg.entry = entry;
+    let end = lower_seq(&mut cfg, tokens, &func.body, entry, None);
+    if let Some(end) = end {
+        cfg.edge(end, EXIT);
+    }
+    cfg
+}
+
+/// Lowers a statement sequence starting from node `cur`. Returns the
+/// node control falls out of, or `None` when every path diverges
+/// (returned/broke) before the end of the sequence — statements after a
+/// divergence are dead and skipped.
+fn lower_seq(
+    cfg: &mut Cfg,
+    tokens: &[Token],
+    stmts: &[Stmt],
+    mut cur: u32,
+    in_loop: Option<LoopCtx>,
+) -> Option<u32> {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, lo, hi, line } => {
+                let n = cfg.add(NodeKind::Flat {
+                    lo: *lo,
+                    hi: *hi,
+                    line: *line,
+                    def: name.clone(),
+                });
+                cfg.edge(cur, n);
+                if range_has_try(tokens, *lo, *hi) {
+                    cfg.edge(n, EXIT);
+                }
+                cur = n;
+            }
+            Stmt::Expr { lo, hi, line } => {
+                let n = cfg.add(NodeKind::Flat {
+                    lo: *lo,
+                    hi: *hi,
+                    line: *line,
+                    def: None,
+                });
+                cfg.edge(cur, n);
+                if range_has_try(tokens, *lo, *hi) {
+                    cfg.edge(n, EXIT);
+                }
+                cur = n;
+            }
+            Stmt::Return { lo, hi, line } => {
+                let n = cfg.add(NodeKind::Flat {
+                    lo: *lo,
+                    hi: *hi,
+                    line: *line,
+                    def: None,
+                });
+                cfg.edge(cur, n);
+                cfg.edge(n, EXIT);
+                return None;
+            }
+            Stmt::Break { .. } => {
+                if let Some(ctx) = in_loop {
+                    cfg.edge(cur, ctx.after);
+                } else {
+                    cfg.edge(cur, EXIT); // malformed input; stay total
+                }
+                return None;
+            }
+            Stmt::Continue { .. } => {
+                if let Some(ctx) = in_loop {
+                    cfg.edge(cur, ctx.head);
+                } else {
+                    cfg.edge(cur, EXIT);
+                }
+                return None;
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+                line,
+            } => {
+                let c = cfg.add(NodeKind::Flat {
+                    lo: cond.0,
+                    hi: cond.1,
+                    line: *line,
+                    def: None,
+                });
+                cfg.edge(cur, c);
+                if range_has_try(tokens, cond.0, cond.1) {
+                    cfg.edge(c, EXIT);
+                }
+                let join = cfg.add(NodeKind::Nop);
+                let mut reaches_join = false;
+                if let Some(end) = lower_seq(cfg, tokens, then_b, c, in_loop) {
+                    cfg.edge(end, join);
+                    reaches_join = true;
+                }
+                if else_b.is_empty() {
+                    cfg.edge(c, join); // condition false, no else
+                    reaches_join = true;
+                } else if let Some(end) = lower_seq(cfg, tokens, else_b, c, in_loop) {
+                    cfg.edge(end, join);
+                    reaches_join = true;
+                }
+                if !reaches_join {
+                    return None; // both branches diverge
+                }
+                cur = join;
+            }
+            Stmt::Loop { head, body, line } => {
+                let h = cfg.add(NodeKind::Flat {
+                    lo: head.0,
+                    hi: head.1,
+                    line: *line,
+                    def: None,
+                });
+                cfg.edge(cur, h);
+                if range_has_try(tokens, head.0, head.1) {
+                    cfg.edge(h, EXIT);
+                }
+                let after = cfg.add(NodeKind::Nop);
+                // Zero-iteration exit (also given to bare `loop`: an
+                // impossible path is harmless, a missed one is not).
+                cfg.edge(h, after);
+                let ctx = LoopCtx { head: h, after };
+                if let Some(end) = lower_seq(cfg, tokens, body, h, Some(ctx)) {
+                    cfg.edge(end, h); // back edge
+                }
+                cur = after;
+            }
+            Stmt::Match { head, arms, line } => {
+                let m = cfg.add(NodeKind::Flat {
+                    lo: head.0,
+                    hi: head.1,
+                    line: *line,
+                    def: None,
+                });
+                cfg.edge(cur, m);
+                if range_has_try(tokens, head.0, head.1) {
+                    cfg.edge(m, EXIT);
+                }
+                let join = cfg.add(NodeKind::Nop);
+                let mut reaches_join = false;
+                if arms.is_empty() {
+                    cfg.edge(m, join);
+                    reaches_join = true;
+                }
+                for arm in arms {
+                    // The arm pattern can bind and its guard can read,
+                    // so give it its own node on the arm's path.
+                    let p = cfg.add(NodeKind::Flat {
+                        lo: arm.pat.0,
+                        hi: arm.pat.1,
+                        line: arm.line,
+                        def: None,
+                    });
+                    cfg.edge(m, p);
+                    if let Some(end) = lower_seq(cfg, tokens, &arm.body, p, in_loop) {
+                        cfg.edge(end, join);
+                        reaches_join = true;
+                    }
+                }
+                if !reaches_join {
+                    return None;
+                }
+                cur = join;
+            }
+            Stmt::Block { body, .. } => match lower_seq(cfg, tokens, body, cur, in_loop) {
+                Some(end) => cur = end,
+                None => return None,
+            },
+        }
+    }
+    Some(cur)
+}
+
+/// Does the token range contain a `?` try operator? (Over-approximate:
+/// any `?` punct counts; in expression position that is always `?`.)
+fn range_has_try(tokens: &[Token], lo: usize, hi: usize) -> bool {
+    tokens[lo.min(tokens.len())..hi.min(tokens.len())]
+        .iter()
+        .any(|t| t.kind == TokenKind::Punct && t.text == "?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_functions;
+
+    fn cfg_of(src: &str) -> (Cfg, Vec<Token>) {
+        let tokens = lex(src).tokens;
+        let funcs = parse_functions(&tokens);
+        assert_eq!(funcs.len(), 1, "{funcs:?}");
+        let cfg = build(&funcs[0], &tokens);
+        (cfg, tokens)
+    }
+
+    /// Every node must reach EXIT (totality of the lowering).
+    fn all_reach_exit(cfg: &Cfg) -> bool {
+        (0..cfg.nodes.len()).all(|start| {
+            let mut seen = vec![false; cfg.nodes.len()];
+            let mut stack = vec![start as u32];
+            while let Some(n) = stack.pop() {
+                if n == EXIT {
+                    return true;
+                }
+                if std::mem::replace(&mut seen[n as usize], true) {
+                    continue;
+                }
+                stack.extend(&cfg.nodes[n as usize].succs);
+            }
+            false
+        })
+    }
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let (cfg, _) = cfg_of("fn f() { a(); b(); c(); }");
+        assert!(all_reach_exit(&cfg));
+        // entry -> a -> b -> c -> exit
+        let flats = cfg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Flat { .. }))
+            .count();
+        assert_eq!(flats, 3);
+    }
+
+    #[test]
+    fn if_without_else_has_fallthrough() {
+        let (cfg, _) = cfg_of("fn f(c: bool) { let h = go(); if c { use_it(h); } }");
+        assert!(all_reach_exit(&cfg));
+        // The cond node must have two successors: then-branch and join.
+        let cond = cfg
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.kind, NodeKind::Flat { def: None, lo, .. } if *lo > 0))
+            .unwrap();
+        assert!(cond.succs.len() >= 2, "{cond:?}");
+    }
+
+    #[test]
+    fn returns_and_breaks_divert() {
+        let (cfg, _) = cfg_of(
+            "fn f(c: bool) -> u32 {
+                loop { if c { break; } return 1; }
+                2
+            }",
+        );
+        assert!(all_reach_exit(&cfg));
+    }
+
+    #[test]
+    fn try_operator_adds_exit_edge() {
+        let (cfg, _) = cfg_of("fn f() -> Result<(), E> { let x = open()?; finish(x); Ok(()) }");
+        let try_node = cfg
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.kind, NodeKind::Flat { def: Some(d), .. } if d == "x"))
+            .unwrap();
+        assert!(try_node.succs.contains(&EXIT), "{try_node:?}");
+        assert_eq!(try_node.succs.len(), 2);
+    }
+
+    #[test]
+    fn match_arms_branch_and_join() {
+        let (cfg, _) = cfg_of(
+            "fn f(x: Option<u32>) -> u32 {
+                match x { Some(v) => v, None => return 0, }
+            }",
+        );
+        assert!(all_reach_exit(&cfg));
+    }
+}

@@ -2,13 +2,27 @@
 //!
 //! The workspace has no `toml` crate, so this parses the narrow subset
 //! the file actually uses: `[section]` / `[[array-of-tables]]` headers,
-//! `key = "string"` and single-line `key = ["a", "b"]` arrays. That
-//! subset is a deliberate contract — keep the file simple.
+//! `key = "string"` and `key = ["a", "b"]` arrays (which may span
+//! lines). That subset is a deliberate contract — keep the file simple.
 //!
 //! ```toml
 //! [lint]
 //! skip = ["rand"]                      # vendored shims, never audited
 //! deterministic = ["seaweed-core"]     # crates under D001/D005
+//!
+//! [discipline]                         # D008/D009 registries
+//! timer_acquire = ["set_timer"]
+//! teardown = ["finish_task"]
+//!
+//! [metrics]                            # D011 name registry
+//! names = [
+//!   "app.meta_pushes",
+//! ]
+//!
+//! [[stream]]                           # D010 RNG stream registry
+//! name = "faults"
+//! pattern = "FAULTS_STREAM"
+//! path = "crates/sim/src/faults.rs"
 //!
 //! [[allow]]                            # baseline entry
 //! rule = "D004"
@@ -18,6 +32,72 @@
 //! ```
 
 use crate::report::Finding;
+
+/// One registered RNG stream: `pattern` is the token (a named stream
+/// constant like `FAULTS_STREAM`, or the hex literal itself) that must
+/// appear in the seed expression, and `path` is the one file allowed
+/// to seed with it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamDecl {
+    pub name: String,
+    pub pattern: String,
+    pub path: String,
+    /// Line in lint.toml, for error messages.
+    pub line: u32,
+}
+
+/// Registries consumed by the flow-sensitive and registry rules
+/// (D008–D011). The defaults bake in the workspace's own discipline
+/// functions so single-file linting (fixtures, unit tests) works
+/// without a `lint.toml`; the stream and metric registries default to
+/// empty, which turns D010/D011 off until the file declares them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Fns whose return value is a live (cancellable) timer handle.
+    pub timer_acquire: Vec<String>,
+    /// Fns producing deliberately unowned timers (exempt from D008).
+    pub timer_detached: Vec<String>,
+    /// Teardown fns trusted to release stored handles/slots; also
+    /// D009 invalidation points (a teardown recycles state).
+    pub teardown: Vec<String>,
+    /// Fns whose return value is a dense arena/slot index.
+    pub index_acquire: Vec<String>,
+    /// Calls that invalidate outstanding dense indices.
+    pub index_invalidate: Vec<String>,
+    /// D010 stream registry (empty = rule off).
+    pub streams: Vec<StreamDecl>,
+    /// Metric/trace-emitting fns whose string-literal args D011 checks.
+    pub metric_emitters: Vec<String>,
+    /// Registered metric/trace names (empty = rule off).
+    pub metric_names: Vec<String>,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        RuleConfig {
+            timer_acquire: v(&[
+                "set_timer",
+                "set_quantum_timer",
+                "set_app_timer",
+                "set_quantum_app_timer",
+            ]),
+            timer_detached: v(&["set_detached_timer", "set_detached_app_timer"]),
+            teardown: v(&["finish_task", "expire_query", "clear_node", "clear_query"]),
+            index_acquire: v(&["slot_of", "live_slot"]),
+            index_invalidate: v(&["release_slot", "mem::take"]),
+            streams: Vec::new(),
+            metric_emitters: v(&[
+                "set_counter",
+                "set_gauge",
+                "observe",
+                "observe_with",
+                "record_app_event",
+            ]),
+            metric_names: Vec::new(),
+        }
+    }
+}
 
 /// One baseline entry: suppresses findings of `rule` in `path` whose
 /// message contains `contains` (empty = any).
@@ -38,6 +118,8 @@ pub struct Config {
     /// Crate names under the determinism-only rules (D001, D005).
     pub deterministic: Vec<String>,
     pub baseline: Vec<BaselineEntry>,
+    /// Registries for the flow-sensitive and registry rules.
+    pub rules: RuleConfig,
 }
 
 impl Default for Config {
@@ -58,6 +140,7 @@ impl Default for Config {
             .map(String::from)
             .to_vec(),
             baseline: Vec::new(),
+            rules: RuleConfig::default(),
         }
     }
 }
@@ -68,27 +151,29 @@ impl Config {
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut cfg = Config::default();
         let mut section = String::new();
-        for (idx, raw) in text.lines().enumerate() {
-            let lineno = idx as u32 + 1;
-            let line = strip_comment(raw).trim();
+        for (lineno, line) in logical_lines(text)? {
+            let line = line.trim();
             if line.is_empty() {
                 continue;
             }
             if let Some(h) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
                 section = format!("[[{h}]]");
-                if h == "allow" {
-                    cfg.baseline.push(BaselineEntry {
+                match h {
+                    "allow" => cfg.baseline.push(BaselineEntry {
                         line: lineno,
                         ..BaselineEntry::default()
-                    });
-                } else {
-                    return Err(format!("lint.toml:{lineno}: unknown table `[[{h}]]`"));
+                    }),
+                    "stream" => cfg.rules.streams.push(StreamDecl {
+                        line: lineno,
+                        ..StreamDecl::default()
+                    }),
+                    _ => return Err(format!("lint.toml:{lineno}: unknown table `[[{h}]]`")),
                 }
                 continue;
             }
             if let Some(h) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = h.to_string();
-                if h != "lint" {
+                if h != "lint" && h != "discipline" && h != "metrics" {
                     return Err(format!("lint.toml:{lineno}: unknown section `[{h}]`"));
                 }
                 continue;
@@ -97,17 +182,62 @@ impl Config {
                 return Err(format!("lint.toml:{lineno}: expected `key = value`"));
             };
             let (key, value) = (key.trim(), value.trim());
+            let want_array = |v: &str| {
+                parse_string_array(v)
+                    .ok_or_else(|| format!("lint.toml:{lineno}: `{key}` wants a [\"...\"] array"))
+            };
             match section.as_str() {
                 "lint" => {
-                    let list = parse_string_array(value).ok_or_else(|| {
-                        format!("lint.toml:{lineno}: `{key}` wants a [\"...\"] array")
-                    })?;
+                    let list = want_array(value)?;
                     match key {
                         "skip" => cfg.skip = list,
                         "deterministic" => cfg.deterministic = list,
                         _ => {
                             return Err(format!(
                                 "lint.toml:{lineno}: unknown key `{key}` in [lint]"
+                            ))
+                        }
+                    }
+                }
+                "discipline" => {
+                    let list = want_array(value)?;
+                    let r = &mut cfg.rules;
+                    match key {
+                        "timer_acquire" => r.timer_acquire = list,
+                        "timer_detached" => r.timer_detached = list,
+                        "teardown" => r.teardown = list,
+                        "index_acquire" => r.index_acquire = list,
+                        "index_invalidate" => r.index_invalidate = list,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{key}` in [discipline]"
+                            ))
+                        }
+                    }
+                }
+                "metrics" => {
+                    let list = want_array(value)?;
+                    match key {
+                        "emitters" => cfg.rules.metric_emitters = list,
+                        "names" => cfg.rules.metric_names = list,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{key}` in [metrics]"
+                            ))
+                        }
+                    }
+                }
+                "[[stream]]" => {
+                    let s = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: `{key}` wants a \"string\""))?;
+                    let entry = cfg.rules.streams.last_mut().expect("inside [[stream]]");
+                    match key {
+                        "name" => entry.name = s,
+                        "pattern" => entry.pattern = s,
+                        "path" => entry.path = s,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{key}` in [[stream]]"
                             ))
                         }
                     }
@@ -136,6 +266,14 @@ impl Config {
                 return Err(format!(
                     "lint.toml:{}: [[allow]] entries need `rule`, `path` and `reason`",
                     e.line
+                ));
+            }
+        }
+        for s in &cfg.rules.streams {
+            if s.name.is_empty() || s.pattern.is_empty() || s.path.is_empty() {
+                return Err(format!(
+                    "lint.toml:{}: [[stream]] entries need `name`, `pattern` and `path`",
+                    s.line
                 ));
             }
         }
@@ -178,6 +316,56 @@ impl Config {
         }
         kept
     }
+}
+
+/// Folds the raw text into logical lines: an array opened with `[` but
+/// not closed on the same line swallows subsequent lines until its
+/// `]`. Each logical line keeps the line number it started on.
+fn logical_lines(text: &str) -> Result<Vec<(u32, String)>, String> {
+    let mut out: Vec<(u32, String)> = Vec::new();
+    let mut pending: Option<(u32, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let stripped = strip_comment(raw).trim().to_string();
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&stripped);
+                if array_still_open(&acc) {
+                    pending = Some((start, acc));
+                } else {
+                    out.push((start, acc));
+                }
+            }
+            None => {
+                if stripped.contains('=') && array_still_open(&stripped) {
+                    pending = Some((lineno, stripped));
+                } else {
+                    out.push((lineno, stripped));
+                }
+            }
+        }
+    }
+    if let Some((start, _)) = pending {
+        return Err(format!("lint.toml:{start}: unterminated `[...]` array"));
+    }
+    Ok(out)
+}
+
+/// Does the accumulated logical line have an unclosed `[` outside
+/// quotes? (Section headers never reach this: they contain no `=`.)
+fn array_still_open(s: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
 }
 
 fn strip_comment(line: &str) -> &str {

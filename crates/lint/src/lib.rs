@@ -17,8 +17,11 @@
 //! analysis" for the rule rationale and the policy on allowlists.
 
 pub mod allow;
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod workspace;
@@ -26,12 +29,13 @@ pub mod workspace;
 use std::fs;
 use std::path::Path;
 
-use config::Config;
+use config::{Config, RuleConfig};
 use report::Finding;
 use rules::FileCtx;
 
-/// Lints one in-memory source file: lex, rule checks, inline-marker
-/// application. No baseline — that is a workspace-level concern.
+/// Lints one in-memory source file with the default rule registries
+/// (see [`RuleConfig::default`]). Convenience wrapper over
+/// [`lint_source_with`] for tests and fixtures.
 #[must_use]
 pub fn lint_source(
     path: &str,
@@ -39,12 +43,32 @@ pub fn lint_source(
     is_crate_root: bool,
     src: &str,
 ) -> Vec<Finding> {
+    lint_source_with(
+        path,
+        deterministic,
+        is_crate_root,
+        src,
+        &RuleConfig::default(),
+    )
+}
+
+/// Lints one in-memory source file: lex, rule checks, inline-marker
+/// application. No baseline — that is a workspace-level concern.
+#[must_use]
+pub fn lint_source_with(
+    path: &str,
+    deterministic: bool,
+    is_crate_root: bool,
+    src: &str,
+    rules_cfg: &RuleConfig,
+) -> Vec<Finding> {
     let lexed = lexer::lex(src);
     let findings = rules::check_file(&FileCtx {
         path,
         deterministic,
         is_crate_root,
         tokens: &lexed.tokens,
+        rules: rules_cfg,
     });
     let markers = allow::scan_markers(&lexed.comments);
     allow::apply_markers(path, findings, &markers)
@@ -80,7 +104,13 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> Result<RunResult, String> {
             let src = fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
             let path = f.to_string_lossy().replace('\\', "/");
             let is_root = c.root_file.as_deref() == Some(f.as_path());
-            findings.extend(lint_source(&path, deterministic, is_root, &src));
+            findings.extend(lint_source_with(
+                &path,
+                deterministic,
+                is_root,
+                &src,
+                &cfg.rules,
+            ));
         }
     }
     let mut findings = cfg.apply_baseline(findings);

@@ -12,7 +12,7 @@ seaweed-lint — workspace determinism & safety auditor
 USAGE: cargo run -p seaweed-lint [-- OPTIONS]
 
 OPTIONS:
-  --format <human|json>   output format (default: human)
+  --format <human|json|sarif>   output format (default: human)
   --root <dir>            workspace root (default: discovered from cwd)
   --list-rules            print the rule catalogue and exit
   --help                  this text
@@ -37,7 +37,7 @@ fn real_main() -> Result<ExitCode, String> {
         match a.as_str() {
             "--format" => {
                 format = args.next().ok_or("--format wants a value")?;
-                if format != "human" && format != "json" {
+                if format != "human" && format != "json" && format != "sarif" {
                     return Err(format!("unknown format `{format}`"));
                 }
             }
@@ -66,6 +66,8 @@ fn real_main() -> Result<ExitCode, String> {
     let res = run_workspace(&root, &cfg)?;
     if format == "json" {
         print!("{}", report::render_json(&res.findings));
+    } else if format == "sarif" {
+        print!("{}", report::render_sarif(&res.findings));
     } else {
         for f in &res.findings {
             println!("{}", f.render());

@@ -22,8 +22,10 @@
 //! | D006 | all audited crates   | crate root missing `#![forbid(unsafe_code)]` |
 //! | D007 | deterministic crates | `.clone()` of an engine message payload (per-destination payload clones defeat the shared-payload fan-out; use `Payload`/`multicast`) |
 
+use crate::config::RuleConfig;
 use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
+use crate::{cfg, dataflow, parse};
 
 /// Per-file context handed to every rule.
 #[derive(Debug)]
@@ -36,6 +38,8 @@ pub struct FileCtx<'a> {
     /// Whether this file is the crate root (`src/lib.rs`/`src/main.rs`).
     pub is_crate_root: bool,
     pub tokens: &'a [Token],
+    /// Registries for D008–D011.
+    pub rules: &'a RuleConfig,
 }
 
 /// Rule ids in catalogue order, for `--list-rules`.
@@ -48,6 +52,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("D005", "no float-ordered sorts via partial_cmp in deterministic crates — use total_cmp"),
     ("D006", "every crate root carries #![forbid(unsafe_code)]"),
     ("D007", "no .clone() of engine message payloads in deterministic crates — share via Payload/multicast; only the engine's fault-duplication path may copy"),
+    ("D008", "timer-handle discipline: a binding from a timer-acquire fn must be cancelled or stored on every path — a handle dropped while armed is a leak (use a detached timer for fire-and-forget)"),
+    ("D009", "stale arena-index escape: a dense index binding may not be used after a registered invalidation point (slot recycle, clear_node, mem::take) without re-lookup"),
+    ("D010", "RNG stream discipline: every seed_from_u64 in a deterministic crate must mix a registered stream constant, used only in its declared subsystem file"),
+    ("D011", "metrics/trace name registry: counter/gauge/trace-event name literals passed to emitter fns must be declared in lint.toml [metrics]"),
 ];
 
 /// Methods whose call on a hash collection observes iteration order.
@@ -81,6 +89,13 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
         d001_hash_iteration(ctx, &mut out);
         d005_partial_cmp_sorts(ctx, &mut out);
         d007_payload_clone(ctx, &mut out);
+        // The flow-sensitive pair shares one parse + CFG build.
+        let funcs = parse::parse_functions(ctx.tokens);
+        let cfgs: Vec<cfg::Cfg> = funcs.iter().map(|f| cfg::build(f, ctx.tokens)).collect();
+        d008_timer_discipline(ctx, &funcs, &cfgs, &mut out);
+        d009_stale_index(ctx, &funcs, &cfgs, &mut out);
+        d010_rng_streams(ctx, &mut out);
+        d011_metric_names(ctx, &mut out);
     }
     d002_wall_clock(ctx, &mut out);
     d003_ambient_randomness(ctx, &mut out);
@@ -578,18 +593,224 @@ fn d006_forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
     ));
 }
 
+// --------------------------------------------------------------- D008
+
+fn d008_timer_discipline(
+    ctx: &FileCtx,
+    funcs: &[parse::Func],
+    cfgs: &[cfg::Cfg],
+    out: &mut Vec<Finding>,
+) {
+    let r = ctx.rules;
+    if r.timer_acquire.is_empty() {
+        return;
+    }
+    for (f, g) in funcs.iter().zip(cfgs) {
+        for leak in dataflow::timer_leaks(g, ctx.tokens, &r.timer_acquire, &r.timer_detached) {
+            out.push(finding(
+                ctx,
+                "D008",
+                leak.line,
+                format!(
+                    "timer handle `{}` (armed via `{}` in `{}`) can go out of scope \
+                     still armed on some path — cancel it, store it in state released \
+                     by a teardown fn ({}), or arm a detached timer",
+                    leak.var,
+                    leak.via,
+                    f.name,
+                    r.teardown.join("/"),
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------- D009
+
+fn d009_stale_index(
+    ctx: &FileCtx,
+    funcs: &[parse::Func],
+    cfgs: &[cfg::Cfg],
+    out: &mut Vec<Finding>,
+) {
+    let r = ctx.rules;
+    if r.index_acquire.is_empty() {
+        return;
+    }
+    // Teardown fns recycle slots, so they are invalidation points too.
+    let mut invalidate = r.index_invalidate.clone();
+    for t in &r.teardown {
+        if !invalidate.contains(t) {
+            invalidate.push(t.clone());
+        }
+    }
+    for (f, g) in funcs.iter().zip(cfgs) {
+        for u in dataflow::stale_index_uses(g, ctx.tokens, &r.index_acquire, &invalidate) {
+            out.push(finding(
+                ctx,
+                "D009",
+                u.use_line,
+                format!(
+                    "dense index `{}` (looked up on line {} in `{}`) is used after \
+                     `{}` may have invalidated it — re-look it up past the \
+                     invalidation point",
+                    u.var, u.def_line, f.name, u.invalidated_by,
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------- D010
+
+/// Paths whose code is outside the deterministic replay surface: test,
+/// bench and example trees draw from ad-hoc seeds by design.
+fn is_test_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| p.starts_with(d) || p.contains(&format!("/{d}")))
+}
+
+/// Index of the first `#[cfg(test)]` attribute, or `usize::MAX`; the
+/// registry rules ignore tokens past it (unit-test modules sit at the
+/// end of a file by workspace convention).
+fn cfg_test_boundary(tokens: &[Token]) -> usize {
+    for i in 0..tokens.len() {
+        if is_punct(&tokens[i], '#')
+            && tokens.get(i + 1).is_some_and(|t| is_punct(t, '['))
+            && tokens.get(i + 2).is_some_and(|t| is_ident(t, "cfg"))
+            && tokens.get(i + 3).is_some_and(|t| is_punct(t, '('))
+            && tokens.get(i + 4).is_some_and(|t| is_ident(t, "test"))
+        {
+            return i;
+        }
+    }
+    usize::MAX
+}
+
+fn d010_rng_streams(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let streams = &ctx.rules.streams;
+    if streams.is_empty() || is_test_path(ctx.path) {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let boundary = cfg_test_boundary(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if i >= boundary {
+            break;
+        }
+        if !is_ident(t, "seed_from_u64") || !tokens.get(i + 1).is_some_and(|u| is_punct(u, '(')) {
+            continue;
+        }
+        // Collect the argument tokens up to the matching `)`.
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        let arg_lo = j;
+        while j < tokens.len() && depth > 0 {
+            if is_punct(&tokens[j], '(') {
+                depth += 1;
+            } else if is_punct(&tokens[j], ')') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let args = &tokens[arg_lo..j.saturating_sub(1).max(arg_lo)];
+        let hit = streams
+            .iter()
+            .find(|s| args.iter().any(|a| a.text == s.pattern));
+        match hit {
+            None => out.push(finding(
+                ctx,
+                "D010",
+                t.line,
+                "`seed_from_u64` without a registered stream constant in the seed \
+                 expression; declare the subsystem's stream in lint.toml [[stream]] \
+                 and mix it in (seed ^ STREAM) so draw order survives refactors"
+                    .into(),
+            )),
+            Some(s) if s.path != ctx.path => out.push(finding(
+                ctx,
+                "D010",
+                t.line,
+                format!(
+                    "RNG stream `{}` ({}) is declared for `{}` but seeded here — \
+                     each subsystem draws only from its own stream",
+                    s.name, s.pattern, s.path,
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+// --------------------------------------------------------------- D011
+
+fn d011_metric_names(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let r = ctx.rules;
+    if r.metric_names.is_empty() || r.metric_emitters.is_empty() || is_test_path(ctx.path) {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let boundary = cfg_test_boundary(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if i >= boundary {
+            break;
+        }
+        if t.kind != TokenKind::Ident
+            || !r.metric_emitters.contains(&t.text)
+            || !tokens.get(i + 1).is_some_and(|u| is_punct(u, '('))
+        {
+            continue;
+        }
+        // Every string literal among the call's arguments must be a
+        // registered name (emitters take only name strings as text).
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        while j < tokens.len() && depth > 0 {
+            let u = &tokens[j];
+            if is_punct(u, '(') {
+                depth += 1;
+            } else if is_punct(u, ')') {
+                depth -= 1;
+            } else if u.kind == TokenKind::Literal && u.text.starts_with('"') {
+                let name = u.text.trim_matches('"');
+                if !r.metric_names.iter().any(|n| n == name) {
+                    out.push(finding(
+                        ctx,
+                        "D011",
+                        u.line,
+                        format!(
+                            "metric/trace name \"{name}\" passed to `{}` is not in the \
+                             lint.toml [metrics] registry — declare it there (and in \
+                             DESIGN.md) or fix the typo",
+                            t.text,
+                        ),
+                    ));
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::lex;
 
     fn check(src: &str, deterministic: bool) -> Vec<Finding> {
+        check_rules(src, deterministic, &RuleConfig::default())
+    }
+
+    fn check_rules(src: &str, deterministic: bool, rules: &RuleConfig) -> Vec<Finding> {
         let lexed = lex(src);
         check_file(&FileCtx {
             path: "test.rs",
             deterministic,
             is_crate_root: false,
             tokens: &lexed.tokens,
+            rules,
         })
     }
 
@@ -733,12 +954,14 @@ mod tests {
 
     #[test]
     fn d006_crate_root() {
+        let rules = RuleConfig::default();
         let lexed = lex("//! docs\npub fn f() {}\n");
         let f = check_file(&FileCtx {
             path: "src/lib.rs",
             deterministic: true,
             is_crate_root: true,
             tokens: &lexed.tokens,
+            rules: &rules,
         });
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "D006");
@@ -748,7 +971,105 @@ mod tests {
             deterministic: true,
             is_crate_root: true,
             tokens: &lexed.tokens,
+            rules: &rules,
         });
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn d008_flags_leak_and_honours_consumption() {
+        let bad = "impl A { fn f(&mut self, c: bool) {
+            let h = self.set_timer(eng, n, d, t);
+            if c { self.keep = Some(h); }
+        } }";
+        let f = check(bad, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D008");
+        assert!(f[0].message.contains('h'));
+        let good = "impl A { fn f(&mut self, c: bool) {
+            let h = self.set_timer(eng, n, d, t);
+            if c { self.keep = Some(h); } else { eng.cancel_timer(h); }
+        } }";
+        assert!(check(good, true).is_empty());
+        assert!(
+            check(bad, false).is_empty(),
+            "flow rules only run in deterministic crates"
+        );
+    }
+
+    #[test]
+    fn d009_flags_use_after_invalidation() {
+        let bad = "impl A { fn f(&mut self, h: Handle) {
+            let s = self.slot_of(h);
+            self.release_slot(s);
+            self.scan[s] = 0;
+        } }";
+        let f = check(bad, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D009");
+        // Teardown fns double as invalidation points.
+        let bad2 = "impl A { fn f(&mut self, h: Handle) {
+            let s = self.slot_of(h);
+            self.clear_node(n);
+            touch(s);
+        } }";
+        assert_eq!(check(bad2, true).len(), 1);
+        let good = "impl A { fn f(&mut self, h: Handle) {
+            let s = self.slot_of(h);
+            self.scan[s] = 0;
+            self.release_slot(s);
+        } }";
+        assert!(check(good, true).is_empty());
+    }
+
+    fn rules_with_stream(path: &str) -> RuleConfig {
+        RuleConfig {
+            streams: vec![crate::config::StreamDecl {
+                name: "topology".into(),
+                pattern: "TOPOLOGY_STREAM".into(),
+                path: path.into(),
+                line: 0,
+            }],
+            ..RuleConfig::default()
+        }
+    }
+
+    #[test]
+    fn d010_stream_registry() {
+        // Registry empty: rule is off.
+        assert!(check("fn f() { let r = Rng::seed_from_u64(seed); }", true).is_empty());
+        let r = rules_with_stream("test.rs");
+        let clean = "fn f() { let r = Rng::seed_from_u64(seed ^ TOPOLOGY_STREAM); }";
+        assert!(check_rules(clean, true, &r).is_empty());
+        let bare = "fn f() { let r = Rng::seed_from_u64(seed); }";
+        let f = check_rules(bare, true, &r);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D010");
+        // Stream declared for a different file: using it here is a leak
+        // across subsystems.
+        let elsewhere = rules_with_stream("crates/sim/src/topology.rs");
+        let f = check_rules(clean, true, &elsewhere);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("declared for"));
+    }
+
+    #[test]
+    fn d011_metric_name_registry() {
+        // Registry empty: rule is off.
+        let src = r#"fn f(eng: &mut E) { eng.set_counter(n, "app.bogus", 1); }"#;
+        assert!(check(src, true).is_empty());
+        let r = RuleConfig {
+            metric_names: vec!["app.known".into()],
+            ..RuleConfig::default()
+        };
+        let f = check_rules(src, true, &r);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D011");
+        assert!(f[0].message.contains("app.bogus"));
+        let ok = r#"fn f(eng: &mut E) { eng.set_counter(n, "app.known", 1); }"#;
+        assert!(check_rules(ok, true, &r).is_empty());
+        // Unit tests below a #[cfg(test)] boundary are exempt.
+        let test_mod = "#[cfg(test)]\nmod tests { fn f(eng: &mut E) { eng.set_counter(n, \"app.bogus\", 1); } }";
+        assert!(check_rules(test_mod, true, &r).is_empty());
     }
 }

@@ -7,8 +7,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use seaweed_lint::config::{RuleConfig, StreamDecl};
 use seaweed_lint::report::Finding;
-use seaweed_lint::{lint_source, load_config, run_workspace};
+use seaweed_lint::{lint_source, lint_source_with, load_config, run_workspace};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -68,6 +69,131 @@ fn d006_forbid_unsafe_pair() {
 #[test]
 fn d007_payload_clone_pair() {
     assert_pair("D007", false, 2);
+}
+
+#[test]
+fn d008_timer_discipline_pair() {
+    assert_pair("D008", false, 2);
+}
+
+#[test]
+fn d009_stale_index_pair() {
+    assert_pair("D009", false, 2);
+}
+
+/// Lints a fixture with an explicit rule registry (D010/D011 are off
+/// under the default empty registries the other pairs use).
+fn lint_fixture_with(name: &str, rules: &RuleConfig) -> Vec<Finding> {
+    let src =
+        fs::read_to_string(fixture_dir().join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+    lint_source_with(name, true, false, &src, rules)
+}
+
+#[test]
+fn d010_rng_stream_pair() {
+    let rules = RuleConfig {
+        streams: vec![StreamDecl {
+            name: "topology".into(),
+            pattern: "TOPOLOGY_STREAM".into(),
+            path: "d010_good.rs".into(),
+            line: 0,
+        }],
+        ..RuleConfig::default()
+    };
+    let bad = lint_fixture_with("d010_bad.rs", &rules);
+    assert!(
+        bad.len() >= 2 && bad.iter().all(|f| f.rule == "D010"),
+        "{bad:#?}"
+    );
+    let good = lint_fixture_with("d010_good.rs", &rules);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+#[test]
+fn d011_metric_name_pair() {
+    let rules = RuleConfig {
+        metric_names: vec!["app.queries.completed".into(), "sim.app.give_up".into()],
+        ..RuleConfig::default()
+    };
+    let bad = lint_fixture_with("d011_bad.rs", &rules);
+    assert!(
+        bad.len() >= 2 && bad.iter().all(|f| f.rule == "D011"),
+        "{bad:#?}"
+    );
+    let good = lint_fixture_with("d011_good.rs", &rules);
+    assert!(good.is_empty(), "{good:#?}");
+}
+
+/// The exact stale-handle shape PR 8 fixed (rearm before lookup, miss
+/// arm drops the armed handle) must be caught by D008 — the bug class
+/// this analyzer exists for.
+#[test]
+fn d008_catches_the_pr8_rearm_bug_shape() {
+    let f = lint_fixture("d008_pr8_rearm.rs", false);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "D008");
+    assert!(
+        f[0].message.contains("timeout") && f[0].message.contains("on_timeout_rearm"),
+        "{}",
+        f[0].message
+    );
+}
+
+/// Robustness: the parser, CFG lowering and both dataflow passes run to
+/// completion over every `.rs` file in the workspace — including test
+/// and bench trees the audit itself skips — without panicking or
+/// hanging. (The fixtures directory is included on purpose: the
+/// known-bad files are exactly the hostile inputs.)
+#[test]
+fn parser_and_dataflow_terminate_on_every_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let mut stack = vec![root.join("crates")];
+    let mut files = 0usize;
+    let mut funcs_total = 0usize;
+    let rules = RuleConfig::default();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let Ok(src) = fs::read_to_string(&p) else {
+                    continue;
+                };
+                files += 1;
+                let tokens = seaweed_lint::lexer::lex(&src).tokens;
+                let funcs = seaweed_lint::parse::parse_functions(&tokens);
+                funcs_total += funcs.len();
+                for f in &funcs {
+                    let cfg = seaweed_lint::cfg::build(f, &tokens);
+                    let _ = seaweed_lint::dataflow::timer_leaks(
+                        &cfg,
+                        &tokens,
+                        &rules.timer_acquire,
+                        &rules.timer_detached,
+                    );
+                    let _ = seaweed_lint::dataflow::stale_index_uses(
+                        &cfg,
+                        &tokens,
+                        &rules.index_acquire,
+                        &rules.index_invalidate,
+                    );
+                }
+            }
+        }
+    }
+    assert!(files > 100, "walked only {files} files");
+    assert!(funcs_total > 500, "parsed only {funcs_total} functions");
 }
 
 #[test]

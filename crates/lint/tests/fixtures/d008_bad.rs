@@ -1,0 +1,20 @@
+//! D008 fixture: timer handles that can go out of scope still armed.
+
+impl App {
+    // Consumed only when `c` holds: the else path drops an armed timer.
+    fn arm_conditionally(&mut self, eng: &mut Engine, n: NodeIdx, c: bool) {
+        let h = eng.set_timer(n, self.cfg.period, TAG_REFRESH);
+        if c {
+            self.refresh = Some(h);
+        }
+    }
+
+    // An early return walks out over a live handle.
+    fn arm_then_bail(&mut self, eng: &mut Engine, n: NodeIdx) {
+        let h = self.set_app_timer(eng, n, self.cfg.timeout, TimerAction::Probe { node: n });
+        if self.done {
+            return;
+        }
+        self.probe = Some(h);
+    }
+}

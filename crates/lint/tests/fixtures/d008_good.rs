@@ -1,0 +1,30 @@
+//! D008 twin: every armed handle is cancelled, stored, or detached on
+//! all paths.
+
+impl App {
+    fn arm_and_store(&mut self, eng: &mut Engine, n: NodeIdx, c: bool) {
+        let h = eng.set_timer(n, self.cfg.period, TAG_REFRESH);
+        if c {
+            self.refresh = Some(h);
+        } else {
+            eng.cancel_timer(h);
+        }
+    }
+
+    fn bail_disarms(&mut self, eng: &mut Engine, n: NodeIdx) {
+        let h = self.set_app_timer(eng, n, self.cfg.timeout, TimerAction::Probe { node: n });
+        if self.done {
+            self.cancel_app_timer(eng, h);
+            return;
+        }
+        self.probe = Some(h);
+    }
+
+    // Fire-and-forget is declared, not accidental: a statement-position
+    // arm, an explicit `let _`, or a detached-timer call.
+    fn fire_and_forget(&mut self, eng: &mut Engine, n: NodeIdx) {
+        eng.set_timer(n, self.cfg.period, TAG_GOSSIP);
+        let _ = eng.set_timer(n, self.cfg.period, TAG_TRACE);
+        let h = eng.set_detached_timer(n, self.cfg.period, TAG_AUDIT);
+    }
+}

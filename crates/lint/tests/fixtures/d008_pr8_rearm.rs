@@ -1,0 +1,19 @@
+//! D008 fixture reproducing the PR-8 stale-handle bug shape byte for
+//! byte in miniature: a timeout is re-armed *before* the task lookup,
+//! and the lookup-miss arm silently drops the armed handle — the timer
+//! later fires against a task that no longer exists.
+
+impl App {
+    fn on_timeout_rearm(&mut self, eng: &mut Engine, n: NodeIdx, key: TaskKey) {
+        let timeout = self.set_app_timer(
+            eng,
+            n,
+            self.cfg.dissem_timeout,
+            TimerAction::DissemTimeout { node: n, task: key },
+        );
+        match self.tasks.get_mut(&key) {
+            Some(task) => task.timeout_timer = Some(timeout),
+            None => self.stats.internal_drops += 1,
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! D009 fixture: dense arena indices held across invalidation points.
+
+impl App {
+    // The slot is released, then the stale index touches the recycled
+    // arena entry.
+    fn release_then_touch(&mut self, h: QueryHandle) {
+        let s = self.slot_of(h);
+        self.release_slot(s);
+        self.scan_order[s as usize] = 0;
+    }
+
+    // Teardown fns recycle slots too; holding an index across one is
+    // the same bug.
+    fn teardown_then_touch(&mut self, eng: &mut Engine, n: NodeIdx, h: QueryHandle) {
+        let s = self.live_slot(h);
+        self.clear_node(eng, n);
+        self.per_slot[s as usize] += 1;
+    }
+}

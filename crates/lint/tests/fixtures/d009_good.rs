@@ -1,0 +1,18 @@
+//! D009 twin: indices are used before invalidation, passed *into* the
+//! invalidation itself, or re-looked-up afterwards.
+
+impl App {
+    fn touch_then_release(&mut self, h: QueryHandle) {
+        let s = self.slot_of(h);
+        self.scan_order[s as usize] = 0;
+        self.release_slot(s);
+    }
+
+    fn relookup_after_teardown(&mut self, eng: &mut Engine, n: NodeIdx, h: QueryHandle) {
+        let s = self.live_slot(h);
+        self.per_slot[s as usize] += 1;
+        self.clear_node(eng, n);
+        let s = self.live_slot(h);
+        self.per_slot[s as usize] += 1;
+    }
+}

@@ -1,0 +1,10 @@
+//! D010 fixture: RNG seeding outside the stream registry. Audited with
+//! a registry that declares `TOPOLOGY_STREAM` for `d010_good.rs`.
+
+fn seed_without_stream(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+fn seed_with_foreign_stream(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ TOPOLOGY_STREAM)
+}

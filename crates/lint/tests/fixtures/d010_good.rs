@@ -1,0 +1,12 @@
+//! D010 twin: the one file `TOPOLOGY_STREAM` is declared for mixes it
+//! into every seed.
+
+const TOPOLOGY_STREAM: u64 = 0x7090_1097_5140;
+
+fn seed_topology(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ TOPOLOGY_STREAM)
+}
+
+fn seed_per_node(seed: u64, n: NodeIdx) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ TOPOLOGY_STREAM ^ u64::from(n.0))
+}

@@ -1,0 +1,10 @@
+//! D011 fixture: metric/trace names not in the registry (audited with
+//! a registry declaring only `app.queries.completed` and
+//! `sim.app.give_up`).
+
+impl App {
+    fn report(&mut self, eng: &mut Engine, n: NodeIdx) {
+        eng.set_counter(n, "app.queries.complete", self.completed);
+        eng.record_app_event(n, "sim.app.giveup", 1);
+    }
+}

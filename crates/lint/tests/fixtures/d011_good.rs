@@ -1,0 +1,8 @@
+//! D011 twin: every emitted name is declared in the registry.
+
+impl App {
+    fn report(&mut self, eng: &mut Engine, n: NodeIdx) {
+        eng.set_counter(n, "app.queries.completed", self.completed);
+        eng.record_app_event(n, "sim.app.give_up", 1);
+    }
+}

@@ -150,6 +150,12 @@ pub struct OverlayStats {
 
 // Timer-tag space: the top two bits select the subsystem. Tags with the
 // top two bits clear belong to the application layer.
+/// RNG stream constants (registered in lint.toml `[[stream]]`): the
+/// overlay's maintenance draws and the id-assignment helper each own a
+/// stream so their draw orders survive refactors independently.
+const OVERLAY_STREAM: u64 = 0x0ea1_a700_1a7e_5700;
+const ID_ASSIGN_STREAM: u64 = 0x01d5_0f5e_aeed;
+
 const TAG_KIND_SHIFT: u32 = 62;
 const TAG_FAIL: u64 = 0b11 << TAG_KIND_SHIFT;
 const TAG_JOIN_RETRY: u64 = 0b10 << TAG_KIND_SHIFT;
@@ -220,7 +226,7 @@ impl Overlay {
         let index = RingIndex::new(&ids);
         let ring_map = (cfg.layout == LayoutKind::Map).then(BTreeMap::new);
         Overlay {
-            rng: StdRng::seed_from_u64(cfg.seed ^ 0x0ea1_a700_1a7e_5700),
+            rng: StdRng::seed_from_u64(cfg.seed ^ OVERLAY_STREAM),
             cfg,
             ids,
             nodes,
@@ -241,7 +247,7 @@ impl Overlay {
     /// Random id assignment for `n` endsystems.
     #[must_use]
     pub fn random_ids(n: usize, seed: u64) -> Vec<Id> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x01d5_0f5e_aeed);
+        let mut rng = StdRng::seed_from_u64(seed ^ ID_ASSIGN_STREAM);
         (0..n).map(|_| Id::random(&mut rng)).collect()
     }
 

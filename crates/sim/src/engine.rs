@@ -307,6 +307,10 @@ impl Default for SimConfig {
 
 // ------------------------------------------------------------------ wheel
 
+/// RNG stream constant for the engine's own draws — loss, duplication,
+/// latency jitter (registered in lint.toml `[[stream]]`).
+const ENGINE_STREAM: u64 = 0xe791_e5ee_d000_0001;
+
 const LEVEL_BITS: u32 = 6;
 const SLOTS: usize = 1 << LEVEL_BITS; // 64
 /// 11 levels × 6 bits = 66 bits, covering the full µs-time range.
@@ -746,7 +750,7 @@ impl<M> Engine<M> {
             live: BTreeSet::new(),
             timer_meta: vec![SeqMap::default(); n],
             recorder: BandwidthRecorder::new(n, config.collect_cdf),
-            rng: StdRng::seed_from_u64(config.seed ^ 0xe791_e5ee_d000_0001),
+            rng: StdRng::seed_from_u64(config.seed ^ ENGINE_STREAM),
             loss_rate: config.loss_rate,
             faults,
             tracer,
@@ -1773,4 +1777,3 @@ mod tests {
         assert_eq!(fired, expect);
     }
 }
-

@@ -262,13 +262,17 @@ impl AnemoneConfig {
     }
 }
 
+/// Multiplier folding the per-caller stream id into [`node_rng`] seeds
+/// (registered in lint.toml `[[stream]]`).
+const FLOWS_STREAM_MIX: u64 = 0x94d0_49bb_1331_11eb;
+
 /// Deterministic per-(seed, node, stream) RNG.
 fn node_rng(seed: u64, node: usize, stream: u64) -> StdRng {
-    let mix = seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add((node as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
-        .wrapping_add(stream.wrapping_mul(0x94d0_49bb_1331_11eb));
-    StdRng::seed_from_u64(mix)
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((node as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(stream.wrapping_mul(FLOWS_STREAM_MIX)),
+    )
 }
 
 fn pick_app(rng: &mut StdRng) -> &'static AppSpec {

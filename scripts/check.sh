@@ -12,8 +12,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 # The sim crate must also lint (and build) with tracing compiled out.
 cargo clippy -p seaweed-sim --all-targets --no-default-features -- -D warnings
 
-echo "==> seaweed-lint (determinism & safety audit)"
-cargo run -q -p seaweed-lint
+echo "==> seaweed-lint (determinism & safety audit, <5s budget)"
+# Build outside the timed window so the budget measures the audit, not
+# the compiler; the flow-sensitive rules (D008+) must stay cheap enough
+# to run on every edit.
+cargo build -q -p seaweed-lint
+lint_start=$(date +%s%N)
+./target/debug/seaweed-lint
+lint_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "    lint wall-clock: ${lint_ms}ms"
+if [ "$lint_ms" -ge 5000 ]; then
+  echo "seaweed-lint exceeded its 5s budget (${lint_ms}ms)" >&2
+  exit 1
+fi
 
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
